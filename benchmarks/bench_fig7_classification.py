@@ -1,0 +1,52 @@
+"""Fig. 7 — perfect-resilience classification of the Topology Zoo suite.
+
+Regenerates the per-model classification percentages over the 260
+synthetic Zoo topologies and prints them next to the paper's numbers.
+The paper's qualitative shape to reproduce: roughly one third of all
+topologies possible in every model; touring otherwise impossible;
+destination-based routing mostly impossible/sometimes; source-destination
+routing almost never provably impossible (2.7%) with a large unknown
+band.
+"""
+
+from repro.analysis import fig7_table, run_case_study
+from repro.graphs.zoo import generate_zoo
+
+#: the paper's Fig. 7 values (percent), read off §VIII's prose
+PAPER_FIG7 = {
+    ("touring", "impossible"): 66.5,
+    ("touring", "possible"): 33.5,
+    ("destination", "impossible"): 42.5,
+    ("destination", "unknown"): 1.1,
+    ("destination", "sometimes"): 23.4,
+    ("destination", "possible"): 33.0,
+    ("source_destination", "impossible"): 2.7,
+    ("source_destination", "unknown"): 31.8,
+    ("source_destination", "sometimes"): 32.6,
+    ("source_destination", "possible"): 33.0,
+}
+
+
+def test_fig7_classification(benchmark, zoo_study, report):
+    suite = generate_zoo()[:40]
+
+    def classify_subset():
+        return run_case_study(suite=suite, minor_budget=1_500, destination_cap=200)
+
+    benchmark.pedantic(classify_subset, rounds=1, iterations=1)
+    report("fig7_classification", fig7_table(zoo_study, paper=PAPER_FIG7))
+
+
+def test_fig7_shape_matches_paper(benchmark, zoo_study):
+    """The headline qualitative claims of §VIII hold on the synthetic suite."""
+    from repro.core.classification import Possibility
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # about one third of all topologies allow perfect resilience in all models
+    assert 28 <= zoo_study.percentage("touring", Possibility.POSSIBLE) <= 40
+    # destination-based impossibility dominates touring-possible's complement
+    assert zoo_study.percentage("destination", Possibility.IMPOSSIBLE) > 35
+    # source-destination impossibility is rare
+    assert zoo_study.percentage("source_destination", Possibility.IMPOSSIBLE) < 8
+    # the unknown band exists only for the routing models, not touring
+    assert zoo_study.percentage("touring", Possibility.UNKNOWN) == 0

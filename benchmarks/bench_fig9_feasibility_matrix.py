@@ -1,0 +1,104 @@
+"""Fig. 9 — the feasibility landscape by graph family and routing model.
+
+Regenerates the matrix: for each density step (K1..K7, K2,3, K3,3, K4,4
+and the one-link-less variants at the frontiers) and each routing model,
+whether perfect resilience is possible — determined by running the
+library's positive algorithms (exhaustively verified) and adversaries.
+"""
+
+from repro.analysis import simple_table
+from repro.core.adversary import attack_k44, attack_k7
+from repro.core.algorithms import (
+    Distance2Algorithm,
+    K33Minus2Routing,
+    K33SourceRouting,
+    K5Minus2Routing,
+    K5SourceRouting,
+    RightHandTouring,
+)
+from repro.core.resilience import (
+    check_perfect_resilience_destination,
+    check_perfect_resilience_source_destination,
+    check_perfect_touring,
+)
+from repro.graphs import construct
+from repro.graphs.planarity import is_outerplanar
+
+
+def _touring_cell(graph):
+    if is_outerplanar(graph):
+        verdict = check_perfect_touring(graph, RightHandTouring())
+        return "possible" if verdict.resilient else "BUG"
+    return "impossible"
+
+
+def _destination_cell(graph):
+    for algorithm in (K5Minus2Routing(), K33Minus2Routing()):
+        try:
+            verdict = check_perfect_resilience_destination(graph, algorithm)
+        except ValueError:
+            continue
+        if verdict.resilient:
+            return "possible"
+    return "impossible (Thm 10/11 frontier)"
+
+
+def _source_destination_cell(graph, name):
+    for algorithm in (K5SourceRouting(), K33SourceRouting()):
+        supported = True
+        try:
+            verdict = check_perfect_resilience_source_destination(graph, algorithm)
+        except ValueError:
+            supported = False
+        if supported and verdict.resilient:
+            return "possible"
+    # frontier graphs: show the adversary wins
+    if name.startswith("K7"):
+        result = attack_k7(graph, Distance2Algorithm(), 0, max(graph.nodes))
+        return f"impossible (|F|={len(result.failures)})"
+    if name.startswith("K4,4"):
+        result = attack_k44(graph, Distance2Algorithm(), 0, 4)
+        return f"impossible (|F|={len(result.failures)})"
+    return "open band (K6 territory)"
+
+
+def test_fig9_matrix(benchmark, report):
+    families = [
+        ("K3", construct.complete_graph(3)),
+        ("K4", construct.complete_graph(4)),
+        ("K2,3", construct.complete_bipartite(2, 3)),
+        ("K5^-2", construct.k_minus(5, 2)),
+        ("K3,3^-2", construct.k_bipartite_minus(3, 3, 2)),
+        ("K5^-1", construct.k_minus(5, 1)),
+        ("K3,3^-1", construct.k_bipartite_minus(3, 3, 1)),
+        ("K5", construct.complete_graph(5)),
+        ("K3,3", construct.complete_bipartite(3, 3)),
+        ("K7^-1", construct.k_minus(7, 1)),
+        ("K4,4^-1", construct.k_bipartite_minus(4, 4, 1)),
+        ("K7", construct.complete_graph(7)),
+        ("K4,4", construct.complete_bipartite(4, 4)),
+    ]
+
+    def build_matrix():
+        rows = []
+        for name, graph in families:
+            touring = _touring_cell(graph)
+            destination = _destination_cell(graph)
+            source_destination = _source_destination_cell(graph, name)
+            rows.append([name, touring, destination, source_destination])
+        return rows
+
+    rows = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    report(
+        "fig9_feasibility_matrix",
+        "Fig. 9 — feasibility by family and routing model (empirical)\n"
+        + simple_table(["graph", "touring", "destination only", "source-destination"], rows),
+    )
+    matrix = {row[0]: row for row in rows}
+    # the paper's frontiers
+    assert matrix["K3"][1] == "possible" and matrix["K4"][1] == "impossible"
+    assert matrix["K5^-2"][2] == "possible" and matrix["K5^-1"][2].startswith("impossible")
+    assert matrix["K3,3^-2"][2] == "possible" and matrix["K3,3^-1"][2].startswith("impossible")
+    assert matrix["K5"][3] == "possible" and matrix["K3,3"][3] == "possible"
+    assert matrix["K7"][3].startswith("impossible")
+    assert matrix["K4,4"][3].startswith("impossible")

@@ -1,0 +1,91 @@
+"""§IV / Figs 3 & 10 — impossibility on K7 and K4,4 (Thms 6, 7; Cors 3, 4).
+
+The adversaries break every library pattern within the paper's failure
+budgets: 15 failures on K7, 11 on K4,4, s and t still connected.
+"""
+
+from repro.analysis import simple_table
+from repro.core.adversary import (
+    K44_FAILURE_BUDGET,
+    K7_FAILURE_BUDGET,
+    attack_k44,
+    attack_k7,
+)
+from repro.core.algorithms import (
+    Distance2Algorithm,
+    Distance3BipartiteAlgorithm,
+    GreedyLowestNeighbor,
+    RandomCyclicPermutations,
+)
+from repro.core.model import destination_as_source_destination
+from repro.graphs import construct
+from repro.graphs.connectivity import are_connected
+
+K7_PATTERNS = [
+    Distance2Algorithm(),
+    RandomCyclicPermutations(seed=2),
+    RandomCyclicPermutations(seed=9),
+    destination_as_source_destination(GreedyLowestNeighbor()),
+]
+K44_PATTERNS = [
+    Distance2Algorithm(),
+    Distance3BipartiteAlgorithm(),
+    RandomCyclicPermutations(seed=5),
+    destination_as_source_destination(GreedyLowestNeighbor()),
+]
+
+
+def test_corollary3_k7(benchmark, report):
+    graphs = {
+        "K7": construct.complete_graph(7),
+        "K7^-1": construct.minus_links(construct.complete_graph(7), [(0, 6)]),
+    }
+    rows = []
+
+    def attack_all():
+        rows.clear()
+        for name, graph in graphs.items():
+            for algorithm in K7_PATTERNS:
+                result = attack_k7(graph, algorithm, 0, 6)
+                rows.append([name, algorithm.name, len(result.failures),
+                             are_connected(graph, 0, 6, result.failures)])
+        return rows
+
+    benchmark.pedantic(attack_all, rounds=1, iterations=1)
+    report(
+        "cor3_k7_impossibility",
+        f"Corollary 3: every pattern on K7 broken with <= {K7_FAILURE_BUDGET} failures\n"
+        + simple_table(["graph", "pattern", "|F|", "s-t connected"], rows),
+    )
+    for name, _, size, connected in rows:
+        assert connected
+        if name == "K7":
+            assert size <= K7_FAILURE_BUDGET
+
+
+def test_corollary4_k44(benchmark, report):
+    graphs = {
+        "K4,4": construct.complete_bipartite(4, 4),
+        "K4,4^-1": construct.minus_links(construct.complete_bipartite(4, 4), [(0, 4)]),
+    }
+    rows = []
+
+    def attack_all():
+        rows.clear()
+        for name, graph in graphs.items():
+            for algorithm in K44_PATTERNS:
+                result = attack_k44(graph, algorithm, 0, 4)
+                rows.append([name, algorithm.name, len(result.failures),
+                             are_connected(graph, 0, 4, result.failures)])
+        return rows
+
+    benchmark.pedantic(attack_all, rounds=1, iterations=1)
+    report(
+        "cor4_k44_impossibility",
+        f"Corollary 4: every pattern on K4,4 broken with <= {K44_FAILURE_BUDGET} failures\n"
+        + simple_table(["graph", "pattern", "|F|", "s-t connected"], rows),
+    )
+    for name, _, size, connected in rows:
+        assert connected
+        if name == "K4,4":
+            assert size <= K44_FAILURE_BUDGET

@@ -1,0 +1,107 @@
+"""§VII / Figs 12, 13 — touring: Cor 6 characterization and Thm 17.
+
+* Lemmas 3, 4: on ``K4`` and ``K2,3`` the exhaustive adversary finds a
+  (start, failure set) witness against any fixed port-cycle pattern —
+  with at most 2 resp. 1 failures, exactly as in Figs 12/13.
+* Cor 6 positive: right-hand-rule touring survives every failure set on
+  outerplanar graphs.
+* Thm 17: Hamiltonian-decomposition touring survives ``k-1`` failures on
+  2k-connected complete / complete bipartite graphs.
+"""
+
+from repro.analysis import simple_table
+from repro.core.adversary import attack_touring
+from repro.core.algorithms import HamiltonianTouring, RandomPortCycles, RightHandTouring
+from repro.core.resilience import check_k_resilient_touring, check_perfect_touring
+from repro.graphs import construct
+
+
+def test_lemmas_3_4_impossibility(benchmark, report):
+    gadgets = {
+        "K4 (Fig. 12)": construct.complete_graph(4),
+        "K2,3 (Fig. 13)": construct.complete_bipartite(2, 3),
+    }
+    rows = []
+
+    def attack_all():
+        rows.clear()
+        for name, graph in gadgets.items():
+            for seed in range(6):
+                witness = attack_touring(graph, RandomPortCycles(seed=seed))
+                rows.append([name, f"port cycles #{seed}", witness is not None,
+                             len(witness[1]) if witness else "-"])
+        return rows
+
+    benchmark.pedantic(attack_all, rounds=1, iterations=1)
+    assert all(row[2] for row in rows)
+    report(
+        "lemmas34_touring_impossible",
+        "Lemmas 3/4: every port-cycle pattern fails to tour K4 / K2,3\n"
+        + simple_table(["gadget", "pattern", "witness found", "|F|"], rows),
+    )
+
+
+def test_corollary6_positive(benchmark, report):
+    graphs = {
+        "C8": construct.cycle_graph(8),
+        "fan-7": construct.fan_graph(7),
+        "maximal outerplanar (n=7)": construct.maximal_outerplanar(7, seed=2),
+        "star-6": construct.star_graph(6),
+    }
+
+    def verify_all():
+        return {name: check_perfect_touring(g, RightHandTouring()) for name, g in graphs.items()}
+
+    verdicts = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    assert all(v.resilient for v in verdicts.values())
+    rows = [[name, v.resilient, v.scenarios_checked] for name, v in verdicts.items()]
+    report(
+        "cor6_outerplanar_touring",
+        "Corollary 6 (positive): right-hand rule tours outerplanar graphs "
+        "under every failure set\n" + simple_table(["graph", "tours", "scenarios"], rows),
+    )
+
+
+def test_theorem17_k_resilient_touring(benchmark, report):
+    cases = [
+        ("K5", construct.complete_graph(5), 2),
+        ("K7", construct.complete_graph(7), 3),
+        ("K4,4", construct.complete_bipartite(4, 4), 2),
+        ("K6,6", construct.complete_bipartite(6, 6), 3),
+    ]
+
+    def verify_all():
+        rows = []
+        for name, graph, k in cases:
+            verdict = check_k_resilient_touring(graph, HamiltonianTouring(), max_failures=k - 1)
+            rows.append([name, k, k - 1, verdict.resilient, verdict.scenarios_checked])
+        return rows
+
+    rows = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    assert all(row[3] for row in rows)
+    report(
+        "thm17_hamiltonian_touring",
+        "Theorem 17: 2k-connected K_n / K_{n,n} toured under k-1 failures\n"
+        + simple_table(["graph", "k cycles", "failures tolerated", "tours", "scenarios"], rows),
+    )
+
+
+def test_touring_frontier(benchmark, report):
+    """Cor 6 is exact: the K4/K2,3 boundary (Table/Fig 9 touring row)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, graph, expected in [
+        ("K3", construct.complete_graph(3), True),
+        ("K4", construct.complete_graph(4), False),
+        ("K2,2", construct.complete_bipartite(2, 2), True),
+        ("K2,3", construct.complete_bipartite(2, 3), False),
+    ]:
+        from repro.graphs.planarity import is_outerplanar
+
+        rows.append([name, is_outerplanar(graph), expected])
+        assert is_outerplanar(graph) == expected
+    report(
+        "cor6_frontier",
+        "Corollary 6 frontier: touring possible iff outerplanar\n"
+        + simple_table(["graph", "outerplanar", "tourable (paper)"], rows),
+    )

@@ -1,0 +1,43 @@
+"""§VIII runtime — "most instances can be classified quickly".
+
+Benchmarks the classification pipeline itself: per-topology latency on a
+representative sub-suite (this is the part the paper ran through SageMath
+and minorminer).
+"""
+
+import pytest
+
+from repro.analysis import simple_table
+from repro.core.classification import classify
+from repro.graphs.zoo import generate_zoo
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return generate_zoo()
+
+
+def test_classification_throughput(benchmark, suite, report):
+    subset = suite[::7]  # ~37 topologies over all families
+
+    def classify_subset():
+        return [classify(z.graph, name=z.name, minor_budget=1_500) for z in subset]
+
+    results = benchmark(classify_subset)
+    rows = [
+        [c.name, c.n, c.m, c.planarity, c.destination.value, c.source_destination.value]
+        for c in results[:12]
+    ]
+    report(
+        "zoo_runtime",
+        f"§VIII classification throughput: {len(subset)} topologies per round\n"
+        "first rows:\n"
+        + simple_table(["topology", "n", "m", "planarity", "dest", "source-dest"], rows),
+    )
+
+
+def test_single_topology_latency(benchmark, suite):
+    largest_planar = max(
+        (z for z in suite if z.family == "grid"), key=lambda z: z.m
+    )
+    benchmark(lambda: classify(largest_planar.graph, minor_budget=1_500))

@@ -1,0 +1,55 @@
+"""Header-free touring of a full-mesh pod (§VII, Theorem 17).
+
+A nine-switch full mesh is decomposed into four link-disjoint Hamiltonian
+cycles (Walecki).  A single set of port-to-port rules — no source, no
+destination, identical for every packet — tours every switch as long as
+at most three links fail.  The example compares against a naive fixed
+port-cycle pattern, which a single unlucky failure already derails.
+
+Touring patterns double as broadcast/flooding primitives and as
+destination routing with constant table space (the paper's §VII remarks).
+
+Run:  python examples/datacenter_touring.py
+"""
+
+import random
+
+from repro.core.algorithms import HamiltonianTouring, RandomPortCycles
+from repro.core.simulator import Network, tour
+from repro.graphs import complete_graph
+from repro.graphs.edges import edge
+
+
+def coverage(graph, pattern, failures, start=0):
+    walk = tour(Network(graph), pattern, start, failures)
+    return len(walk.recurrent), walk
+
+
+def main() -> None:
+    n, k = 9, 4
+    graph = complete_graph(n)
+    hamiltonian = HamiltonianTouring().build(graph)
+    naive = RandomPortCycles(seed=7).build(graph)
+    print(f"K{n} pod: {graph.number_of_edges()} links, "
+          f"{k} link-disjoint Hamiltonian cycles, tolerates {k - 1} failures\n")
+
+    rng = random.Random(2022)
+    links = sorted(edge(u, v) for u, v in graph.edges)
+    print(f"{'|F|':>4}  {'Walecki tour':>14}  {'naive port-cycles':>18}")
+    for size in (0, 1, 2, 3, 5, 8):
+        trials_walecki, trials_naive = [], []
+        for _ in range(30):
+            failures = frozenset(rng.sample(links, size))
+            covered, _ = coverage(graph, hamiltonian, failures)
+            trials_walecki.append(covered == n)
+            covered, _ = coverage(graph, naive, failures)
+            trials_naive.append(covered == n)
+        note = "  <- beyond the k-1 promise" if size > k - 1 else ""
+        print(f"{size:>4}  {sum(trials_walecki):>11}/30  {sum(trials_naive):>15}/30{note}")
+
+    print("\nWithin the promise (|F| <= 3) the Theorem 17 pattern never")
+    print("misses a switch; the naive pattern fails already at |F| = 1.")
+
+
+if __name__ == "__main__":
+    main()

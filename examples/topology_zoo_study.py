@@ -1,0 +1,26 @@
+"""A condensed §VIII case study on the synthetic Topology Zoo.
+
+Classifies a 52-topology slice of the suite per routing model and prints
+the Fig. 7 style table plus the Fig. 8 density breakdown.  (The full
+260-topology run lives in ``benchmarks/bench_fig7_classification.py``.)
+
+Run:  python examples/topology_zoo_study.py
+"""
+
+from repro.analysis import fig7_table, fig8_table, run_case_study
+from repro.graphs.zoo import generate_zoo
+
+
+def main() -> None:
+    suite = generate_zoo()[::5]  # every fifth topology, all families
+    print(f"classifying {len(suite)} synthetic Topology Zoo instances ...\n")
+    result = run_case_study(suite=suite, minor_budget=2_000, destination_cap=150)
+    print(fig7_table(result))
+    print()
+    print(fig8_table(result))
+    print(f"\nelapsed: {result.elapsed_seconds:.1f}s "
+          f"({result.elapsed_seconds / result.total * 1000:.0f} ms per topology)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "On the Price of Locality in Static Fast Rerouting".
+
+Foerster, Hirvonen, Pignolet, Schmid, Trédan — DSN 2022
+(arXiv:2204.03413).
+
+The library implements the paper's model of static local fast rerouting
+(§II), its positive algorithms (Algorithm 1, the K3,3 / K5^-2 / K3,3^-2
+tables, distance-2/3 exploration, right-hand-rule and Hamiltonian
+touring), its constructive impossibility adversaries (Theorems 1, 6, 7,
+14, 15 and the touring lemmas), and the §VIII topology classification
+pipeline, on top of self-contained graph substrates (connectivity,
+planarity, minors, Hamiltonian decompositions, arborescence packings).
+
+Quickstart::
+
+    import repro
+    from repro.graphs import complete_graph
+    from repro.core.algorithms import K5SourceRouting
+    from repro.core import route, Network
+
+    g = complete_graph(5)
+    pattern = K5SourceRouting().build(g, source=0, destination=4)
+    result = route(Network(g), pattern, 0, 4, failures=repro.failure_set((0, 4), (1, 4)))
+    assert result.delivered
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration of every table and figure of the paper.
+"""
+
+from .graphs.edges import EMPTY_FAILURES, Edge, FailureSet, Node, edge, edges, failure_set
+from .core import (
+    Network,
+    Outcome,
+    RouteResult,
+    TourResult,
+    route,
+    tour,
+    tours_component,
+)
+from .core.classification import Classification, Possibility, classify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Classification",
+    "EMPTY_FAILURES",
+    "Edge",
+    "FailureSet",
+    "Network",
+    "Node",
+    "Outcome",
+    "Possibility",
+    "RouteResult",
+    "TourResult",
+    "classify",
+    "edge",
+    "edges",
+    "failure_set",
+    "route",
+    "tour",
+    "tours_component",
+]

@@ -1,0 +1,24 @@
+"""Case-study drivers and reporting for the §VIII experiments."""
+
+from .case_study import MODELS, CaseStudyResult, run_case_study
+from .random_failures import DeliveryCurve, compare_curves, delivery_curve
+from .reporting import fig7_table, fig8_table, simple_table
+from .stretch import StretchSummary, measure_stretch
+from .table_space import TableSpace, table_space, table_space_report
+
+__all__ = [
+    "MODELS",
+    "CaseStudyResult",
+    "DeliveryCurve",
+    "StretchSummary",
+    "TableSpace",
+    "compare_curves",
+    "delivery_curve",
+    "fig7_table",
+    "fig8_table",
+    "measure_stretch",
+    "run_case_study",
+    "simple_table",
+    "table_space",
+    "table_space_report",
+]

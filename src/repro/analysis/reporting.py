@@ -1,0 +1,112 @@
+"""Text renderings of the paper's figures and tables.
+
+Every benchmark prints through these helpers so the harness output reads
+like the paper's artifacts: Fig. 7 as a percentage table, Fig. 8 as a
+density/size breakdown, Table I as the feasibility landscape.
+"""
+
+from __future__ import annotations
+
+from ..core.classification import Possibility
+from .case_study import MODELS, CaseStudyResult
+
+_MODEL_LABELS = {
+    "touring": "Touring",
+    "destination": "Destination Only",
+    "source_destination": "Source-Dest.",
+}
+
+_ORDER = (
+    Possibility.IMPOSSIBLE,
+    Possibility.UNKNOWN,
+    Possibility.SOMETIMES,
+    Possibility.POSSIBLE,
+)
+
+
+def fig7_table(result: CaseStudyResult, paper: dict | None = None) -> str:
+    """Fig. 7 as text: per-model classification percentages.
+
+    ``paper`` optionally maps ``(model, possibility)`` to the paper's
+    percentage for side-by-side comparison.
+    """
+    lines = [
+        f"Fig. 7 — perfect-resilience classification of {result.total} topologies",
+        f"{'model':<18}" + "".join(f"{p.value:>12}" for p in _ORDER),
+    ]
+    for model in MODELS:
+        row = f"{_MODEL_LABELS[model]:<18}"
+        for possibility in _ORDER:
+            row += f"{result.percentage(model, possibility):>11.1f}%"
+        lines.append(row)
+        if paper:
+            row = f"{'  (paper)':<18}"
+            for possibility in _ORDER:
+                value = paper.get((model, possibility.value))
+                row += f"{value:>11.1f}%" if value is not None else f"{'-':>12}"
+            lines.append(row)
+    lines.append(
+        "planarity mix: "
+        + ", ".join(
+            f"{kind} {result.planarity_share(kind):.1f}%"
+            for kind in ("outerplanar", "planar", "non-planar")
+        )
+    )
+    lines.append(
+        f"planar & destination-impossible: {result.planar_and_impossible_destination():.1f}% "
+        "(paper: 31.3%)"
+    )
+    lines.append(
+        f"mean good-destination share among 'sometimes': "
+        f"{result.mean_good_destination_fraction():.1f}% (paper: 21.3%)"
+    )
+    return "\n".join(lines)
+
+
+def fig8_table(result: CaseStudyResult, size_bins=(10, 25, 50, 100, 10_000)) -> str:
+    """Fig. 8 as text: destination-model class by size and density bins."""
+    density_bins = (0.9, 1.1, 1.5, 2.0, 100.0)
+    lines = [
+        "Fig. 8 — classification frontier by size (columns) and density |E|/n (rows)",
+        "cells: destination-model classes (I=impossible U=unknown S=sometimes P=possible)",
+    ]
+    label = "density / n"
+    header = f"{label:<14}"
+    previous = 0
+    for bound in size_bins:
+        header += f"{f'<{bound}':>16}"
+    lines.append(header)
+    prev_density = 0.0
+    for d_bound in density_bins:
+        row = f"{f'{prev_density:.1f}-{d_bound:.1f}':<14}"
+        prev_n = 0
+        for n_bound in size_bins:
+            cell = _cell(result, prev_n, n_bound, prev_density, d_bound)
+            row += f"{cell:>16}"
+            prev_n = n_bound
+        lines.append(row)
+        prev_density = d_bound
+    return "\n".join(lines)
+
+
+def _cell(result: CaseStudyResult, n_lo: int, n_hi: int, d_lo: float, d_hi: float) -> str:
+    from collections import Counter
+
+    counts: Counter = Counter()
+    for c in result.classifications:
+        if n_lo <= c.n < n_hi and d_lo <= c.density < d_hi:
+            counts[c.destination.value[0].upper()] += 1
+    if not counts:
+        return "-"
+    return "/".join(f"{k}:{v}" for k, v in sorted(counts.items()))
+
+
+def simple_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal fixed-width table used by several benchmarks."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

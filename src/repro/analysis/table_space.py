@@ -1,0 +1,69 @@
+"""Routing-table space accounting (§VII's practical motivation).
+
+The paper argues touring "can also help in a practical context, by saving
+expensive routing table space: we deploy the same routing rules, no
+matter which source or destination a packet has."  This module quantifies
+that: the number of forwarding rules a switch must hold under each
+routing model, where one rule maps (header match, in-port, local failure
+condition) to an out-port.
+
+We count rules conservatively as *(match keys) × (in-ports + ⊥)* per
+node; failure conditions multiply all models equally (rules are
+conditional on incident failures in every model) and are therefore
+normalized out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+
+@dataclass
+class TableSpace:
+    """Per-model rule counts for one topology."""
+
+    name: str
+    n: int
+    source_destination_rules: int
+    destination_rules: int
+    touring_rules: int
+
+    @property
+    def touring_saving(self) -> float:
+        """Rule-count ratio destination-based : touring."""
+        if self.touring_rules == 0:
+            return 0.0
+        return self.destination_rules / self.touring_rules
+
+
+def table_space(graph: nx.Graph, name: str = "") -> TableSpace:
+    """Rule counts for the three §II routing models on ``graph``.
+
+    * π^{s,t}: each node matches every (source, destination) pair —
+      ``n(n-1)`` keys — times its in-ports (+ ⊥ when it is the source);
+    * π^t: each node matches ``n - 1`` destinations;
+    * π^∀: a single key per node — pure port routing.
+    """
+    n = graph.number_of_nodes()
+    source_destination = 0
+    destination = 0
+    touring = 0
+    for node in graph.nodes:
+        ports = graph.degree(node) + 1  # in-ports plus ⊥
+        source_destination += n * (n - 1) * ports
+        destination += (n - 1) * ports
+        touring += ports
+    return TableSpace(
+        name=name,
+        n=n,
+        source_destination_rules=source_destination,
+        destination_rules=destination,
+        touring_rules=touring,
+    )
+
+
+def table_space_report(graphs: dict[str, nx.Graph]) -> list[TableSpace]:
+    """Table-space accounting for a dictionary of named topologies."""
+    return [table_space(graph, name) for name, graph in graphs.items()]

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``classify`` — §VIII classification of a graph (built-in family or
+  edge-list file);
+* ``route`` — route one packet under a failure set and print the walk;
+* ``attack`` — run the constructive adversaries (Thm 1 / Thm 6 / Thm 7);
+* ``tour`` — tour a graph with the right-hand rule or Hamiltonian cycles;
+* ``zoo`` — regenerate the synthetic Topology Zoo and print the Fig. 7
+  table for a slice of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import networkx as nx
+
+from . import graphs as G
+from .analysis import fig7_table, run_case_study
+from .core import Network, route as simulate_route, tour as simulate_tour
+from .core.adversary import attack_k44, attack_k7, attack_r_tolerance
+from .core.algorithms import (
+    Distance2Algorithm,
+    HamiltonianTouring,
+    K5SourceRouting,
+    K33SourceRouting,
+    RandomCyclicPermutations,
+    RightHandTouring,
+    TourToDestination,
+)
+from .core.classification import classify
+from .graphs.edges import edges
+
+_FAMILIES = {
+    "k5": lambda: G.complete_graph(5),
+    "k7": lambda: G.complete_graph(7),
+    "k33": lambda: G.complete_bipartite(3, 3),
+    "k44": lambda: G.complete_bipartite(4, 4),
+    "netrail": G.fig6_netrail,
+    "petersen": G.petersen_graph,
+    "wheel": lambda: G.wheel_graph(6),
+    "grid": lambda: G.grid_graph(4, 4),
+    "ring": lambda: G.cycle_graph(8),
+    "fan": lambda: G.fan_graph(8),
+}
+
+
+def _load_graph(spec: str) -> nx.Graph:
+    if spec in _FAMILIES:
+        return _FAMILIES[spec]()
+    graph = nx.Graph()
+    with open(spec) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            u, v = line.split()[:2]
+            graph.add_edge(_maybe_int(u), _maybe_int(v))
+    return graph
+
+
+def _maybe_int(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _parse_failures(tokens: list[str]):
+    pairs = []
+    for token in tokens:
+        u, v = token.split("-")
+        pairs.append((_maybe_int(u), _maybe_int(v)))
+    return edges(pairs)
+
+
+def _cmd_classify(args) -> int:
+    graph = _load_graph(args.graph)
+    result = classify(graph, name=args.graph, minor_budget=args.budget)
+    print(f"{result.name}: n={result.n} m={result.m} ({result.planarity})")
+    print(f"  touring:            {result.touring.value}")
+    print(f"  destination-based:  {result.destination.value}")
+    print(f"  source-destination: {result.source_destination.value}")
+    print(f"  good destinations:  {result.good_destination_fraction:.0%}")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    graph = _load_graph(args.graph)
+    source = _maybe_int(args.source)
+    destination = _maybe_int(args.destination)
+    failures = _parse_failures(args.fail)
+    for algorithm in (K5SourceRouting(), K33SourceRouting(), None):
+        if algorithm is None:
+            tour_router = TourToDestination()
+            if tour_router.supports(graph, destination):
+                pattern = tour_router.build(graph, destination)
+                chosen = tour_router.name
+                break
+            pattern = Distance2Algorithm().build(graph, source, destination)
+            chosen = Distance2Algorithm.name
+            break
+        try:
+            pattern = algorithm.build(graph, source, destination)
+            chosen = algorithm.name
+            break
+        except ValueError:
+            continue
+    result = simulate_route(Network(graph), pattern, source, destination, failures)
+    print(f"algorithm: {chosen}")
+    print(f"outcome:   {result.outcome.value}")
+    print(f"walk:      {' -> '.join(map(str, result.path))}")
+    return 0 if result.delivered else 1
+
+
+def _cmd_attack(args) -> int:
+    graph = _load_graph(args.graph)
+    nodes = sorted(graph.nodes, key=repr)
+    source, destination = nodes[0], nodes[-1]
+    algorithm = (
+        Distance2Algorithm() if args.pattern == "distance2" else RandomCyclicPermutations(seed=args.seed)
+    )
+    try:
+        if args.kind == "rtolerance":
+            result = attack_r_tolerance(graph, algorithm, source, destination, r=args.r)
+        elif args.kind == "k7":
+            result = attack_k7(graph, algorithm, source, destination)
+        else:
+            result = attack_k44(graph, algorithm, source, destination)
+    except ValueError as error:
+        print(f"cannot attack this instance: {error}", file=sys.stderr)
+        return 2
+    if result is None:
+        print("no witness found")
+        return 1
+    print(f"witness: |F| = {len(result.failures)} ({result.method})")
+    for link in sorted(result.failures, key=repr):
+        print(f"  fail {link[0]}-{link[1]}")
+    return 0
+
+
+def _cmd_tour(args) -> int:
+    graph = _load_graph(args.graph)
+    failures = _parse_failures(args.fail)
+    try:
+        pattern = RightHandTouring().build(graph)
+        name = RightHandTouring.name
+    except Exception:
+        pattern = HamiltonianTouring().build(graph)
+        name = HamiltonianTouring.name
+    start = sorted(graph.nodes, key=repr)[0]
+    result = simulate_tour(Network(graph), pattern, start, failures)
+    print(f"algorithm: {name}")
+    print(f"toured forever: {sorted(result.recurrent, key=repr)}")
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    suite = G.generate_zoo(seed=args.seed)[:: args.stride]
+    result = run_case_study(suite=suite, minor_budget=args.budget)
+    print(fig7_table(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static fast rerouting: the DSN'22 'Price of Locality' toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="classify a topology (§VIII)")
+    p.add_argument("graph", help=f"family ({', '.join(_FAMILIES)}) or edge-list file")
+    p.add_argument("--budget", type=int, default=20_000, help="minor-search budget")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("route", help="route one packet under failures")
+    p.add_argument("graph")
+    p.add_argument("source")
+    p.add_argument("destination")
+    p.add_argument("--fail", nargs="*", default=[], help="failed links, e.g. 0-1 2-3")
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("attack", help="run a constructive adversary")
+    p.add_argument("kind", choices=["rtolerance", "k7", "k44"])
+    p.add_argument("graph")
+    p.add_argument("--pattern", choices=["distance2", "random"], default="distance2")
+    p.add_argument("--r", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("tour", help="tour a graph without header information")
+    p.add_argument("graph")
+    p.add_argument("--fail", nargs="*", default=[])
+    p.set_defaults(func=_cmd_tour)
+
+    p = sub.add_parser("zoo", help="run the §VIII case study on the synthetic Zoo")
+    p.add_argument("--stride", type=int, default=10, help="use every k-th topology")
+    p.add_argument("--seed", type=int, default=2022)
+    p.add_argument("--budget", type=int, default=2_000)
+    p.set_defaults(func=_cmd_zoo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

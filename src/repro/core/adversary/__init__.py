@@ -1,0 +1,27 @@
+"""Negative results: constructive adversaries for the impossibility theorems."""
+
+from .few_failures import (
+    attack_complete_bipartite,
+    attack_complete_graph,
+    complete_bipartite_budget,
+    complete_graph_budget,
+)
+from .k44 import K44_FAILURE_BUDGET, attack_k44
+from .minor_gap import GuardedSourceAlgorithm, GuardedSourcePattern, theorem2_graph
+from .k7 import K7_FAILURE_BUDGET, attack_k7
+from .rtolerance import attack_r_tolerance, gadget_count
+from .search import (
+    AttackResult,
+    exhaustive_attack,
+    make_view,
+    random_attack,
+    verify_attack,
+)
+from .touring import (
+    attack_touring,
+    attack_touring_pattern,
+    cyclic_permutation_violation,
+    touring_impossibility_graphs,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,102 @@
+"""Few-failure impossibility via simulation arguments (Theorems 14, 15).
+
+On large complete (bipartite) graphs the K7 / K4,4 adversaries still
+apply after *padding*: fail every link between the non-destination nodes
+of an embedded gadget and the rest of the graph.  The packet then never
+leaves the gadget, the pattern restricted to the gadget is a static
+pattern on ``K7`` (resp. ``K4,4``), and the inner adversary finishes the
+job.  Total failure budgets:
+
+* ``K_n`` (n >= 8): ``6(n-7)`` padding + at most 15 inner failures, i.e.
+  ``6n - 27`` — the paper reports ``6n - 33``, counting ``6(n-8)``
+  padding links; either way the budget is ``6n - O(1)``, asymptotically
+  optimal against the ``n - 2`` positive bound;
+* ``K_{a,b}`` (a, b >= 4): ``3`` / ``4`` padding links per virtual node
+  plus at most 11 inner failures (paper: ``3a + 4b - 21``).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.construct import bipartition
+from ...graphs.edges import FailureSet, Node, edge
+from ..model import SourceDestinationAlgorithm
+from .k44 import attack_embedded_k44
+from .k7 import attack_embedded_k7
+from .search import AttackResult
+
+
+def complete_graph_budget(n: int) -> int:
+    """The paper's Theorem 14 failure budget for ``K_n``."""
+    return 6 * n - 33
+
+
+def complete_bipartite_budget(a: int, b: int) -> int:
+    """The paper's Theorem 15 failure budget for ``K_{a,b}``."""
+    return 3 * a + 4 * b - 21
+
+
+def attack_complete_graph(
+    graph: nx.Graph,
+    algorithm: SourceDestinationAlgorithm,
+    source: Node,
+    destination: Node,
+) -> AttackResult | None:
+    """Theorem 14: break any pattern on ``K_n`` (n >= 8) with O(n) failures."""
+    n = graph.number_of_nodes()
+    if n < 8:
+        raise ValueError("Theorem 14 needs n >= 8")
+    pattern = algorithm.build(graph, source, destination)
+    middles = sorted(
+        (v for v in graph.nodes if v not in (source, destination)), key=repr
+    )[:5]
+    real_non_destination = {source, *middles}
+    virtual = [v for v in graph.nodes if v != destination and v not in real_non_destination]
+    padding: set = set()
+    for node in real_non_destination:
+        for outsider in virtual:
+            if graph.has_edge(node, outsider):
+                padding.add(edge(node, outsider))
+    result = attack_embedded_k7(
+        graph, pattern, source, destination, middles, base_failures=frozenset(padding)
+    )
+    if result is None:
+        return None
+    return AttackResult(result.failures, method="theorem-14 padding + " + result.method)
+
+
+def attack_complete_bipartite(
+    graph: nx.Graph,
+    algorithm: SourceDestinationAlgorithm,
+    source: Node,
+    destination: Node,
+) -> AttackResult | None:
+    """Theorem 15: break any pattern on ``K_{a,b}`` (a, b >= 4).
+
+    ``source`` and ``destination`` must lie in different parts (the
+    embedded Lemma 6 instance).
+    """
+    left, right = bipartition(graph)
+    if (source in left) == (destination in left):
+        raise ValueError("place source and destination in different parts")
+    if min(len(left), len(right)) < 4:
+        raise ValueError("Theorem 15 needs a, b >= 4")
+    destination_part = left if destination in left else right
+    source_part = left if source in left else right
+    t_side = sorted((v for v in destination_part if v != destination), key=repr)[:3]
+    s_side = sorted((v for v in source_part if v != source), key=repr)[:3]
+    real_non_destination = {source, *t_side, *s_side}
+    real = real_non_destination | {destination}
+    padding: set = set()
+    for node in real_non_destination:
+        for outsider in graph.neighbors(node):
+            if outsider not in real:
+                padding.add(edge(node, outsider))
+    pattern = algorithm.build(graph, source, destination)
+    result = attack_embedded_k44(
+        graph, pattern, source, destination, t_side, s_side, base_failures=frozenset(padding)
+    )
+    if result is None:
+        return None
+    return AttackResult(result.failures, method="theorem-15 padding + " + result.method)

@@ -1,0 +1,66 @@
+"""Theorem 2: r-tolerance is not preserved under taking minors (r >= 2).
+
+The construction: start from the Theorem 1 graph ``G' = K_{3+5r}`` (which
+admits no r-tolerant pattern), add a fresh source ``s'`` joined to the old
+source by ``r - 1`` disjoint paths plus a direct link ``(s', t)``.  The
+new graph *is* r-tolerant for ``(s', t)``: whenever the promise
+``λ(s', t) >= r`` holds, all ``r`` links incident to ``s'`` survive — in
+particular the direct link, which :class:`GuardedSourcePattern` uses.
+Contracting ``s'`` back into ``s`` (and dropping the direct link)
+recovers ``G'``, where Theorem 1's adversary wins: a minor of an
+r-tolerant graph that is not r-tolerant.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ..model import ForwardingPattern, LocalView, SourceDestinationAlgorithm
+
+
+def theorem2_graph(r: int) -> tuple[nx.Graph, Node, Node]:
+    """The Theorem 2 construction: (graph, new source s', destination t)."""
+    if r < 2:
+        raise ValueError("Theorem 2 concerns r >= 2")
+    n = 3 + 5 * r
+    graph = nx.Graph(nx.complete_graph(n))
+    source_old, destination = 0, n - 1
+    source_new = "s'"
+    # r - 1 internally disjoint paths from s' to the old source ...
+    for index in range(r - 1):
+        relay = f"p{index}"
+        graph.add_edge(source_new, relay)
+        graph.add_edge(relay, source_old)
+    # ... plus the direct link to the destination.
+    graph.add_edge(source_new, destination)
+    return graph, source_new, destination
+
+
+class GuardedSourcePattern(ForwardingPattern):
+    """Route ``s' -> t`` over the direct link; the promise guarantees it.
+
+    ``s'`` has exactly ``r`` incident links (r-1 relays + the direct
+    link); ``λ(s', t) >= r`` therefore forces all of them — including
+    ``(s', t)`` — to be alive.
+    """
+
+    def __init__(self, source: Node, destination: Node):
+        self._source = source
+        self._destination = destination
+
+    def forward(self, view: LocalView) -> Node | None:
+        if self._destination in view.alive_set:
+            return self._destination
+        if view.node == self._source:
+            return view.alive[0] if view.alive else None
+        return view.inport if view.inport in view.alive_set else None
+
+
+class GuardedSourceAlgorithm(SourceDestinationAlgorithm):
+    """The (trivially) r-tolerant scheme for the Theorem 2 graph."""
+
+    name = "guarded direct link (Thm 2)"
+
+    def build(self, graph: nx.Graph, source: Node, destination: Node) -> ForwardingPattern:
+        return GuardedSourcePattern(source, destination)

@@ -1,0 +1,142 @@
+"""Generic adversarial failure-set search.
+
+The impossibility theorems quantify over all patterns; their constructive
+adversaries (``rtolerance``, ``k7``, ``k44``) follow the proofs, but every
+adversary in this package *verifies* its candidate failure set by
+simulation and can fall back to the searches here, so a returned witness
+is always genuine: the promise holds and the routing fails.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ...graphs.connectivity import are_connected, st_edge_connectivity
+from ...graphs.edges import Edge, FailureSet, Node, edge, edge_sort_key
+from ..model import ForwardingPattern, LocalView
+from ..resilience import all_failure_sets
+from ..simulator import Network, route
+
+Promise = Callable[[FailureSet], bool]
+
+
+@dataclass
+class AttackResult:
+    """A verified adversarial witness."""
+
+    failures: FailureSet
+    method: str
+
+    @property
+    def size(self) -> int:
+        return len(self.failures)
+
+
+def make_view(graph: nx.Graph, node: Node, inport: Node | None, alive: Iterable[Node]) -> LocalView:
+    """A hypothetical local view: ``alive`` neighbours survive, the rest failed.
+
+    The adaptive adversaries use this to *query* a pattern's behaviour
+    under candidate local failure sets before committing to them.
+    """
+    alive_set = set(alive)
+    try:
+        alive_sorted = tuple(sorted(alive_set))
+    except TypeError:
+        alive_sorted = tuple(sorted(alive_set, key=repr))
+    failed = frozenset(
+        edge(node, neighbor) for neighbor in graph.neighbors(node) if neighbor not in alive_set
+    )
+    return LocalView(node=node, inport=inport, alive=alive_sorted, failed_links=failed)
+
+
+def verify_attack(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    source: Node,
+    destination: Node,
+    failures: FailureSet,
+    min_connectivity: int = 1,
+) -> bool:
+    """Does the witness hold: promise satisfied but the packet not delivered?"""
+    if min_connectivity <= 1:
+        if not are_connected(graph, source, destination, failures):
+            return False
+    elif (
+        st_edge_connectivity(graph, source, destination, failures, stop_at=min_connectivity)
+        < min_connectivity
+    ):
+        return False
+    result = route(Network(graph), pattern, source, destination, failures)
+    return not result.delivered
+
+
+def exhaustive_attack(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    source: Node,
+    destination: Node,
+    max_failures: int | None = None,
+    min_connectivity: int = 1,
+) -> AttackResult | None:
+    """Smallest breaking failure set by exhaustive enumeration (small graphs)."""
+    network = Network(graph)
+    for failures in all_failure_sets(graph, max_failures):
+        if min_connectivity <= 1:
+            if not are_connected(graph, source, destination, failures):
+                continue
+        elif (
+            st_edge_connectivity(graph, source, destination, failures, stop_at=min_connectivity)
+            < min_connectivity
+        ):
+            continue
+        if not route(network, pattern, source, destination, failures).delivered:
+            return AttackResult(failures, method="exhaustive")
+    return None
+
+
+def random_attack(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    source: Node,
+    destination: Node,
+    max_failures: int | None = None,
+    min_connectivity: int = 1,
+    attempts: int = 5_000,
+    seed: int = 0,
+) -> AttackResult | None:
+    """Randomized search for a breaking failure set, then greedy minimization."""
+    rng = random.Random(seed)
+    links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
+    limit = len(links) if max_failures is None else min(max_failures, len(links))
+    network = Network(graph)
+    for _ in range(attempts):
+        size = rng.randint(1, limit)
+        failures = frozenset(rng.sample(links, size))
+        if not verify_attack(graph, pattern, source, destination, failures, min_connectivity):
+            continue
+        failures = _minimize(
+            graph, pattern, source, destination, failures, min_connectivity
+        )
+        return AttackResult(failures, method="random")
+    return None
+
+
+def _minimize(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    source: Node,
+    destination: Node,
+    failures: FailureSet,
+    min_connectivity: int,
+) -> FailureSet:
+    """Drop failures one by one while the witness still holds."""
+    current = set(failures)
+    for link in sorted(failures):
+        candidate = frozenset(current - {link})
+        if verify_attack(graph, pattern, source, destination, candidate, min_connectivity):
+            current.discard(link)
+    return frozenset(current)

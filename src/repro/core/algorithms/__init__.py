@@ -1,0 +1,36 @@
+"""Positive results: the paper's constructive routing algorithms."""
+
+from .arborescence_routing import ArborescenceRouting
+from .distance2 import Distance2Algorithm
+from .distance3_bipartite import Distance3BipartiteAlgorithm
+from .hamiltonian_touring import HamiltonianTouring
+from .k33_minus2 import K33Minus2Routing
+from .k33_source import K33SourceRouting
+from .k5_minus2 import K5Minus2Routing, fig4_pattern
+from .k5_source import K5SourceRouting
+from .naive import (
+    GreedyLowestNeighbor,
+    RandomCyclicDestinationOnly,
+    RandomCyclicPermutations,
+    RandomPortCycles,
+)
+from .outerplanar import RightHandTouring, TourToDestination, TwoStageTour
+
+__all__ = [
+    "ArborescenceRouting",
+    "Distance2Algorithm",
+    "Distance3BipartiteAlgorithm",
+    "GreedyLowestNeighbor",
+    "HamiltonianTouring",
+    "K33Minus2Routing",
+    "K33SourceRouting",
+    "K5Minus2Routing",
+    "K5SourceRouting",
+    "RandomCyclicDestinationOnly",
+    "RandomCyclicPermutations",
+    "RandomPortCycles",
+    "RightHandTouring",
+    "TourToDestination",
+    "TwoStageTour",
+    "fig4_pattern",
+]

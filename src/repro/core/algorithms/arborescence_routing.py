@@ -1,0 +1,60 @@
+"""Arborescence failover routing (Chiesa et al. baseline).
+
+The paper's related-work foil: decompose a k-connected graph into k
+arc-disjoint spanning in-arborescences rooted at the destination [40]-[43]
+and, on hitting a failure, switch circularly to the next arborescence.
+This provides *ideal resilience*-style guarantees on k-connected graphs
+(tolerating k-1 failures on complete graphs, [48 §B.2-B.3]) but — unlike
+perfect resilience — promises nothing when more links fail.
+
+The packet's current arborescence is identified locally from the in-port:
+arborescences are arc-disjoint, so a directed arrival arc belongs to at
+most one of them.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.arborescences import arc_disjoint_in_arborescences
+from ...graphs.edges import Node
+from ..model import DestinationAlgorithm, ForwardingPattern, LocalView
+
+
+class _ArborescencePattern(ForwardingPattern):
+    def __init__(self, trees: list[dict[Node, Node]], root: Node):
+        self._trees = trees
+        self._root = root
+        self._tree_of_arc: dict[tuple[Node, Node], int] = {}
+        for index, parent in enumerate(trees):
+            for child, ancestor in parent.items():
+                self._tree_of_arc[(child, ancestor)] = index
+
+    def forward(self, view: LocalView) -> Node | None:
+        if view.node == self._root:
+            return view.inport if view.inport in view.alive_set else None
+        if view.inport is None:
+            current = 0
+        else:
+            current = self._tree_of_arc.get((view.inport, view.node), 0)
+        alive = view.alive_set
+        count = len(self._trees)
+        for offset in range(count):
+            index = (current + offset) % count
+            parent = self._trees[index].get(view.node)
+            if parent is not None and parent in alive:
+                return parent
+        return None
+
+
+class ArborescenceRouting(DestinationAlgorithm):
+    """Circular-arborescence failover routing toward the destination."""
+
+    name = "circular arborescence routing (Chiesa baseline)"
+
+    def __init__(self, k: int | None = None):
+        self._k = k
+
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        trees = arc_disjoint_in_arborescences(graph, destination, k=self._k)
+        return _ArborescencePattern(trees, destination)

@@ -1,0 +1,49 @@
+"""The distance-2 exploration pattern ([2, Thm 6.1], used by Theorem 3).
+
+Foerster et al. showed that routing with source and destination always
+succeeds when ``dist(s, t) <= 2`` after failures.  The pattern:
+
+* every node forwards straight to ``t`` whenever the direct link is alive;
+* the source cycles through its alive neighbours in ID order (the in-port
+  tells it which neighbour just gave up, so it can move to the next one);
+* every other node bounces the packet back.
+
+Theorem 3 derives r-tolerance of ``K_{2r+1}`` from this: if s and t stay
+r-connected, a common neighbour survives, i.e. ``dist(s, t) <= 2``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ..model import ForwardingPattern, LocalView, SourceDestinationAlgorithm
+
+
+class _Distance2Pattern(ForwardingPattern):
+    def __init__(self, source: Node, destination: Node):
+        self._source = source
+        self._destination = destination
+
+    def forward(self, view: LocalView) -> Node | None:
+        alive = view.alive_set
+        if self._destination in alive:
+            return self._destination
+        if view.node != self._source:
+            return view.inport if view.inport in alive else None
+        candidates = view.alive_without(self._destination)
+        if not candidates:
+            return None
+        if view.inport is None or view.inport not in candidates:
+            return candidates[0]
+        anchor = candidates.index(view.inport)
+        return candidates[(anchor + 1) % len(candidates)]
+
+
+class Distance2Algorithm(SourceDestinationAlgorithm):
+    """Guaranteed delivery whenever ``dist_{G\\F}(s, t) <= 2``."""
+
+    name = "distance-2 exploration"
+
+    def build(self, graph: nx.Graph, source: Node, destination: Node) -> ForwardingPattern:
+        return _Distance2Pattern(source, destination)

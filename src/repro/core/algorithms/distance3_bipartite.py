@@ -1,0 +1,56 @@
+"""The distance-3 pattern for bipartite graphs (Theorem 4, used by Thm 5).
+
+In a bipartite graph the distance-2 exploration extends one hop further:
+
+* every node forwards straight to ``t`` whenever the direct link is alive;
+* the source *and each graph-neighbour of the source* route in a cyclic
+  permutation of their alive neighbours;
+* every other node bounces.
+
+Bipartiteness keeps the exploration sane: the neighbours of a neighbour of
+``s`` lie in ``s``'s part, so the cycling frontier never leaks beyond
+distance 2, yet every link adjacent to a link incident to ``s`` is tried —
+which finds ``t`` whenever ``dist(s, t) <= 3`` (the destination at
+distance 3 is adjacent to one of those links).  Theorem 5 instantiates
+this on ``K_{2r-1,2r-1}`` to obtain r-tolerance.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ..model import ForwardingPattern, LocalView, SourceDestinationAlgorithm
+
+
+class _Distance3Pattern(ForwardingPattern):
+    def __init__(self, source: Node, destination: Node, cycling: frozenset[Node]):
+        self._source = source
+        self._destination = destination
+        self._cycling = cycling
+
+    def forward(self, view: LocalView) -> Node | None:
+        alive = view.alive_set
+        if self._destination in alive:
+            return self._destination
+        if view.node not in self._cycling:
+            return view.inport if view.inport in alive else None
+        candidates = view.alive_without(self._destination)
+        if not candidates:
+            return view.inport if view.inport in alive else None
+        if view.inport is None or view.inport not in candidates:
+            return candidates[0]
+        anchor = candidates.index(view.inport)
+        return candidates[(anchor + 1) % len(candidates)]
+
+
+class Distance3BipartiteAlgorithm(SourceDestinationAlgorithm):
+    """Guaranteed delivery on bipartite graphs whenever ``dist(s, t) <= 3``."""
+
+    name = "distance-3 bipartite exploration"
+
+    def build(self, graph: nx.Graph, source: Node, destination: Node) -> ForwardingPattern:
+        if not nx.is_bipartite(graph):
+            raise ValueError("Theorem 4 pattern requires a bipartite graph")
+        cycling = frozenset({source, *graph.neighbors(source)})
+        return _Distance3Pattern(source, destination, cycling)

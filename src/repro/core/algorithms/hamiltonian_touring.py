@@ -1,0 +1,85 @@
+"""k-resilient touring via Hamiltonian decompositions (Theorem 17).
+
+A 2k-connected complete or complete bipartite graph contains ``k``
+link-disjoint Hamiltonian cycles (Walecki; Laskar–Auerbach).  The pattern
+routes along cycle ``H_1`` until the next link has failed, then switches
+to the smallest-index higher cycle with an alive link at the current node.
+The current cycle is identified *locally* from the in-port, because every
+link belongs to exactly one cycle.  After at most ``k - 1`` failures some
+cycle is failure-free; once the walk enters it, it tours all nodes
+forever.  The index only ever moves upward and a failure-free cycle is
+never skipped (its links are always alive), which is the paper's
+convergence argument.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Edge, Node, edge
+from ...graphs.hamiltonian import hamiltonian_decomposition
+from ..model import ForwardingPattern, LocalView, TouringAlgorithm
+
+
+class _HamiltonianPattern(ForwardingPattern):
+    def __init__(self, cycles: list[list[Node]]):
+        self._cycle_of: dict[Edge, int] = {}
+        self._successor: list[dict[Node, Node]] = []
+        self._predecessor: list[dict[Node, Node]] = []
+        for index, cycle in enumerate(cycles):
+            successor: dict[Node, Node] = {}
+            predecessor: dict[Node, Node] = {}
+            for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+                successor[u] = v
+                predecessor[v] = u
+                self._cycle_of[edge(u, v)] = index
+            self._successor.append(successor)
+            self._predecessor.append(predecessor)
+        self._count = len(cycles)
+
+    def forward(self, view: LocalView) -> Node | None:
+        alive = view.alive_set
+        if view.inport is None:
+            return self._scan(view.node, alive, start=0)
+        current = self._cycle_of.get(edge(view.node, view.inport))
+        if current is None:  # pragma: no cover - arrivals follow cycle links
+            return self._scan(view.node, alive, start=0)
+        # Continue the current cycle in the travel direction.
+        if self._predecessor[current][view.node] == view.inport:
+            onward = self._successor[current][view.node]
+        else:
+            onward = self._predecessor[current][view.node]
+        if onward in alive:
+            return onward
+        nxt = self._scan(view.node, alive, start=current + 1)
+        if nxt is not None:
+            return nxt
+        # Beyond the k-1 failure promise: wrap around, else bounce.
+        nxt = self._scan(view.node, alive, start=0)
+        if nxt is not None:
+            return nxt
+        return view.inport if view.inport in alive else None
+
+    def _scan(self, node: Node, alive: frozenset[Node], start: int) -> Node | None:
+        for index in range(start, self._count):
+            successor = self._successor[index][node]
+            if successor in alive:
+                return successor
+            predecessor = self._predecessor[index][node]
+            if predecessor in alive:
+                return predecessor
+        return None
+
+
+class HamiltonianTouring(TouringAlgorithm):
+    """Theorem 17: tour 2k-connected ``K_n`` / ``K_{n,n}`` under k-1 failures."""
+
+    name = "Hamiltonian-cycle touring (Thm 17)"
+
+    def build(self, graph: nx.Graph) -> ForwardingPattern:
+        return _HamiltonianPattern(hamiltonian_decomposition(graph))
+
+    @staticmethod
+    def tolerated_failures(graph: nx.Graph) -> int:
+        """``k - 1`` where ``k`` is the number of decomposition cycles."""
+        return len(hamiltonian_decomposition(graph)) - 1

@@ -1,0 +1,52 @@
+"""Destination-based routing on ``K3,3^-2`` and its minors (Theorem 13).
+
+The paper's proof splits on the destination's lost links:
+
+* zero or one lost link: ``G - t`` is a proper subgraph of ``K2,3`` and
+  hence outerplanar — Corollary 5 tours it and delivers on sight;
+* two lost links: the destination keeps a single neighbour ``v6``; the
+  graph without ``t`` and ``v6`` is (a subgraph of) the outerplanar
+  ``K2,2`` — tour it, deliver to ``v6`` first and to ``t`` from ``v6``
+  (the :class:`~repro.core.algorithms.outerplanar.TwoStageTour`).
+
+The dispatcher below accepts any graph for which one of the two cases
+applies, which covers every minor of ``K3,3^-2`` ([2, Thm 4.3] transfers
+the pattern; structurally each minor lands in one of the cases).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ...graphs.planarity import is_outerplanar
+from ..model import DestinationAlgorithm, ForwardingPattern
+from .outerplanar import TourToDestination, TwoStageTour
+
+
+class K33Minus2Routing(DestinationAlgorithm):
+    """Theorem 13 — destination-based perfect resilience on ``K3,3^-2`` minors."""
+
+    name = "K3,3^-2 routing (Thm 13, destination)"
+
+    def supports(self, graph: nx.Graph, destination: Node) -> bool:
+        try:
+            self.build(graph, destination)
+        except ValueError:
+            return False
+        return True
+
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        if graph.number_of_nodes() > 6:
+            raise ValueError("Theorem 13 applies to graphs with at most six nodes")
+        without = nx.Graph(graph)
+        without.remove_node(destination)
+        if is_outerplanar(without):
+            return TourToDestination().build(graph, destination)
+        two_stage = TwoStageTour()
+        if two_stage.supports(graph, destination):
+            return two_stage.build(graph, destination)
+        raise ValueError(
+            "graph is not a minor of K3,3^-2 for this destination "
+            "(Theorem 11 makes denser cases impossible)"
+        )

@@ -1,0 +1,106 @@
+"""Destination-based routing on ``K5^-2`` and its minors (Theorem 12).
+
+Case analysis of the paper's proof, on any graph with at most five nodes:
+
+* if ``G - t`` is outerplanar (the destination lost at most one link),
+  Corollary 5 applies: tour ``G - t`` and deliver on sight;
+* otherwise ``G - t`` is the ``K4`` (the only non-outerplanar graph on
+  four nodes) and the destination kept exactly two neighbours
+  ``v1, v2`` — route with the explicit Fig. 4 table, which guarantees the
+  walk visits *both* ``v1`` and ``v2`` in every surviving component;
+* a degree-one destination behind a relay falls back to the two-stage
+  tour (shared with Theorem 13).
+
+Notes on Fig. 4 (both repairs verified exhaustively by the test suite):
+
+* the published row ``@v4 ⊥: v1, v2, v4`` lists ``v4`` itself, which
+  cannot be an out-port of ``v4``; we read it as ``v3`` (typo);
+* the published row ``@v2 ⊥: v1, v3, v4`` loops when the links
+  ``(v1,v2)`` and ``(v1,v3)`` fail: the walk cycles ``v2-v3-v4-v2`` and
+  never reaches ``v1`` through the surviving link ``(v4,v1)``.
+  Exhaustive search over priority tables shows ``@v2 ⊥: v1, v4, v3`` is
+  the (unique single-row) repair.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ...graphs.planarity import is_outerplanar
+from ..model import DestinationAlgorithm, ForwardingPattern
+from ..tables import ORIGIN, PriorityTable
+from .outerplanar import TourToDestination, TwoStageTour
+
+#: Fig. 4 — visit both neighbours (v1, v2) of t inside the K4 {v1..v4}.
+_FIG4 = {
+    "v1": {ORIGIN: ("v2", "v3", "v4"), "v3": ("v2", "v4", "v3"), "v4": ("v2", "v3", "v4")},
+    "v2": {ORIGIN: ("v1", "v4", "v3"), "v3": ("v1", "v4", "v3"), "v4": ("v1", "v3", "v4")},
+    "v3": {
+        ORIGIN: ("v2", "v1", "v4"),
+        "v1": ("v2", "v4", "v1"),
+        "v2": ("v1", "v4", "v2"),
+        "v4": ("v1", "v2", "v4"),
+    },
+    "v4": {
+        ORIGIN: ("v1", "v2", "v3"),
+        "v1": ("v2", "v3", "v1"),
+        "v2": ("v1", "v3", "v2"),
+        "v3": ("v2", "v1", "v3"),
+    },
+}
+
+
+def fig4_pattern(graph: nx.Graph, destination: Node) -> ForwardingPattern:
+    """The Fig. 4 table for a degree-2 destination attached to a K4."""
+    neighbors = sorted(graph.neighbors(destination), key=repr)
+    if len(neighbors) != 2:
+        raise ValueError("Fig. 4 table needs a degree-2 destination")
+    others = sorted((n for n in graph.nodes if n != destination and n not in neighbors), key=repr)
+    roles = {
+        "v1": neighbors[0],
+        "v2": neighbors[1],
+        "v3": others[0],
+        "v4": others[1],
+    }
+    rules: dict[Node, dict[Node | None, tuple[Node, ...]]] = {}
+    for role, row in _FIG4.items():
+        node = roles[role]
+        rules[node] = {
+            (None if inport is ORIGIN else roles[inport]): tuple(roles[c] for c in candidates)
+            for inport, candidates in row.items()
+        }
+    return PriorityTable(rules=rules, deliver_first=destination, name="Fig. 4 table")
+
+
+class K5Minus2Routing(DestinationAlgorithm):
+    """Theorem 12 — destination-based perfect resilience on ``K5^-2`` minors."""
+
+    name = "K5^-2 routing (Thm 12, destination)"
+
+    def supports(self, graph: nx.Graph, destination: Node) -> bool:
+        if graph.number_of_nodes() > 5:
+            return False
+        try:
+            self.build(graph, destination)
+        except ValueError:
+            return False
+        return True
+
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        if graph.number_of_nodes() > 5:
+            raise ValueError("Theorem 12 applies to graphs with at most five nodes")
+        without = nx.Graph(graph)
+        without.remove_node(destination)
+        if is_outerplanar(without):
+            return TourToDestination().build(graph, destination)
+        degree = graph.degree(destination)
+        if degree == 2 and without.number_of_nodes() == 4 and without.number_of_edges() == 6:
+            return fig4_pattern(graph, destination)
+        two_stage = TwoStageTour()
+        if two_stage.supports(graph, destination):
+            return two_stage.build(graph, destination)
+        raise ValueError(
+            "graph is not a minor of K5^-2 for this destination "
+            "(Theorem 10 makes denser cases impossible)"
+        )

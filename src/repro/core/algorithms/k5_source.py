@@ -1,0 +1,78 @@
+"""Algorithm 1: perfectly resilient source-destination routing on K5 (Thm 8).
+
+The paper's Algorithm 1, verbatim logic:
+
+1. if the link to the destination is alive, deliver;
+2. at the source, explore the alive neighbours ``u < v < w`` in the fixed
+   order the algorithm prescribes (which neighbour is next depends only on
+   the in-port);
+3. at any other node: a packet fresh from the source goes to the lowest-ID
+   other neighbour; otherwise to a reachable neighbour that is neither the
+   in-port nor the source; otherwise back to the source; otherwise bounce.
+
+Correct for every graph on at most five nodes (hence for ``K5`` and all
+its minors, [2, Cor 4.2]), verified exhaustively by the test suite over
+all failure sets and all (s, t) pairs.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ..model import ForwardingPattern, LocalView, SourceDestinationAlgorithm
+
+
+class _Algorithm1Pattern(ForwardingPattern):
+    def __init__(self, source: Node, destination: Node):
+        self._source = source
+        self._destination = destination
+
+    def forward(self, view: LocalView) -> Node | None:
+        source, destination = self._source, self._destination
+        alive = view.alive_set
+        if destination in alive:  # line 1-2
+            return destination
+        if view.node == source:
+            return self._forward_at_source(view)
+        if view.inport == source:  # line 14
+            others = view.alive_without(source, destination)
+            if others:
+                return others[0]
+            return source if source in alive else None
+        others = view.alive_without(source, destination, view.inport)  # line 15
+        if others:
+            return others[0]
+        if source in alive:  # line 16
+            return source
+        return view.inport if view.inport in alive else None  # line 17
+
+    def _forward_at_source(self, view: LocalView) -> Node | None:
+        reachable = view.alive_without(self._destination)
+        if not reachable:
+            return view.inport if view.inport in view.alive_set else None
+        if len(reachable) == 1:  # line 4-5
+            return reachable[0]
+        if len(reachable) == 2:  # line 6-8
+            low, high = reachable
+            return low if view.inport is None else high
+        low, mid, high = reachable  # line 9-12: u < v < w
+        if view.inport is None:
+            return low
+        if view.inport == high:
+            return mid
+        return high
+
+
+class K5SourceRouting(SourceDestinationAlgorithm):
+    """Algorithm 1 — any graph on at most five nodes (Theorem 8)."""
+
+    name = "Algorithm 1 (K5, source-destination)"
+
+    def supports(self, graph: nx.Graph, source: Node, destination: Node) -> bool:
+        return graph.number_of_nodes() <= 5
+
+    def build(self, graph: nx.Graph, source: Node, destination: Node) -> ForwardingPattern:
+        if graph.number_of_nodes() > 5:
+            raise ValueError("Algorithm 1 applies to graphs with at most five nodes")
+        return _Algorithm1Pattern(source, destination)

@@ -1,0 +1,176 @@
+"""Transferring perfectly resilient patterns to minors ([2, §4]).
+
+The paper repeatedly leans on Foerster et al.'s closure results: if a
+graph admits a perfectly resilient pattern, so do all of its minors
+(Thms 8/9/12/13 all say "... and its minors"; Corollary 7 is the touring
+version).  The two primitive operations are implemented here as *pattern
+wrappers*, so that closure is not just a citation but executable code:
+
+* **subgraphs** — a missing link behaves exactly like a permanently
+  failed one: the wrapper adds the absent links of the host graph to
+  every local failure view before consulting the host pattern;
+
+* **contractions** — the merged node simulates both endpoints of the
+  contracted link: a packet arriving at the merged node is walked through
+  the two host nodes internally (the contracted link is always "alive")
+  until it leaves the pair; every other node translates its view, mapping
+  the merged neighbour back to whichever endpoint it was attached to.
+
+Both wrappers work for all three routing models because patterns are pure
+functions of the local view.  The test suite validates the machinery by
+contracting/deleting its way down from K5 / K3,3 and re-checking perfect
+resilience exhaustively on every minor produced.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Edge, Node, edge
+from ..model import ForwardingPattern, LocalView
+
+
+class SubgraphPattern(ForwardingPattern):
+    """Run a host pattern on a spanning subgraph: absent links = failed."""
+
+    def __init__(self, host: nx.Graph, pattern: ForwardingPattern, subgraph: nx.Graph):
+        self._pattern = pattern
+        self._host_adjacency = {v: set(host.neighbors(v)) for v in host.nodes}
+        self._subgraph = subgraph
+
+    def forward(self, view: LocalView) -> Node | None:
+        host_neighbors = self._host_adjacency[view.node]
+        alive = set(view.alive)
+        failed = frozenset(
+            edge(view.node, neighbor)
+            for neighbor in host_neighbors
+            if neighbor not in alive
+        )
+        translated = LocalView(
+            node=view.node,
+            inport=view.inport,
+            alive=view.alive,
+            failed_links=failed,
+        )
+        out = self._pattern.forward(translated)
+        if out is not None and out not in alive:
+            return None
+        return out
+
+
+class ContractionPattern(ForwardingPattern):
+    """Run a host pattern on ``G / (keep, absorb)``.
+
+    ``absorb`` is merged into ``keep``; the merged node carries the label
+    ``keep`` in the minor.  Two ingredients make this sound:
+
+    * the contracted link is treated as always alive, so the merged node
+      internally relays the packet between the two host endpoints until
+      it leaves the pair (a deterministic internal loop would mean the
+      host pattern loops in the host graph — the packet is dropped, which
+      can only happen when the host pattern was not perfectly resilient
+      for the corresponding host failure set);
+
+    * patterns are *port mappings* (the paper's Corollary 7 remark): a
+      neighbour adjacent to **both** endpoints has two host ports into
+      the pair but only one minor link, so the contraction fixes a
+      canonical host port per neighbour (the one to ``keep`` when it
+      exists) and marks the duplicate port as permanently failed — the
+      host pattern already knows how to route around failed links.
+      Without this rule the merged node could not tell which endpoint an
+      incoming packet was aimed at.
+    """
+
+    def __init__(self, host: nx.Graph, pattern: ForwardingPattern, keep: Node, absorb: Node):
+        if not host.has_edge(keep, absorb):
+            raise ValueError(f"({keep!r}, {absorb!r}) is not a link of the host graph")
+        self._pattern = pattern
+        self._keep = keep
+        self._absorb = absorb
+        self._adjacency = {v: set(host.neighbors(v)) for v in host.nodes}
+        #: canonical host endpoint of each external neighbour of the pair
+        self._canonical: dict[Node, Node] = {}
+        for neighbor in self._adjacency[keep] | self._adjacency[absorb]:
+            if neighbor in (keep, absorb):
+                continue
+            self._canonical[neighbor] = keep if neighbor in self._adjacency[keep] else absorb
+
+    def _port_alive(self, node: Node, neighbor: Node, minor_alive: set[Node]) -> bool:
+        """Is the host port (node, neighbor) alive under the minor view?"""
+        pair = {self._keep, self._absorb}
+        if node in pair and neighbor in pair:
+            return True  # the contracted link itself
+        if node in pair:
+            # port from inside the pair to an external neighbour
+            return self._canonical[neighbor] == node and self._keep_alive(neighbor, minor_alive)
+        if neighbor in pair:
+            # port from an external node into the pair
+            return self._canonical[node] == neighbor and self._keep in minor_alive
+        return neighbor in minor_alive
+
+    @staticmethod
+    def _keep_alive(neighbor: Node, minor_alive: set[Node]) -> bool:
+        return neighbor in minor_alive
+
+    def _host_view(self, node: Node, inport: Node | None, minor_alive: set[Node]) -> LocalView:
+        alive = [
+            neighbor
+            for neighbor in sorted(self._adjacency[node], key=repr)
+            if self._port_alive(node, neighbor, minor_alive)
+        ]
+        failed = frozenset(
+            edge(node, neighbor)
+            for neighbor in self._adjacency[node]
+            if neighbor not in alive
+        )
+        return LocalView(node=node, inport=inport, alive=tuple(alive), failed_links=failed)
+
+    def forward(self, view: LocalView) -> Node | None:
+        pair = {self._keep, self._absorb}
+        minor_alive = set(view.alive)
+        if view.node == self._keep:
+            if view.inport is None:
+                node, inport = self._keep, None
+            else:
+                node, inport = self._canonical[view.inport], view.inport
+            seen: set[tuple[Node, Node | None]] = set()
+            while True:
+                state = (node, inport)
+                if state in seen:
+                    return None  # host pattern loops inside the pair
+                seen.add(state)
+                out = self._pattern.forward(self._host_view(node, inport, minor_alive))
+                if out is None:
+                    return None
+                if out in pair and out != node:
+                    node, inport = out, node
+                    continue
+                return out if out in minor_alive else None
+        # Ordinary node: the merged neighbour maps to its canonical port.
+        inport = view.inport
+        if inport == self._keep and view.node in self._canonical:
+            inport = self._canonical[view.node]
+        out = self._pattern.forward(self._host_view(view.node, inport, minor_alive))
+        if out is None:
+            return None
+        if out in pair:
+            return self._keep if self._keep in minor_alive else None
+        return out if out in minor_alive else None
+
+
+def delete_link_with_pattern(
+    host: nx.Graph, pattern: ForwardingPattern, u: Node, v: Node
+) -> tuple[nx.Graph, ForwardingPattern]:
+    """The subgraph operation: remove one link, keep the pattern working."""
+    minor = nx.Graph(host)
+    minor.remove_edge(u, v)
+    return minor, SubgraphPattern(host, pattern, minor)
+
+
+def contract_link_with_pattern(
+    host: nx.Graph, pattern: ForwardingPattern, keep: Node, absorb: Node
+) -> tuple[nx.Graph, ForwardingPattern]:
+    """The contraction operation: merge ``absorb`` into ``keep``."""
+    minor = nx.contracted_nodes(host, keep, absorb, self_loops=False)
+    minor = nx.Graph(minor)
+    return minor, ContractionPattern(host, pattern, keep, absorb)

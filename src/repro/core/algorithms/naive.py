@@ -1,0 +1,112 @@
+"""Naive baselines.
+
+Strawman patterns for the adversary benchmarks: the impossibility theorems
+quantify over *all* static patterns, so the experiments demonstrate the
+constructions against both the paper's best algorithms and these simple
+ones.  They are also handy as "arbitrary pattern" inputs when exercising
+the adaptive adversaries of §III and §IV.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ..model import (
+    DestinationAlgorithm,
+    ForwardingPattern,
+    LocalView,
+    SourceDestinationAlgorithm,
+    TouringAlgorithm,
+)
+from ..tables import CyclicPermutationPattern
+
+
+class _GreedyPattern(ForwardingPattern):
+    def __init__(self, destination: Node):
+        self._destination = destination
+
+    def forward(self, view: LocalView) -> Node | None:
+        alive = view.alive_set
+        if self._destination in alive:
+            return self._destination
+        for candidate in view.alive:
+            if candidate != view.inport:
+                return candidate
+        return view.inport if view.inport in alive else None
+
+
+class GreedyLowestNeighbor(DestinationAlgorithm):
+    """Forward to the lowest-ID alive neighbour that is not the in-port."""
+
+    name = "greedy lowest-neighbour"
+
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        return _GreedyPattern(destination)
+
+
+class RandomCyclicPermutations(SourceDestinationAlgorithm):
+    """Seeded random cyclic permutation per node, destination first.
+
+    The "generic" static fast-rerouting scheme: every node sends the
+    packet onward along a fixed random cycle of its ports.  Perfectly
+    reasonable-looking — and exactly the shape the paper's adversaries
+    (Thm 1 step 3, Thm 6) are built to defeat.
+    """
+
+    name = "random cyclic permutations"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def build(self, graph: nx.Graph, source: Node, destination: Node) -> ForwardingPattern:
+        rng = random.Random(f"{self._seed}/{source!r}/{destination!r}")
+        cycles = {}
+        for node in graph.nodes:
+            neighbors = sorted(graph.neighbors(node), key=repr)
+            rng.shuffle(neighbors)
+            cycles[node] = tuple(neighbors)
+        return CyclicPermutationPattern(cycles=cycles, deliver_first=destination)
+
+
+class RandomPortCycles(TouringAlgorithm):
+    """Seeded random per-node port cycle, no header information at all.
+
+    The natural strawman for the touring model of §VII — Lemma 1 shows
+    every perfectly resilient touring pattern must look like this, and
+    Lemmas 3 / 4 show that on ``K4`` and ``K2,3`` no such pattern works.
+    """
+
+    name = "random port cycles (touring)"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def build(self, graph: nx.Graph) -> ForwardingPattern:
+        rng = random.Random(f"{self._seed}/touring")
+        cycles = {}
+        for node in graph.nodes:
+            neighbors = sorted(graph.neighbors(node), key=repr)
+            rng.shuffle(neighbors)
+            cycles[node] = tuple(neighbors)
+        return CyclicPermutationPattern(cycles=cycles)
+
+
+class RandomCyclicDestinationOnly(DestinationAlgorithm):
+    """Destination-based variant of :class:`RandomCyclicPermutations`."""
+
+    name = "random cyclic permutations (destination-based)"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        rng = random.Random(f"{self._seed}/{destination!r}")
+        cycles = {}
+        for node in graph.nodes:
+            neighbors = sorted(graph.neighbors(node), key=repr)
+            rng.shuffle(neighbors)
+            cycles[node] = tuple(neighbors)
+        return CyclicPermutationPattern(cycles=cycles, deliver_first=destination)

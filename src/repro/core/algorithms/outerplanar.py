@@ -1,0 +1,124 @@
+"""Right-hand-rule routing on outerplanar structure (Cor 5, Cor 6).
+
+Two building blocks from Foerster et al. [2, §6.2] that the paper uses as
+its positive workhorses:
+
+* :class:`RightHandTouring` — a ``π^∀`` pattern touring any outerplanar
+  graph under perfect resilience (the positive half of Corollary 6).  The
+  pattern walks the outer face: all nodes of an outerplanar graph lie on
+  it, and failures only merge faces *into* the outer face, so the static
+  local rule keeps covering the surviving component.
+
+* :class:`TourToDestination` — Corollary 5: when ``G - t`` is outerplanar,
+  destination-based perfect resilience is possible by touring ``G - t``
+  and delivering the moment the direct link to ``t`` is alive.
+
+* :class:`TwoStageTour` — the extra case of Theorem 13: when the
+  destination has a single neighbour ``w`` and ``G - t - w`` is
+  outerplanar, tour that graph, deliver to ``w`` first and to ``t`` from
+  ``w``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...graphs.edges import Node
+from ...graphs.embeddings import RotationSystem, outerplanar_rotation
+from ...graphs.planarity import is_outerplanar
+from ..model import (
+    DestinationAlgorithm,
+    ForwardingPattern,
+    LocalView,
+    TouringAlgorithm,
+)
+
+
+class _RotationPattern(ForwardingPattern):
+    """Right-hand-rule walk over a rotation system, with delivery hooks.
+
+    ``targets`` are delivered to (in order of preference) whenever their
+    direct link is alive; they are otherwise invisible to the walk, which
+    only moves along links of the embedded subgraph.
+    """
+
+    def __init__(self, rotation: RotationSystem, targets: tuple[Node, ...] = ()):
+        self._rotation = rotation
+        self._targets = targets
+
+    def forward(self, view: LocalView) -> Node | None:
+        alive = view.alive_set
+        for target in self._targets:
+            if view.node == target:
+                continue
+            if target in alive:
+                return target
+        if view.node not in self._rotation.rotation:
+            # Node outside the embedded subgraph (e.g. the destination
+            # itself): nothing sensible to do.
+            return view.inport if view.inport in alive else None
+        embedded_alive = {
+            neighbor for neighbor in self._rotation.rotation[view.node] if neighbor in alive
+        }
+        if view.inport is None or view.inport not in self._rotation.rotation[view.node]:
+            return self._rotation.first(view.node, embedded_alive)
+        successor = self._rotation.successor(view.node, view.inport, embedded_alive)
+        if successor is not None:
+            return successor
+        return view.inport if view.inport in alive else None
+
+
+class RightHandTouring(TouringAlgorithm):
+    """Perfectly resilient touring of outerplanar graphs (Cor 6, positive)."""
+
+    name = "right-hand-rule touring"
+
+    def build(self, graph: nx.Graph) -> ForwardingPattern:
+        return _RotationPattern(outerplanar_rotation(graph))
+
+
+class TourToDestination(DestinationAlgorithm):
+    """Corollary 5: perfect resilience when ``G - t`` is outerplanar."""
+
+    name = "tour-to-destination (Cor 5)"
+
+    def supports(self, graph: nx.Graph, destination: Node) -> bool:
+        without = nx.Graph(graph)
+        without.remove_node(destination)
+        return is_outerplanar(without)
+
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        without = nx.Graph(graph)
+        without.remove_node(destination)
+        return _RotationPattern(outerplanar_rotation(without), targets=(destination,))
+
+
+class TwoStageTour(DestinationAlgorithm):
+    """Theorem 13 extra case: degree-1 destination behind relay ``w``.
+
+    Tours ``G - t - w`` delivering first to ``w`` (and to ``t`` from
+    ``w``).  Perfectly resilient when ``G - t - w`` is outerplanar: if the
+    packet's start is connected to ``t``, the connection runs through
+    ``w``, whose direct link is found by the tour.
+    """
+
+    name = "two-stage tour (Thm 13)"
+
+    def supports(self, graph: nx.Graph, destination: Node) -> bool:
+        neighbors = list(graph.neighbors(destination))
+        if len(neighbors) != 1:
+            return False
+        without = nx.Graph(graph)
+        without.remove_node(destination)
+        without.remove_node(neighbors[0])
+        return is_outerplanar(without)
+
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        neighbors = list(graph.neighbors(destination))
+        if len(neighbors) != 1:
+            raise ValueError("TwoStageTour requires a degree-1 destination")
+        relay = neighbors[0]
+        without = nx.Graph(graph)
+        without.remove_node(destination)
+        without.remove_node(relay)
+        return _RotationPattern(outerplanar_rotation(without), targets=(destination, relay))

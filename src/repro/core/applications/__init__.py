@@ -1,0 +1,5 @@
+"""Applications built on the paper's primitives (§VII remarks)."""
+
+from .broadcast import BroadcastResult, TouringBroadcast
+
+__all__ = ["BroadcastResult", "TouringBroadcast"]

@@ -1,0 +1,163 @@
+"""§VIII topology classification w.r.t. perfect resilience.
+
+The paper classifies each Topology Zoo instance, per routing model, into:
+
+* **possible** — a perfectly resilient scheme exists for every
+  source/destination (outerplanar graphs, via touring; plus the small
+  graphs covered by the positive theorems);
+* **impossible** — a forbidden minor was found (``K4``/``K2,3`` for
+  touring — equivalently non-outerplanarity; ``K5^-1``/``K3,3^-1`` for
+  destination-based routing, Thms 10/11; ``K7^-1``/``K4,4^-1`` for
+  source-destination routing, Thms 6/7);
+* **sometimes** — no blanket scheme is known, but for *some* destinations
+  ``t`` the graph minus ``t`` is outerplanar, so destination-based
+  perfect resilience holds for those destinations (footnote 7 / Fig. 6);
+* **unknown** — none of the above could be established.
+
+The minor searches are budgeted exactly like the paper's ``minorminer``
+heuristic runs; an exhausted budget contributes to *unknown*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import networkx as nx
+
+from ..graphs.edges import Node
+from ..graphs.minors import (
+    MinorOutcome,
+    forbidden_minor_destination,
+    forbidden_minor_source_destination,
+    is_minor_of,
+)
+from ..graphs.construct import complete_bipartite, complete_graph, k_bipartite_minus, k_minus
+from ..graphs.planarity import density, is_outerplanar, planarity_class
+
+
+class Possibility(Enum):
+    POSSIBLE = "possible"
+    SOMETIMES = "sometimes"
+    UNKNOWN = "unknown"
+    IMPOSSIBLE = "impossible"
+
+
+@dataclass
+class Classification:
+    """Per-model feasibility of perfect resilience for one topology."""
+
+    name: str
+    n: int
+    m: int
+    density: float
+    planarity: str
+    touring: Possibility
+    destination: Possibility
+    source_destination: Possibility
+    #: fraction of destinations t with G - t outerplanar (Cor 5 applies)
+    good_destination_fraction: float
+
+
+def good_destinations(graph: nx.Graph, cap: int = 400) -> tuple[int, int]:
+    """How many destinations ``t`` leave ``G - t`` outerplanar.
+
+    Returns ``(good, examined)``; at most ``cap`` candidate destinations
+    are examined (deterministically, in sorted order) to bound the cost on
+    the largest topologies.
+    """
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    nodes = sorted(graph.nodes, key=repr)[:cap]
+    good = 0
+    for node in nodes:
+        # Quick Euler-style filter: outerplanarity needs m' <= 2n' - 3.
+        if m - graph.degree(node) > max(2 * (n - 1) - 3, 0):
+            continue
+        without = nx.Graph(graph)
+        without.remove_node(node)
+        if is_outerplanar(without):
+            good += 1
+    return good, len(nodes)
+
+
+def _small_positive_destination(graph: nx.Graph, budget: int) -> bool:
+    """Thms 12/13: is the graph a minor of ``K5^-2`` or ``K3,3^-2``?"""
+    if graph.number_of_nodes() > 6 or not nx.is_connected(graph):
+        return False
+    for host in (k_minus(5, 2), k_bipartite_minus(3, 3, 2)):
+        if is_minor_of(graph, host, budget=budget) is MinorOutcome.YES:
+            return True
+    return False
+
+
+def _small_positive_source_destination(graph: nx.Graph, budget: int) -> bool:
+    """Thms 8/9: is the graph a minor of ``K5`` or ``K3,3``?"""
+    if graph.number_of_nodes() <= 5:
+        return True
+    if graph.number_of_nodes() > 6 or not nx.is_connected(graph):
+        return False
+    return is_minor_of(graph, complete_bipartite(3, 3), budget=budget) is MinorOutcome.YES
+
+
+def classify(
+    graph: nx.Graph,
+    name: str = "",
+    minor_budget: int = 2_500,
+    destination_cap: int = 400,
+    use_small_positives: bool = True,
+) -> Classification:
+    """Classify one topology for all three routing models (§VIII)."""
+    outerplanar = is_outerplanar(graph)
+    plan_class = planarity_class(graph)
+    if outerplanar:
+        full = Possibility.POSSIBLE
+        return Classification(
+            name=name,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            density=density(graph),
+            planarity=plan_class,
+            touring=full,
+            destination=full,
+            source_destination=full,
+            good_destination_fraction=1.0,
+        )
+
+    good, examined = good_destinations(graph, cap=destination_cap)
+    fraction = good / examined if examined else 0.0
+    has_good_destination = good > 0
+
+    destination = _classify_routing(
+        forbidden_minor_destination(graph, budget=minor_budget),
+        has_good_destination,
+        positive=use_small_positives and _small_positive_destination(graph, minor_budget),
+    )
+    source_destination = _classify_routing(
+        forbidden_minor_source_destination(graph, budget=minor_budget),
+        has_good_destination,
+        positive=use_small_positives and _small_positive_source_destination(graph, minor_budget),
+    )
+    return Classification(
+        name=name,
+        n=graph.number_of_nodes(),
+        m=graph.number_of_edges(),
+        density=density(graph),
+        planarity=plan_class,
+        touring=Possibility.IMPOSSIBLE,
+        destination=destination,
+        source_destination=source_destination,
+        good_destination_fraction=fraction,
+    )
+
+
+def _classify_routing(
+    minor: MinorOutcome, has_good_destination: bool, positive: bool
+) -> Possibility:
+    if positive:
+        return Possibility.POSSIBLE
+    if minor is MinorOutcome.YES:
+        return Possibility.IMPOSSIBLE
+    if has_good_destination:
+        return Possibility.SOMETIMES
+    return Possibility.UNKNOWN

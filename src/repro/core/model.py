@@ -1,0 +1,156 @@
+"""The paper's routing model (§II).
+
+Each node ``v`` is configured with a static local forwarding function
+``π(v)``.  A rule may depend on (a subset of):
+
+* the set of incident failed links ``F ∩ E(v)``;
+* the packet's source ``s`` and/or destination ``t`` (depending on the
+  routing model);
+* the in-port the packet arrived on (``⊥`` for the originating node).
+
+Rules are *static* (pre-configured before failures are known) and headers
+are immutable, so a forwarding pattern is just a deterministic function of
+the local view.  The three models of the paper:
+
+* ``SOURCE_DESTINATION`` — rules match both s and t (``π^{s,t}``, §IV);
+* ``DESTINATION`` — rules match only t (``π^t``, §V);
+* ``PORT`` — rules match neither (``π^∀``, the touring model of §VII).
+
+The model distinction is enforced *by construction*: an algorithm for a
+given model only receives the header fields of that model when its pattern
+is built, and the per-hop :class:`LocalView` never contains header fields
+at all.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+
+import networkx as nx
+
+from ..graphs.edges import FailureSet, Node
+
+
+class RoutingModel(Enum):
+    """Which header fields forwarding rules may match on."""
+
+    SOURCE_DESTINATION = "source-destination"
+    DESTINATION = "destination"
+    PORT = "port"
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """Everything a node may legally observe when forwarding one packet.
+
+    ``inport`` is the neighbour the packet arrived from, or ``None`` for
+    the paper's ``⊥`` (the packet originates here).  ``alive`` lists the
+    neighbours whose incident link has not failed, in a stable sorted
+    order.  ``failed_links`` is ``F ∩ E(v)``.
+    """
+
+    node: Node
+    inport: Node | None
+    alive: tuple[Node, ...]
+    failed_links: FailureSet
+
+    @property
+    def alive_set(self) -> frozenset[Node]:
+        return frozenset(self.alive)
+
+    def alive_without(self, *excluded: Node | None) -> tuple[Node, ...]:
+        """Alive neighbours minus the given nodes (``None`` entries ignored)."""
+        drop = {node for node in excluded if node is not None}
+        return tuple(neighbor for neighbor in self.alive if neighbor not in drop)
+
+
+class ForwardingPattern(ABC):
+    """A configured forwarding function for one routing task.
+
+    Patterns are built by an algorithm for a concrete graph (and header
+    fields according to the routing model) and are then queried hop by hop
+    with :class:`LocalView` objects only.
+    """
+
+    @abstractmethod
+    def forward(self, view: LocalView) -> Node | None:
+        """The neighbour to forward to, or ``None`` to drop the packet."""
+
+
+class SourceDestinationAlgorithm(ABC):
+    """A family of patterns ``π^{s,t}`` (§IV): one pattern per (s, t) pair."""
+
+    name: str = "source-destination algorithm"
+    model = RoutingModel.SOURCE_DESTINATION
+
+    @abstractmethod
+    def build(self, graph: nx.Graph, source: Node, destination: Node) -> ForwardingPattern:
+        """Pre-compute the pattern for packets from ``source`` to ``destination``."""
+
+
+class DestinationAlgorithm(ABC):
+    """A family of patterns ``π^t`` (§V): one pattern per destination."""
+
+    name: str = "destination algorithm"
+    model = RoutingModel.DESTINATION
+
+    @abstractmethod
+    def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+        """Pre-compute the pattern for packets destined to ``destination``."""
+
+
+class TouringAlgorithm(ABC):
+    """A single pattern ``π^∀`` (§VII): no header information at all."""
+
+    name: str = "touring algorithm"
+    model = RoutingModel.PORT
+
+    @abstractmethod
+    def build(self, graph: nx.Graph) -> ForwardingPattern:
+        """Pre-compute the network-wide touring pattern."""
+
+
+class FunctionPattern(ForwardingPattern):
+    """Adapter turning a plain function ``view -> next hop`` into a pattern."""
+
+    def __init__(self, function):
+        self._function = function
+
+    def forward(self, view: LocalView) -> Node | None:
+        return self._function(view)
+
+
+def destination_as_source_destination(algorithm: DestinationAlgorithm) -> SourceDestinationAlgorithm:
+    """Use a destination-based algorithm in the source-destination model.
+
+    Any ``π^t`` is trivially also a ``π^{s,t}`` (it simply ignores the
+    source); the paper uses this direction implicitly throughout.
+    """
+
+    class _Adapted(SourceDestinationAlgorithm):
+        name = f"{algorithm.name} (ignoring source)"
+
+        def build(self, graph: nx.Graph, source: Node, destination: Node) -> ForwardingPattern:
+            return algorithm.build(graph, destination)
+
+    return _Adapted()
+
+
+def touring_as_destination(algorithm: TouringAlgorithm) -> DestinationAlgorithm:
+    """Use a touring pattern for destination-based routing (§VII).
+
+    The paper notes that a touring pattern doubles as a destination-based
+    scheme: the packet eventually visits the destination, where it is
+    removed from the network.  The simulator removes packets on arrival,
+    so the adaptation is the identity on the pattern.
+    """
+
+    class _Adapted(DestinationAlgorithm):
+        name = f"{algorithm.name} (tour until destination)"
+
+        def build(self, graph: nx.Graph, destination: Node) -> ForwardingPattern:
+            return algorithm.build(graph)
+
+    return _Adapted()

@@ -1,0 +1,156 @@
+"""Relevant neighbours and orbits (Definitions 2, 3; Corollary 8).
+
+The paper's impossibility proofs lean on structural necessities of
+perfectly resilient patterns, developed in Appendix X:
+
+* **Definition 2 (relevant neighbour)**: a neighbour ``j`` of ``i`` is
+  relevant for routing to ``t`` under failure set ``F`` iff ``t`` stays
+  reachable from ``i`` when, in addition to ``F``, all links incident to
+  ``i``'s *other* surviving neighbours fail — i.e. ``j`` alone may have
+  to relay the packet.
+
+* **Definition 3 (orbit)**: neighbours are in the same orbit of
+  ``π_i(·, F)`` when iterating in-port → out-port reaches one from the
+  other.
+
+* **Corollary 8 (= [2, Lemma 3.1])**: in a perfectly resilient pattern,
+  all relevant neighbours of a node lie in one orbit whenever at most
+  ``k - 2`` of their links to the node have failed.
+
+These tools power the adaptive adversaries and are exposed for analysis:
+:func:`corollary8_violation` hunts for a (node, failure set) pair where a
+pattern separates relevant neighbours into different orbits — a
+certificate that the pattern cannot be perfectly resilient.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from ..graphs.connectivity import are_connected
+from ..graphs.edges import FailureSet, Node, edge
+from .model import ForwardingPattern, LocalView
+
+
+def relevant_neighbors(
+    graph: nx.Graph, node: Node, destination: Node, failures: FailureSet = frozenset()
+) -> list[Node]:
+    """Definition 2: the neighbours that may be ``node``'s only relay to t."""
+    local = frozenset(e for e in failures if node in e)
+    alive = [
+        neighbor
+        for neighbor in graph.neighbors(node)
+        if edge(node, neighbor) not in local
+    ]
+    relevant = []
+    for candidate in alive:
+        blocked = set(failures)
+        for other in alive:
+            if other == candidate:
+                continue
+            blocked.update(edge(other, x) for x in graph.neighbors(other))
+        if are_connected(graph, node, destination, frozenset(blocked)):
+            relevant.append(candidate)
+    return sorted(relevant, key=repr)
+
+
+def orbit_of(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    node: Node,
+    start: Node,
+    failures: FailureSet = frozenset(),
+) -> list[Node]:
+    """Definition 3: out-ports reached by iterating from in-port ``start``."""
+    local = frozenset(e for e in failures if node in e)
+    alive = tuple(
+        sorted(
+            (
+                neighbor
+                for neighbor in graph.neighbors(node)
+                if edge(node, neighbor) not in local
+            ),
+            key=repr,
+        )
+    )
+    outputs: list[Node] = []
+    current = start
+    for _ in range(len(alive) + 1):
+        view = LocalView(node=node, inport=current, alive=alive, failed_links=local)
+        out = pattern.forward(view)
+        if out is None or out not in alive or out in outputs:
+            break
+        outputs.append(out)
+        current = out
+    return outputs
+
+
+def same_orbit(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    node: Node,
+    first: Node,
+    second: Node,
+    failures: FailureSet = frozenset(),
+) -> bool:
+    """Are two neighbours in the same orbit of ``π_node(·, F)``?
+
+    Definition 3 quantifies over *all* pairs of the set, so orbit
+    membership is mutual: each must be reachable from the other by
+    iterating the forwarding function.
+    """
+    if first == second:
+        return True
+    return second in orbit_of(graph, pattern, node, first, failures) and first in orbit_of(
+        graph, pattern, node, second, failures
+    )
+
+
+def corollary8_violation(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    destination: Node,
+    source: Node | None = None,
+    max_extra_failures: int = 2,
+) -> tuple[Node, FailureSet, Node, Node] | None:
+    """Hunt for a Corollary 8 certificate against a pattern.
+
+    Searches nodes ``i ∉ {s, t}`` and failure sets built from ``i``'s
+    incident links (up to ``max_extra_failures`` of them beyond the
+    mandatory ones): if two relevant neighbours of ``i`` fall into
+    different orbits, the pattern cannot be perfectly resilient; returns
+    ``(node, failures, a, b)``.
+
+    The corollary's hypothesis requires ``i`` to be disconnected from the
+    source and the destination (the K7 proof: "... as long as v2 has at
+    least two relevant neighbours, with v2 not being connected to s, t"),
+    so the search only considers failure sets that kill ``i``'s links to
+    both endpoints.
+    """
+    for node in sorted(graph.nodes, key=repr):
+        if node == destination or node == source:
+            continue
+        mandatory = set()
+        if graph.has_edge(node, destination):
+            mandatory.add(edge(node, destination))
+        if source is not None and graph.has_edge(node, source):
+            mandatory.add(edge(node, source))
+        incident = [
+            edge(node, neighbor)
+            for neighbor in graph.neighbors(node)
+            if edge(node, neighbor) not in mandatory
+        ]
+        for size in range(min(max_extra_failures, len(incident)) + 1):
+            for combo in combinations(sorted(incident), size):
+                failures = frozenset(set(combo) | mandatory)
+                relevant = relevant_neighbors(graph, node, destination, failures)
+                if source is not None and source in relevant:
+                    continue
+                if len(relevant) < 2:
+                    continue
+                for a, b in combinations(relevant, 2):
+                    if not same_orbit(graph, pattern, node, a, b, failures):
+                        return node, failures, a, b
+    return None

@@ -1,0 +1,335 @@
+"""Resilience checkers: perfect resilience, r-tolerance, touring.
+
+A forwarding pattern is *r-resilient* if it delivers under every failure
+set of size at most r that keeps source and destination connected, and
+*perfectly resilient* if it is ∞-resilient (§II).  *r-tolerance*
+(Definition 1) instead promises that s and t remain r-(link-)connected.
+
+For small graphs the checkers enumerate **all** failure sets (the paper's
+gadgets have ≤ 16 links, so exhaustive checking is exact); larger graphs
+use structured plus uniformly random samples.  Checkers always skip
+failure sets that break the respective promise.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from itertools import combinations
+
+import networkx as nx
+
+from ..graphs.connectivity import component_of, st_edge_connectivity
+from ..graphs.edges import Edge, FailureSet, Node, edge, edge_sort_key
+from .model import (
+    DestinationAlgorithm,
+    ForwardingPattern,
+    SourceDestinationAlgorithm,
+    TouringAlgorithm,
+)
+from .simulator import Network, Outcome, RouteResult, route, tours_component
+
+#: exhaustively enumerate failure sets up to this many links
+EXHAUSTIVE_LINK_LIMIT = 17
+
+
+@dataclass
+class Counterexample:
+    """A failure scenario on which a pattern fails."""
+
+    source: Node | None
+    destination: Node | None
+    failures: FailureSet
+    result: RouteResult | None
+    note: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        outcome = self.result.outcome.value if self.result else "tour failure"
+        return (
+            f"{outcome} for s={self.source!r}, t={self.destination!r}, "
+            f"|F|={len(self.failures)}: {sorted(self.failures)}"
+        )
+
+
+@dataclass
+class Verdict:
+    """Outcome of a resilience check."""
+
+    resilient: bool
+    scenarios_checked: int
+    counterexample: Counterexample | None = None
+    exhaustive: bool = False
+
+    def __bool__(self) -> bool:
+        return self.resilient
+
+
+def all_failure_sets(graph: nx.Graph, max_failures: int | None = None) -> Iterator[FailureSet]:
+    """All failure sets of the graph, smallest first."""
+    links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
+    limit = len(links) if max_failures is None else min(max_failures, len(links))
+    for size in range(limit + 1):
+        for combo in combinations(links, size):
+            yield frozenset(combo)
+
+
+def sampled_failure_sets(
+    graph: nx.Graph,
+    samples: int = 400,
+    max_failures: int | None = None,
+    seed: int = 0,
+) -> Iterator[FailureSet]:
+    """Random failure sets: for each sample, a uniform size then subset.
+
+    Always starts with the empty set and all singletons, so trivial bugs
+    surface deterministically.
+    """
+    links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
+    limit = len(links) if max_failures is None else min(max_failures, len(links))
+    yield frozenset()
+    for link in links:
+        yield frozenset([link])
+    rng = random.Random(seed)
+    for _ in range(samples):
+        size = rng.randint(0, limit)
+        yield frozenset(rng.sample(links, size))
+
+
+def default_failure_sets(
+    graph: nx.Graph, max_failures: int | None = None, samples: int = 400, seed: int = 0
+) -> tuple[Iterator[FailureSet], bool]:
+    """Exhaustive enumeration when feasible, else sampling.
+
+    Returns the iterator and whether it is exhaustive.
+    """
+    if graph.number_of_edges() <= EXHAUSTIVE_LINK_LIMIT:
+        return all_failure_sets(graph, max_failures), True
+    return sampled_failure_sets(graph, samples=samples, max_failures=max_failures, seed=seed), False
+
+
+# ---------------------------------------------------------------------------
+# Perfect resilience.
+# ---------------------------------------------------------------------------
+
+
+def check_pattern_resilience(
+    graph: nx.Graph,
+    pattern: ForwardingPattern,
+    destination: Node,
+    sources: Iterable[Node] | None = None,
+    failure_sets: Iterable[FailureSet] | None = None,
+) -> Verdict:
+    """Check one concrete pattern: every connected source must be served.
+
+    This is the §II definition specialized to a fixed destination (and
+    optionally a fixed source, for the source-destination model).
+    """
+    network = Network(graph)
+    failure_iter, exhaustive = (
+        (failure_sets, False) if failure_sets is not None else default_failure_sets(graph)
+    )
+    wanted = None if sources is None else set(sources)
+    checked = 0
+    for failures in failure_iter:
+        component = component_of(graph, destination, failures)
+        for source in component:
+            if source == destination or (wanted is not None and source not in wanted):
+                continue
+            checked += 1
+            result = route(network, pattern, source, destination, failures)
+            if not result.delivered:
+                return Verdict(
+                    False,
+                    checked,
+                    Counterexample(source, destination, failures, result),
+                    exhaustive,
+                )
+    return Verdict(True, checked, exhaustive=exhaustive)
+
+
+def check_perfect_resilience_source_destination(
+    graph: nx.Graph,
+    algorithm: SourceDestinationAlgorithm,
+    pairs: Iterable[tuple[Node, Node]] | None = None,
+    failure_sets: Iterable[FailureSet] | None = None,
+) -> Verdict:
+    """Is the algorithm perfectly resilient on ``graph`` in the π^{s,t} model?"""
+    nodes = list(graph.nodes)
+    if pairs is None:
+        pairs = [(s, t) for t in nodes for s in nodes if s != t]
+    total = 0
+    exhaustive = True
+    materialized = list(failure_sets) if failure_sets is not None else None
+    for source, destination in pairs:
+        pattern = algorithm.build(graph, source, destination)
+        verdict = check_pattern_resilience(
+            graph, pattern, destination, sources=[source], failure_sets=materialized
+        )
+        total += verdict.scenarios_checked
+        exhaustive = exhaustive and (verdict.exhaustive or materialized is not None)
+        if not verdict.resilient:
+            verdict.scenarios_checked = total
+            return verdict
+    return Verdict(True, total, exhaustive=exhaustive and materialized is None)
+
+
+def check_perfect_resilience_destination(
+    graph: nx.Graph,
+    algorithm: DestinationAlgorithm,
+    destinations: Iterable[Node] | None = None,
+    failure_sets: Iterable[FailureSet] | None = None,
+) -> Verdict:
+    """Is the algorithm perfectly resilient on ``graph`` in the π^t model?
+
+    Every node of the destination's surviving component must be served,
+    whatever the source (§II).
+    """
+    nodes = list(destinations) if destinations is not None else list(graph.nodes)
+    total = 0
+    exhaustive = True
+    materialized = list(failure_sets) if failure_sets is not None else None
+    for destination in nodes:
+        pattern = algorithm.build(graph, destination)
+        verdict = check_pattern_resilience(
+            graph, pattern, destination, failure_sets=materialized
+        )
+        total += verdict.scenarios_checked
+        exhaustive = exhaustive and verdict.exhaustive
+        if not verdict.resilient:
+            verdict.scenarios_checked = total
+            return verdict
+    return Verdict(True, total, exhaustive=exhaustive and materialized is None)
+
+
+# ---------------------------------------------------------------------------
+# r-tolerance (Definition 1).
+# ---------------------------------------------------------------------------
+
+
+def check_r_tolerance(
+    graph: nx.Graph,
+    algorithm: SourceDestinationAlgorithm,
+    source: Node,
+    destination: Node,
+    r: int,
+    failure_sets: Iterable[FailureSet] | None = None,
+) -> Verdict:
+    """Is the pattern r-tolerant for (source, destination) on ``graph``?
+
+    Only failure sets under which s and t remain r-connected count
+    (Definition 1); everything else is vacuously fine.
+    """
+    network = Network(graph)
+    pattern = algorithm.build(graph, source, destination)
+    failure_iter, exhaustive = (
+        (failure_sets, False) if failure_sets is not None else default_failure_sets(graph)
+    )
+    checked = 0
+    for failures in failure_iter:
+        if st_edge_connectivity(graph, source, destination, failures, stop_at=r) < r:
+            continue
+        checked += 1
+        result = route(network, pattern, source, destination, failures)
+        if not result.delivered:
+            return Verdict(
+                False,
+                checked,
+                Counterexample(source, destination, failures, result, note=f"r={r}"),
+                exhaustive,
+            )
+    return Verdict(True, checked, exhaustive=exhaustive)
+
+
+# ---------------------------------------------------------------------------
+# Touring (§VII).
+# ---------------------------------------------------------------------------
+
+
+def check_perfect_touring(
+    graph: nx.Graph,
+    algorithm: TouringAlgorithm,
+    starts: Iterable[Node] | None = None,
+    failure_sets: Iterable[FailureSet] | None = None,
+) -> Verdict:
+    """Does the π^∀ pattern tour every component under every failure set?"""
+    network = Network(graph)
+    pattern = algorithm.build(graph)
+    failure_iter, exhaustive = (
+        (failure_sets, False) if failure_sets is not None else default_failure_sets(graph)
+    )
+    start_nodes = list(starts) if starts is not None else list(graph.nodes)
+    checked = 0
+    for failures in failure_iter:
+        for start in start_nodes:
+            checked += 1
+            if not tours_component(network, pattern, start, failures):
+                return Verdict(
+                    False,
+                    checked,
+                    Counterexample(start, None, failures, None, note="tour does not cover component"),
+                    exhaustive,
+                )
+    return Verdict(True, checked, exhaustive=exhaustive)
+
+
+def check_ideal_resilience(
+    graph: nx.Graph,
+    algorithm: DestinationAlgorithm,
+    destinations: Iterable[Node] | None = None,
+    k: int | None = None,
+) -> Verdict:
+    """Ideal resilience (§I.B.1, Chiesa et al.): survive k-1 failures.
+
+    Defined for k-connected graphs: the pattern must deliver under every
+    failure set of size at most ``k - 1`` (such failures can never
+    disconnect the graph).  Weaker than perfect resilience: a perfectly
+    resilient pattern is ideally resilient, not vice versa.
+    """
+    from ..graphs.connectivity import global_edge_connectivity
+
+    if k is None:
+        k = global_edge_connectivity(graph)
+    if k < 1:
+        raise ValueError("ideal resilience needs a connected graph")
+    nodes = list(destinations) if destinations is not None else list(graph.nodes)
+    total = 0
+    for destination in nodes:
+        pattern = algorithm.build(graph, destination)
+        verdict = check_pattern_resilience(
+            graph,
+            pattern,
+            destination,
+            failure_sets=all_failure_sets(graph, max_failures=k - 1),
+        )
+        total += verdict.scenarios_checked
+        if not verdict.resilient:
+            verdict.scenarios_checked = total
+            return verdict
+    return Verdict(True, total, exhaustive=True)
+
+
+def check_k_resilient_touring(
+    graph: nx.Graph,
+    algorithm: TouringAlgorithm,
+    max_failures: int,
+    starts: Iterable[Node] | None = None,
+    failure_sets: Iterable[FailureSet] | None = None,
+) -> Verdict:
+    """k-resilient touring: tours must survive every |F| <= max_failures."""
+    if failure_sets is None:
+        total = sum(1 for _ in combinations(range(graph.number_of_edges()), 0))
+        # exhaustive up to the size cap when the count is tractable
+        count = _binomial_prefix(graph.number_of_edges(), max_failures)
+        if count <= 200_000:
+            failure_sets = all_failure_sets(graph, max_failures)
+        else:
+            failure_sets = sampled_failure_sets(graph, samples=500, max_failures=max_failures)
+        del total
+    return check_perfect_touring(graph, algorithm, starts=starts, failure_sets=failure_sets)
+
+
+def _binomial_prefix(n: int, k: int) -> int:
+    from math import comb
+
+    return sum(comb(n, size) for size in range(min(k, n) + 1))

@@ -1,0 +1,104 @@
+"""Priority-table forwarding patterns (the paper's table notation).
+
+Several of the paper's constructive proofs specify forwarding patterns as
+small tables: *"we state for each inport in which order outports are
+considered"* (proof of Thm 9; Fig. 4 for Thm 12).  This module implements
+that notation directly:
+
+* per node and in-port, an ordered list of out-port candidates;
+* the first candidate whose link is alive wins;
+* when the list is exhausted the packet bounces back to its in-port
+  (always legal, the packet just arrived over that link), or is dropped if
+  it has no in-port;
+* an optional *deliver-first* rule sends the packet straight to a
+  designated node whenever the direct link is alive — the paper's
+  ubiquitous "if ``(i, t) ∉ F_i`` then send to ``t``" (Algorithm 1, line 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graphs.edges import Node
+from .model import ForwardingPattern, LocalView
+
+#: key for the ⊥ in-port in table definitions
+ORIGIN = None
+
+
+@dataclass
+class PriorityTable(ForwardingPattern):
+    """A forwarding pattern given by per-(node, inport) priority lists.
+
+    ``rules[node][inport]`` is the ordered tuple of out-port candidates;
+    ``inport`` may be :data:`ORIGIN` (``None``) for packets starting at the
+    node.  Missing entries fall back to *bounce to in-port*.
+    """
+
+    rules: dict[Node, dict[Node | None, tuple[Node, ...]]]
+    deliver_first: Node | None = None
+    name: str = "priority table"
+    #: nodes where deliver_first must NOT short-circuit (rarely needed)
+    no_shortcut: frozenset[Node] = field(default_factory=frozenset)
+
+    def forward(self, view: LocalView) -> Node | None:
+        alive = view.alive_set
+        if (
+            self.deliver_first is not None
+            and view.node not in self.no_shortcut
+            and self.deliver_first in alive
+        ):
+            return self.deliver_first
+        node_rules = self.rules.get(view.node, {})
+        candidates = node_rules.get(view.inport)
+        if candidates is None and view.inport is not None:
+            candidates = node_rules.get("*")  # optional wildcard row
+        if candidates is not None:
+            for candidate in candidates:
+                if candidate in alive:
+                    return candidate
+        if view.inport is not None and view.inport in alive:
+            return view.inport
+        return None
+
+
+def table(**rows) -> dict:
+    """Sugar for building rule dicts in tests: ``table(a={None: ('b',)})``."""
+    return dict(rows)
+
+
+@dataclass
+class CyclicPermutationPattern(ForwardingPattern):
+    """Forward along a fixed cyclic permutation of each node's neighbours.
+
+    The packet arriving from ``u`` leaves via the first alive neighbour
+    after ``u`` in the node's cycle; packets originating at the node leave
+    via the first alive entry.  An optional deliver-first rule short
+    circuits to the destination.  This is the canonical "forwarding
+    pattern that follows a cyclic permutation" of the paper's Fig. 1 and
+    the shape Lemma 1 / Corollary 8 force on perfectly resilient patterns.
+    """
+
+    cycles: dict[Node, tuple[Node, ...]]
+    deliver_first: Node | None = None
+    name: str = "cyclic permutation"
+
+    def forward(self, view: LocalView) -> Node | None:
+        alive = view.alive_set
+        if self.deliver_first is not None and self.deliver_first in alive:
+            return self.deliver_first
+        cycle = self.cycles.get(view.node, ())
+        if not cycle:
+            return view.inport if view.inport in alive else None
+        if view.inport is None or view.inport not in cycle:
+            for candidate in cycle:
+                if candidate in alive:
+                    return candidate
+            return None
+        anchor = cycle.index(view.inport)
+        size = len(cycle)
+        for offset in range(1, size + 1):
+            candidate = cycle[(anchor + offset) % size]
+            if candidate in alive:
+                return candidate
+        return None

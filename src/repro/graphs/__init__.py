@@ -1,0 +1,69 @@
+"""Graph substrates: everything the paper's routing results stand on.
+
+Canonical edges and failure sets, graph family constructors, link
+connectivity, planarity/outerplanarity, combinatorial embeddings, graph
+minor containment, Hamiltonian decompositions, arborescence packings, and
+the synthetic Topology-Zoo suite.
+"""
+
+from .connectivity import (
+    are_connected,
+    component_of,
+    global_edge_connectivity,
+    link_disjoint_paths,
+    preserves_r_connectivity,
+    st_edge_connectivity,
+    surviving_graph,
+)
+from .construct import (
+    bipartition,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    fan_graph,
+    fig2_two_rail,
+    fig6_netrail,
+    grid_graph,
+    k_bipartite_minus,
+    k_minus,
+    maximal_outerplanar,
+    minus_links,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    theta_graph,
+    wheel_graph,
+)
+from .edges import (
+    EMPTY_FAILURES,
+    Edge,
+    FailureSet,
+    Node,
+    edge,
+    edges,
+    failure_set,
+    incident_failures,
+    iter_subsets,
+    other_endpoint,
+)
+from .embeddings import NotOuterplanarError, RotationSystem, outerplanar_rotation
+from .hamiltonian import (
+    bipartite_hamiltonian_decomposition,
+    hamiltonian_decomposition,
+    is_hamiltonian_decomposition,
+    walecki_decomposition,
+)
+from .arborescences import arc_disjoint_in_arborescences, verify_arborescences
+from .minors import (
+    MinorOutcome,
+    forbidden_minor_destination,
+    forbidden_minor_source_destination,
+    forbidden_minor_touring,
+    has_any_minor,
+    has_minor,
+    is_minor_of,
+)
+from .planarity import density, is_outerplanar, is_planar, planarity_class
+from .zoo import FAMILY_MIX, ZooTopology, generate_zoo, load_graphml_zoo, save_graphml
+
+__all__ = [name for name in dir() if not name.startswith("_")]

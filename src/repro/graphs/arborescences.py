@@ -1,0 +1,220 @@
+"""Arc-disjoint spanning in-arborescences (Edmonds packing).
+
+The paper contrasts perfect resilience with Chiesa et al.'s *ideal
+resilience* technique [40]-[42]: decompose a k-connected graph into k
+arc-disjoint spanning arborescences rooted at the destination [43] and hop
+between them on failures.  We implement the packing as a substrate so the
+baseline router (``core.algorithms.arborescence_routing``) can be compared
+against the paper's schemes.
+
+An in-arborescence rooted at ``t`` is stored as a parent map
+``{v: next hop toward t}``; its arcs are ``(v, parent[v])``.  Two
+arborescences are arc-disjoint when they share no *directed* arc (they may
+use the same undirected link in opposite directions).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import networkx as nx
+
+from .edges import Node
+from .hamiltonian import hamiltonian_decomposition
+
+Arc = tuple[Node, Node]
+ParentMap = dict[Node, Node]
+
+
+def _arc_connectivity(arcs: set[Arc], nodes: list[Node], s: Node, t: Node, stop_at: int) -> int:
+    """Unit-capacity max flow s -> t over a set of directed arcs."""
+    residual: dict[Node, dict[Node, int]] = {v: {} for v in nodes}
+    for u, v in arcs:
+        residual[u][v] = residual[u].get(v, 0) + 1
+    flow = 0
+    while flow < stop_at:
+        parent: dict[Node, Node] = {}
+        queue = deque([s])
+        seen = {s}
+        found = False
+        while queue and not found:
+            node = queue.popleft()
+            for neighbor, capacity in residual[node].items():
+                if capacity <= 0 or neighbor in seen:
+                    continue
+                parent[neighbor] = node
+                if neighbor == t:
+                    found = True
+                    break
+                seen.add(neighbor)
+                queue.append(neighbor)
+        if not found:
+            break
+        node = t
+        while node != s:
+            prev = parent[node]
+            residual[prev][node] -= 1
+            if residual[prev][node] == 0:
+                del residual[prev][node]
+            residual[node][prev] = residual[node].get(prev, 0) + 1
+            node = prev
+        flow += 1
+    return flow
+
+
+def verify_arborescences(graph: nx.Graph, root: Node, trees: list[ParentMap]) -> bool:
+    """Are the parent maps spanning, cycle-free, arc-disjoint, and on real links?"""
+    used: set[Arc] = set()
+    nodes = set(graph.nodes)
+    for parent in trees:
+        if set(parent) != nodes - {root}:
+            return False
+        for child, ancestor in parent.items():
+            if not graph.has_edge(child, ancestor):
+                return False
+            arc = (child, ancestor)
+            if arc in used:
+                return False
+            used.add(arc)
+        for start in parent:
+            node = start
+            hops = 0
+            while node != root:
+                node = parent[node]
+                hops += 1
+                if hops > len(nodes):
+                    return False
+    return True
+
+
+def _complete_graph_packing(graph: nx.Graph, root: Node) -> list[ParentMap]:
+    """n-1 arc-disjoint in-arborescences of K_n (odd n) via Walecki cycles.
+
+    Each Hamiltonian cycle yields two arc-disjoint spanning in-paths to the
+    root (the two traversal directions), giving ``2 * (n-1)/2 = n - 1``
+    arborescences in total.
+    """
+    cycles = hamiltonian_decomposition(graph)
+    trees: list[ParentMap] = []
+    for cycle in cycles:
+        anchor = cycle.index(root)
+        ordered = cycle[anchor:] + cycle[:anchor]
+        forward: ParentMap = {}
+        backward: ParentMap = {}
+        for position in range(1, len(ordered)):
+            backward[ordered[position]] = ordered[position - 1]
+            forward[ordered[position - 1]] = ordered[position]
+        del forward[root]
+        # ``forward`` currently maps each node to its successor; the last
+        # node must point back to the root to close the in-path.
+        forward[ordered[-1]] = root
+        trees.append(forward)
+        trees.append(backward)
+    return trees
+
+
+def _backtracking_packing(
+    graph: nx.Graph, root: Node, k: int, rng: random.Random, budget: int = 200_000
+) -> list[ParentMap] | None:
+    """Backtracking packing with an exact connectivity prune.
+
+    Grows one in-arborescence at a time.  Before committing an arc
+    ``(u -> v)`` the prune verifies the *necessary* condition that in the
+    unused arcs every node ``w`` still has enough arc-disjoint paths to the
+    root: the number of trees yet to be built, plus one more if ``w`` is
+    not yet attached to the current tree (Menger + Edmonds).  Because the
+    condition is necessary, pruned branches are always dead; backtracking
+    makes the search complete within the budget.
+    """
+    nodes = list(graph.nodes)
+    available: set[Arc] = set()
+    for u, v in graph.edges:
+        available.add((u, v))
+        available.add((v, u))
+    steps = [0]
+
+    def feasible(arcs: set[Arc], attached: set[Node], remaining_trees: int) -> bool:
+        # (a) every node still needs one arc-disjoint path to the root per
+        #     *future* tree (their paths live entirely in unused arcs);
+        if remaining_trees > 0:
+            for w in nodes:
+                if w == root:
+                    continue
+                if _arc_connectivity(arcs, nodes, w, root, stop_at=remaining_trees) < remaining_trees:
+                    return False
+        # (b) the current tree must remain completable: every unattached
+        #     node must reach the attached set via unused arcs (its path
+        #     then continues to the root over already-committed tree arcs).
+        reach = set(attached)
+        frontier = list(attached)
+        into: dict[Node, list[Node]] = {}
+        for u, v in arcs:
+            into.setdefault(v, []).append(u)
+        while frontier:
+            node = frontier.pop()
+            for previous in into.get(node, ()):
+                if previous not in reach:
+                    reach.add(previous)
+                    frontier.append(previous)
+        return len(reach) == len(nodes)
+
+    def build(index: int, avail: set[Arc], done: list[ParentMap]) -> list[ParentMap] | None:
+        if index == k:
+            return done
+
+        def grow(parent: ParentMap, attached: set[Node], arcs: set[Arc]) -> list[ParentMap] | None:
+            steps[0] += 1
+            if steps[0] > budget:
+                return None
+            if len(attached) == len(nodes):
+                return build(index + 1, arcs, done + [dict(parent)])
+            candidates = [(u, v) for (u, v) in arcs if v in attached and u not in attached]
+            rng.shuffle(candidates)
+            for u, v in candidates:
+                trial = arcs - {(u, v)}
+                if not feasible(trial, attached | {u}, k - index - 1):
+                    continue
+                parent[u] = v
+                result = grow(parent, attached | {u}, trial)
+                if result is not None:
+                    return result
+                del parent[u]
+            return None
+
+        return grow({}, {root}, avail)
+
+    return build(0, available, [])
+
+
+def arc_disjoint_in_arborescences(
+    graph: nx.Graph, root: Node, k: int | None = None, seed: int = 0, attempts: int = 8
+) -> list[ParentMap]:
+    """``k`` arc-disjoint spanning in-arborescences rooted at ``root``.
+
+    ``k`` defaults to the edge connectivity of the graph (the maximum
+    possible by Edmonds' theorem on the bidirected graph).  Uses the fast
+    Walecki-based construction on odd complete graphs and the greedy
+    oracle-guided packing elsewhere.  The result is always verified.
+    """
+    from .connectivity import global_edge_connectivity
+
+    if k is None:
+        k = global_edge_connectivity(graph)
+    if k < 1:
+        raise ValueError("graph must be connected to pack arborescences")
+    n = graph.number_of_nodes()
+    if k == n - 1 and n % 2 == 1 and graph.number_of_edges() == n * (n - 1) // 2:
+        trees = _complete_graph_packing(graph, root)
+    else:
+        trees = None
+        for attempt in range(attempts):
+            rng = random.Random(seed + attempt)
+            trees = _backtracking_packing(graph, root, k, rng)
+            if trees is not None:
+                break
+        if trees is None:
+            raise RuntimeError(f"could not pack {k} arborescences rooted at {root!r}")
+    if not verify_arborescences(graph, root, trees):  # pragma: no cover
+        raise AssertionError("internal error: invalid arborescence packing")
+    return trees

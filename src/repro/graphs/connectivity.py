@@ -1,0 +1,184 @@
+"""Link connectivity primitives.
+
+The paper's r-tolerance promise (§II, Definition 1) is phrased in terms of
+*link* connectivity: ``s`` and ``t`` are r-connected if there are ``r``
+pairwise link-disjoint paths between them.  This module implements
+unit-capacity max-flow (BFS augmentation, i.e. Edmonds–Karp specialized to
+0/1 capacities) from scratch so the library does not depend on networkx
+flow internals; tests cross-check against networkx.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+
+from .edges import FailureSet, Node, edge
+
+
+def surviving_graph(graph: nx.Graph, failures: FailureSet) -> nx.Graph:
+    """``G \\ F``: the graph with the failed links removed."""
+    out = graph.copy()
+    for u, v in failures:
+        if out.has_edge(u, v):
+            out.remove_edge(u, v)
+    return out
+
+
+def are_connected(graph: nx.Graph, s: Node, t: Node, failures: FailureSet = frozenset()) -> bool:
+    """Is ``t`` reachable from ``s`` in ``G \\ F``?  (BFS, no copying.)"""
+    if s == t:
+        return True
+    seen = {s}
+    queue = deque([s])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in seen or edge(node, neighbor) in failures:
+                continue
+            if neighbor == t:
+                return True
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return False
+
+
+def component_of(graph: nx.Graph, start: Node, failures: FailureSet = frozenset()) -> frozenset[Node]:
+    """The node set of ``start``'s connected component in ``G \\ F``."""
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in seen or edge(node, neighbor) in failures:
+                continue
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return frozenset(seen)
+
+
+def st_edge_connectivity(
+    graph: nx.Graph,
+    s: Node,
+    t: Node,
+    failures: FailureSet = frozenset(),
+    stop_at: int | None = None,
+) -> int:
+    """λ(s, t) in ``G \\ F``: the number of link-disjoint s–t paths.
+
+    Implemented as unit-capacity max flow on the bidirected graph.  If
+    ``stop_at`` is given, stops as soon as that many augmenting paths were
+    found (enough to decide the r-tolerance promise cheaply).
+    """
+    if s == t:
+        raise ValueError("s and t must differ")
+    residual: dict[Node, dict[Node, int]] = {v: {} for v in graph.nodes}
+    for u, v in graph.edges:
+        if edge(u, v) in failures:
+            continue
+        residual[u][v] = 1
+        residual[v][u] = 1
+    flow = 0
+    while stop_at is None or flow < stop_at:
+        parent = _bfs_augmenting_path(residual, s, t)
+        if parent is None:
+            break
+        node = t
+        while node != s:
+            prev = parent[node]
+            residual[prev][node] -= 1
+            if residual[prev][node] == 0:
+                del residual[prev][node]
+            residual[node][prev] = residual[node].get(prev, 0) + 1
+            node = prev
+        flow += 1
+    return flow
+
+
+def _bfs_augmenting_path(
+    residual: dict[Node, dict[Node, int]], s: Node, t: Node
+) -> dict[Node, Node] | None:
+    parent: dict[Node, Node] = {}
+    queue = deque([s])
+    seen = {s}
+    while queue:
+        node = queue.popleft()
+        for neighbor, capacity in residual[node].items():
+            if capacity <= 0 or neighbor in seen:
+                continue
+            parent[neighbor] = node
+            if neighbor == t:
+                return parent
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return None
+
+
+def link_disjoint_paths(
+    graph: nx.Graph, s: Node, t: Node, failures: FailureSet = frozenset()
+) -> list[list[Node]]:
+    """A maximum collection of link-disjoint s–t paths in ``G \\ F``.
+
+    Runs max flow, then decomposes the flow into paths.
+    """
+    if s == t:
+        raise ValueError("s and t must differ")
+    residual: dict[Node, dict[Node, int]] = {v: {} for v in graph.nodes}
+    for u, v in graph.edges:
+        if edge(u, v) in failures:
+            continue
+        residual[u][v] = 1
+        residual[v][u] = 1
+    used_arcs: set[tuple[Node, Node]] = set()
+    while True:
+        parent = _bfs_augmenting_path(residual, s, t)
+        if parent is None:
+            break
+        node = t
+        while node != s:
+            prev = parent[node]
+            residual[prev][node] -= 1
+            if residual[prev][node] == 0:
+                del residual[prev][node]
+            residual[node][prev] = residual[node].get(prev, 0) + 1
+            if (node, prev) in used_arcs:
+                used_arcs.remove((node, prev))
+            else:
+                used_arcs.add((prev, node))
+            node = prev
+    return _decompose_paths(used_arcs, s, t)
+
+
+def _decompose_paths(arcs: set[tuple[Node, Node]], s: Node, t: Node) -> list[list[Node]]:
+    outgoing: dict[Node, list[Node]] = {}
+    for u, v in arcs:
+        outgoing.setdefault(u, []).append(v)
+    paths = []
+    while outgoing.get(s):
+        path = [s]
+        node = s
+        while node != t:
+            nxt = outgoing[node].pop()
+            path.append(nxt)
+            node = nxt
+        paths.append(path)
+    return paths
+
+
+def global_edge_connectivity(graph: nx.Graph) -> int:
+    """λ(G): min over ``t`` of λ(s, t) for a fixed ``s`` (standard trick)."""
+    nodes = list(graph.nodes)
+    if len(nodes) < 2:
+        return 0
+    if not nx.is_connected(graph):
+        return 0
+    s = nodes[0]
+    return min(st_edge_connectivity(graph, s, t) for t in nodes[1:])
+
+
+def preserves_r_connectivity(
+    graph: nx.Graph, s: Node, t: Node, failures: FailureSet, r: int
+) -> bool:
+    """Does the r-tolerance promise hold: λ(s, t) >= r in ``G \\ F``?"""
+    return st_edge_connectivity(graph, s, t, failures, stop_at=r) >= r

@@ -1,0 +1,261 @@
+"""Constructors for the graph families used throughout the paper.
+
+The paper's results revolve around complete graphs ``K_n``, complete
+bipartite graphs ``K_{a,b}``, and those graphs with ``c`` links removed
+(written ``K_n^-c`` / ``K_{a,b}^-c`` in the paper, §II).  This module also
+provides the outerplanar families used by §VII and the specific gadget
+topologies drawn in the paper's figures (Fig 2, Fig 6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+
+from .edges import Edge, Node, edge
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """``K_n`` on nodes ``0..n-1``."""
+    if n < 1:
+        raise ValueError("K_n needs n >= 1")
+    graph = nx.complete_graph(n)
+    return graph
+
+
+def complete_bipartite(a: int, b: int) -> nx.Graph:
+    """``K_{a,b}``; part A is ``0..a-1``, part B is ``a..a+b-1``.
+
+    Nodes carry a ``part`` attribute (0 or 1) so that bipartite-aware
+    algorithms need not recompute the bipartition.
+    """
+    if a < 1 or b < 1:
+        raise ValueError("K_{a,b} needs a, b >= 1")
+    graph = nx.complete_bipartite_graph(a, b)
+    for node in range(a):
+        graph.nodes[node]["part"] = 0
+    for node in range(a, a + b):
+        graph.nodes[node]["part"] = 1
+    return graph
+
+
+def minus_links(graph: nx.Graph, removed: Iterable[tuple[Node, Node]]) -> nx.Graph:
+    """A copy of ``graph`` without the given links (the ``^-c`` notation)."""
+    out = graph.copy()
+    for u, v in removed:
+        if not out.has_edge(u, v):
+            raise ValueError(f"link ({u!r}, {v!r}) not present")
+        out.remove_edge(u, v)
+    return out
+
+
+def k_minus(n: int, c: int) -> nx.Graph:
+    """``K_n^-c`` with a deterministic choice of the removed links.
+
+    The removed links form a matching where possible (links ``(0,1)``,
+    ``(2,3)``, ...), matching the paper's use of "minus one link" as an
+    arbitrary single removal; callers needing a specific removal should use
+    :func:`minus_links` directly.
+    """
+    graph = complete_graph(n)
+    removed = _matching_removal(list(graph.nodes), c, graph)
+    return minus_links(graph, removed)
+
+
+def k_bipartite_minus(a: int, b: int, c: int) -> nx.Graph:
+    """``K_{a,b}^-c`` with a deterministic matching of removed links."""
+    graph = complete_bipartite(a, b)
+    part_a = [v for v in graph.nodes if graph.nodes[v]["part"] == 0]
+    part_b = [v for v in graph.nodes if graph.nodes[v]["part"] == 1]
+    if c > min(len(part_a), len(part_b)) * max(len(part_a), len(part_b)):
+        raise ValueError("cannot remove more links than exist")
+    removed = []
+    for i in range(c):
+        removed.append((part_a[i % len(part_a)], part_b[(i + i // len(part_a)) % len(part_b)]))
+    unique = {edge(u, v) for u, v in removed}
+    if len(unique) < c:
+        raise ValueError(f"no deterministic removal of {c} links for K_{a},{b}")
+    return minus_links(graph, removed)
+
+
+def _matching_removal(nodes: Sequence[Node], c: int, graph: nx.Graph) -> list[Edge]:
+    removed: list[Edge] = []
+    # Pair up disjoint nodes first; overflow removals use remaining links.
+    index = 0
+    while len(removed) < c and index + 1 < len(nodes):
+        removed.append(edge(nodes[index], nodes[index + 1]))
+        index += 2
+    if len(removed) < c:
+        for u, v in graph.edges:
+            candidate = edge(u, v)
+            if candidate not in removed:
+                removed.append(candidate)
+            if len(removed) == c:
+                break
+    if len(removed) < c:
+        raise ValueError("cannot remove more links than exist")
+    return removed
+
+
+def path_graph(n: int) -> nx.Graph:
+    """A chain of ``n`` nodes (outerplanar; minor of everything relevant)."""
+    return nx.path_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """A ring of ``n`` nodes (outerplanar)."""
+    return nx.cycle_graph(n)
+
+
+def star_graph(leaves: int) -> nx.Graph:
+    """A hub (node 0) with ``leaves`` spokes (outerplanar, tree)."""
+    return nx.star_graph(leaves)
+
+
+def wheel_graph(rim: int) -> nx.Graph:
+    """Hub (node 0) + rim cycle of ``rim`` nodes.
+
+    Wheels are planar but not outerplanar for ``rim >= 3`` (they contain a
+    ``K4`` minor), which makes them handy §VIII test subjects.
+    """
+    return nx.wheel_graph(rim + 1)
+
+
+def fan_graph(n: int) -> nx.Graph:
+    """A maximal outerplanar "fan": path ``1..n-1`` plus hub 0 joined to all.
+
+    Fans are maximal outerplanar graphs, i.e. the densest graphs for which
+    touring under perfect resilience is possible (Cor 6).
+    """
+    if n < 2:
+        raise ValueError("fan needs >= 2 nodes")
+    graph = nx.path_graph(range(1, n))
+    graph.add_node(0)
+    for node in range(1, n):
+        graph.add_edge(0, node)
+    return graph
+
+
+def maximal_outerplanar(n: int, seed: int | None = None) -> nx.Graph:
+    """A random maximal outerplanar graph: a triangulated convex polygon.
+
+    Built by recursively triangulating the polygon ``0..n-1`` with random
+    ears; every maximal outerplanar graph arises this way.
+    """
+    import random
+
+    if n < 3:
+        return nx.path_graph(n)
+    rng = random.Random(seed)
+    graph = nx.cycle_graph(n)
+    stack = [list(range(n))]
+    while stack:
+        polygon = stack.pop()
+        if len(polygon) < 4:
+            continue
+        anchor = rng.randrange(len(polygon))
+        target = (anchor + rng.randrange(2, len(polygon) - 1)) % len(polygon)
+        u, v = polygon[anchor], polygon[target]
+        graph.add_edge(u, v)
+        first, second = _split_polygon(polygon, anchor, target)
+        stack.append(first)
+        stack.append(second)
+    return graph
+
+
+def _split_polygon(polygon: list[Node], i: int, j: int) -> tuple[list[Node], list[Node]]:
+    if i > j:
+        i, j = j, i
+    return polygon[i : j + 1], polygon[j:] + polygon[: i + 1]
+
+
+def theta_graph(spokes: int, length: int = 2) -> nx.Graph:
+    """Two terminals joined by ``spokes`` internally disjoint paths.
+
+    ``theta_graph(3)`` is the smallest graph with a ``K_{2,3}`` minor, hence
+    the smallest non-outerplanar planar graph family for touring (§VII).
+    """
+    if spokes < 2 or length < 1:
+        raise ValueError("theta graph needs >= 2 spokes of length >= 1")
+    graph = nx.Graph()
+    left, right = "s", "t"
+    graph.add_node(left)
+    graph.add_node(right)
+    counter = 0
+    for _ in range(spokes):
+        previous = left
+        for _ in range(length - 1):
+            node = f"p{counter}"
+            counter += 1
+            graph.add_edge(previous, node)
+            previous = node
+        graph.add_edge(previous, right)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def fig2_two_rail(rungs: int = 3) -> nx.Graph:
+    """The Fig. 2 style graph: two parallel rails between ``s`` and ``t``.
+
+    Rail nodes ``v_i`` / ``v'_i`` with crossing links; after the adversary
+    fails the crossings, s and t stay 2-connected yet local rules cannot
+    find the surviving crossings.
+    """
+    graph = nx.Graph()
+    graph.add_node("s")
+    graph.add_node("t")
+    top = [f"v{i}" for i in range(1, rungs + 1)]
+    bottom = [f"w{i}" for i in range(1, rungs + 1)]
+    for chain in (top, bottom):
+        previous = "s"
+        for node in chain:
+            graph.add_edge(previous, node)
+            previous = node
+        graph.add_edge(previous, "t")
+    for u, v in zip(top, bottom):
+        graph.add_edge(u, v)
+    return graph
+
+
+def fig6_netrail() -> nx.Graph:
+    """The 7-node Netrail topology of Fig. 6.
+
+    Ring ``v1..v7`` with chords so that merging ``v3`` and ``v4`` realizes a
+    ``K_{2,3}`` minor between ``{v1, v2}`` and ``{v6, v7, v34}``: not
+    outerplanar (touring impossible) but "sometimes" for routing because,
+    e.g., removing ``v6`` leaves an outerplanar graph.
+    """
+    graph = nx.Graph()
+    ring = ["v1", "v2", "v3", "v4", "v5", "v6", "v7"]
+    for a, b in zip(ring, ring[1:] + ring[:1]):
+        graph.add_edge(a, b)
+    graph.add_edge("v2", "v6")
+    graph.add_edge("v1", "v3")
+    graph.add_edge("v4", "v7")
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """Planar grid (not outerplanar for rows, cols >= 3)."""
+    graph = nx.grid_2d_graph(rows, cols)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def petersen_graph() -> nx.Graph:
+    """The Petersen graph — the classic non-planar test subject."""
+    return nx.petersen_graph()
+
+
+def bipartition(graph: nx.Graph) -> tuple[set[Node], set[Node]]:
+    """Return the two colour classes of a bipartite graph.
+
+    Uses stored ``part`` attributes when available (as set by
+    :func:`complete_bipartite`), else 2-colours each component.
+    """
+    parts = nx.get_node_attributes(graph, "part")
+    if len(parts) == len(graph):
+        left = {v for v, p in parts.items() if p == 0}
+        return left, set(graph.nodes) - left
+    colouring = nx.algorithms.bipartite.color(graph)
+    left = {v for v, colour in colouring.items() if colour == 0}
+    return left, set(graph.nodes) - left

@@ -1,0 +1,305 @@
+"""Graph-minor containment testing.
+
+The paper's §VIII classification hinges on searching real topologies for
+the forbidden minors of each routing model (``K5^-1`` / ``K3,3^-1`` for
+destination-based routing, ``K7^-1`` / ``K4,4^-1`` for source-destination
+routing, ``K4`` / ``K2,3`` for touring).  The authors used the
+``minorminer`` heuristic; we build a self-contained engine:
+
+1. planarity shortcuts (a planar host cannot contain a non-planar minor;
+   a non-planar host contains a ``K5`` or ``K3,3`` minor by Wagner);
+2. minor-safe reductions and block decomposition (``graphs.reductions``);
+3. a randomized contraction heuristic for fast positives (the
+   ``minorminer`` substitute);
+4. an exact branch-and-bound over edge deletion/contraction with a
+   recursion budget; exceeding the budget yields ``UNKNOWN`` — the same
+   trichotomy the paper's heuristic pipeline produces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+import networkx as nx
+from networkx.algorithms import isomorphism
+
+from . import construct
+from .edges import Node
+from .planarity import is_planar
+from .reductions import contract_edge, reduce_host, search_units
+
+
+class MinorOutcome(Enum):
+    """Tri-state result of a budgeted minor search."""
+
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class MinorSearchStats:
+    """Instrumentation for benchmarks: how hard was the search?"""
+
+    recursion_nodes: int = 0
+    heuristic_rounds: int = 0
+    used_planarity_shortcut: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Pattern graphs of the paper.
+# ---------------------------------------------------------------------------
+
+
+def pattern_k4() -> nx.Graph:
+    """``K4`` — forbidden for touring (Lemma 3)."""
+    return construct.complete_graph(4)
+
+
+def pattern_k23() -> nx.Graph:
+    """``K2,3`` — forbidden for touring (Lemma 4)."""
+    return construct.complete_bipartite(2, 3)
+
+
+def pattern_k5_minus1() -> nx.Graph:
+    """``K5^-1`` — forbidden for destination-based routing (Thm 10)."""
+    return construct.k_minus(5, 1)
+
+
+def pattern_k33_minus1() -> nx.Graph:
+    """``K3,3^-1`` — forbidden for destination-based routing (Thm 11)."""
+    return construct.k_bipartite_minus(3, 3, 1)
+
+
+def pattern_k7_minus1() -> nx.Graph:
+    """``K7^-1`` — forbidden for source-destination routing (Thm 6)."""
+    return construct.k_minus(7, 1)
+
+
+def pattern_k44_minus1() -> nx.Graph:
+    """``K4,4^-1`` — forbidden for source-destination routing (Thm 7)."""
+    return construct.k_bipartite_minus(4, 4, 1)
+
+
+# ---------------------------------------------------------------------------
+# Subgraph containment (exact, used on small graphs).
+# ---------------------------------------------------------------------------
+
+
+def contains_subgraph(host: nx.Graph, pattern: nx.Graph) -> bool:
+    """Does ``host`` contain ``pattern`` as a (not necessarily induced) subgraph?"""
+    if host.number_of_nodes() < pattern.number_of_nodes():
+        return False
+    if host.number_of_edges() < pattern.number_of_edges():
+        return False
+    matcher = isomorphism.GraphMatcher(host, pattern)
+    return matcher.subgraph_is_monomorphic()
+
+
+# ---------------------------------------------------------------------------
+# Randomized contraction heuristic (fast positives).
+# ---------------------------------------------------------------------------
+
+
+def _heuristic_contract(
+    host: nx.Graph,
+    pattern: nx.Graph,
+    rng: random.Random,
+    rounds: int,
+    stats: MinorSearchStats,
+) -> bool:
+    """Randomly contract the host down to |V(pattern)| nodes and test.
+
+    Any sequence of contractions that ends in a supergraph of the pattern
+    is a witness; repeated biased restarts find witnesses quickly on hosts
+    that genuinely contain the minor.
+    """
+    target = pattern.number_of_nodes()
+    for _ in range(rounds):
+        stats.heuristic_rounds += 1
+        work = nx.Graph(host)
+        feasible = True
+        while work.number_of_nodes() > target:
+            if work.number_of_edges() < pattern.number_of_edges():
+                feasible = False
+                break
+            u, v = _pick_contraction(work, rng)
+            work = contract_edge(work, u, v)
+        if not feasible or work.number_of_nodes() != target:
+            continue
+        if contains_subgraph(work, pattern):
+            return True
+    return False
+
+
+def _pick_contraction(work: nx.Graph, rng: random.Random) -> tuple[Node, Node]:
+    # Contract around low-degree vertices: concentrates density, which is
+    # what dense patterns need.
+    nodes = list(work.nodes)
+    sample = rng.sample(nodes, min(6, len(nodes)))
+    v = min(sample, key=work.degree)
+    neighbors = list(work.neighbors(v))
+    u = min(rng.sample(neighbors, min(3, len(neighbors))), key=work.degree)
+    return u, v
+
+
+# ---------------------------------------------------------------------------
+# Exact branch and bound.
+# ---------------------------------------------------------------------------
+
+
+class _BudgetExceeded(Exception):
+    pass
+
+
+def _exact_search(
+    host: nx.Graph,
+    pattern: nx.Graph,
+    budget: int,
+    stats: MinorSearchStats,
+) -> bool:
+    """Exact minor test by branching on contract/delete of one link."""
+    stats.recursion_nodes += 1
+    if stats.recursion_nodes > budget:
+        raise _BudgetExceeded
+    host = reduce_host(host, pattern)
+    n_h, m_h = host.number_of_nodes(), host.number_of_edges()
+    n_p, m_p = pattern.number_of_nodes(), pattern.number_of_edges()
+    if n_h < n_p or m_h < m_p:
+        return False
+    if n_h == n_p:
+        return contains_subgraph(host, pattern)
+    if n_h <= n_p + 2 and contains_subgraph(host, pattern):
+        return True
+    u, v = _branch_edge(host)
+    if _exact_search(contract_edge(host, u, v), pattern, budget, stats):
+        return True
+    deleted = nx.Graph(host)
+    deleted.remove_edge(u, v)
+    if not nx.is_connected(deleted):
+        pieces = [deleted.subgraph(c).copy() for c in nx.connected_components(deleted)]
+        return any(_exact_search(piece, pattern, budget, stats) for piece in pieces)
+    return _exact_search(deleted, pattern, budget, stats)
+
+
+def _branch_edge(host: nx.Graph) -> tuple[Node, Node]:
+    v = min(host.nodes, key=host.degree)
+    u = min(host.neighbors(v), key=host.degree)
+    return u, v
+
+
+# ---------------------------------------------------------------------------
+# Public API.
+# ---------------------------------------------------------------------------
+
+
+def has_minor(
+    host: nx.Graph,
+    pattern: nx.Graph,
+    budget: int = 20_000,
+    heuristic_rounds: int = 40,
+    seed: int = 0,
+    stats: MinorSearchStats | None = None,
+) -> MinorOutcome:
+    """Budgeted test whether ``pattern`` is a minor of ``host``.
+
+    The pattern must be connected.  Returns :class:`MinorOutcome`;
+    ``UNKNOWN`` means the exact search exceeded its budget and the
+    heuristic found no witness (mirroring the paper's heuristic pipeline).
+    """
+    if pattern.number_of_nodes() == 0:
+        return MinorOutcome.YES
+    if not nx.is_connected(pattern):
+        raise ValueError("pattern must be connected")
+    stats = stats if stats is not None else MinorSearchStats()
+    if host.number_of_nodes() < pattern.number_of_nodes():
+        return MinorOutcome.NO
+    if host.number_of_edges() < pattern.number_of_edges():
+        return MinorOutcome.NO
+    # Planarity shortcut: minors of planar graphs are planar.
+    if not is_planar(pattern) and is_planar(host):
+        stats.used_planarity_shortcut = True
+        return MinorOutcome.NO
+    rng = random.Random(seed)
+    pieces = search_units(host, pattern)
+    if not pieces:
+        return MinorOutcome.NO
+    unknown = False
+    for piece in pieces:
+        if _heuristic_contract(piece, pattern, rng, heuristic_rounds, stats):
+            return MinorOutcome.YES
+        try:
+            if _exact_search(piece, pattern, budget, stats):
+                return MinorOutcome.YES
+        except _BudgetExceeded:
+            unknown = True
+    return MinorOutcome.UNKNOWN if unknown else MinorOutcome.NO
+
+
+def has_any_minor(
+    host: nx.Graph,
+    patterns: list[nx.Graph],
+    budget: int = 20_000,
+    heuristic_rounds: int = 40,
+    seed: int = 0,
+) -> MinorOutcome:
+    """Does ``host`` contain *any* of the patterns as a minor?
+
+    ``YES`` dominates; otherwise ``UNKNOWN`` if any individual search was
+    inconclusive; else ``NO``.
+    """
+    unknown = False
+    for pattern in patterns:
+        outcome = has_minor(host, pattern, budget=budget, heuristic_rounds=heuristic_rounds, seed=seed)
+        if outcome is MinorOutcome.YES:
+            return MinorOutcome.YES
+        if outcome is MinorOutcome.UNKNOWN:
+            unknown = True
+    return MinorOutcome.UNKNOWN if unknown else MinorOutcome.NO
+
+
+def is_minor_of(graph: nx.Graph, host: nx.Graph, budget: int = 20_000) -> MinorOutcome:
+    """Is ``graph`` a minor of ``host``?  (Positive-side classification.)
+
+    Used to recognize graphs covered by the paper's possibility theorems:
+    minors of ``K5`` / ``K3,3`` (Thms 8, 9) and of ``K5^-2`` / ``K3,3^-2``
+    (Thms 12, 13).  The *graph* plays the pattern role here, so it must be
+    connected.
+    """
+    return has_minor(host, graph, budget=budget)
+
+
+def forbidden_minor_destination(host: nx.Graph, budget: int = 20_000, seed: int = 0) -> MinorOutcome:
+    """Does ``host`` contain ``K5^-1`` or ``K3,3^-1`` as a minor?  (§V)
+
+    Non-planar hosts contain ``K5`` or ``K3,3`` (Wagner), hence also the
+    one-link-less variants, so only planar hosts need a real search.
+    """
+    if not is_planar(host):
+        return MinorOutcome.YES
+    return has_any_minor(host, [pattern_k5_minus1(), pattern_k33_minus1()], budget=budget, seed=seed)
+
+
+def forbidden_minor_source_destination(
+    host: nx.Graph, budget: int = 20_000, seed: int = 0
+) -> MinorOutcome:
+    """Does ``host`` contain ``K7^-1`` or ``K4,4^-1`` as a minor?  (§IV)
+
+    Both patterns are non-planar, so planar hosts are immediately clean.
+    """
+    if is_planar(host):
+        return MinorOutcome.NO
+    return has_any_minor(host, [pattern_k7_minus1(), pattern_k44_minus1()], budget=budget, seed=seed)
+
+
+def forbidden_minor_touring(host: nx.Graph) -> MinorOutcome:
+    """Does ``host`` contain ``K4`` or ``K2,3`` as a minor?  (§VII)
+
+    Exactly the complement of outerplanarity (Lemma 2), so no search is
+    needed at all.
+    """
+    from .planarity import is_outerplanar
+
+    return MinorOutcome.NO if is_outerplanar(host) else MinorOutcome.YES

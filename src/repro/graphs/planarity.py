@@ -1,0 +1,74 @@
+"""Planarity and outerplanarity tests.
+
+§VIII classifies Topology Zoo instances by outerplanarity (touring is
+possible iff the graph is outerplanar, Cor 6) and planarity (non-planar
+graphs contain a ``K5`` or ``K3,3`` minor by Wagner's theorem and hence are
+impossible for destination-based routing).  The paper used SageMath; we
+re-implement the checks on top of an LR-planarity test plus the classic
+apex characterization of outerplanarity.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+_APEX = ("__planarity_apex__",)
+
+
+def is_planar(graph: nx.Graph) -> bool:
+    """Planarity via the left-right algorithm, with the Euler quick filter.
+
+    A simple graph with ``n >= 3`` nodes and more than ``3n - 6`` links
+    cannot be planar; the filter avoids running the full test on dense
+    inputs.
+    """
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    if n >= 3 and m > 3 * n - 6:
+        return False
+    return nx.check_planarity(graph, counterexample=False)[0]
+
+
+def is_outerplanar(graph: nx.Graph) -> bool:
+    """Outerplanarity via the apex augmentation.
+
+    ``G`` is outerplanar iff ``G`` plus a universal vertex is planar
+    (equivalently: no ``K4`` or ``K2,3`` minor, Lemma 2 / Chartrand &
+    Harary).  Includes the Euler-style quick filter ``m <= 2n - 3``.
+    Disconnected graphs are outerplanar iff every component is.
+    """
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    if n >= 2 and m > 2 * n - 3:
+        return False
+    for component in nx.connected_components(graph):
+        if not _component_outerplanar(graph.subgraph(component)):
+            return False
+    return True
+
+
+def _component_outerplanar(graph: nx.Graph) -> bool:
+    if len(graph) <= 3:
+        return True
+    augmented = nx.Graph(graph)
+    augmented.add_node(_APEX)
+    for node in graph.nodes:
+        augmented.add_edge(_APEX, node)
+    return nx.check_planarity(augmented, counterexample=False)[0]
+
+
+def density(graph: nx.Graph) -> float:
+    """The paper's Fig. 8 density measure ``|E| / |V|``."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return graph.number_of_edges() / n
+
+
+def planarity_class(graph: nx.Graph) -> str:
+    """One of ``"outerplanar"``, ``"planar"``, ``"non-planar"`` (Fig 7 rows)."""
+    if is_outerplanar(graph):
+        return "outerplanar"
+    if is_planar(graph):
+        return "planar"
+    return "non-planar"

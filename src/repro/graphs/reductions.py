@@ -1,0 +1,124 @@
+"""Minor-safe graph reductions.
+
+Minor containment testing (``graphs.minors``) is exponential in the worst
+case, so we first shrink the host graph with reductions that provably
+preserve containment of the pattern ``H``:
+
+* deleting isolated and pendant vertices is safe whenever ``H`` is
+  connected with minimum degree >= 2 (a singleton branch set at a pendant
+  vertex would need an ``H``-vertex of degree <= 1);
+* suppressing a degree-2 vertex (contracting one of its links) is safe
+  whenever ``H`` has minimum degree >= 3 — and *only* then: a degree-2
+  host vertex may have to serve as the image of a degree-2 pattern
+  vertex (suppressing the subdivision of ``K3,3^-1`` all the way down
+  would lose its two degree-2 branch vertices);
+* a 2-connected pattern can only appear inside a single biconnected
+  component of the host, so the search decomposes into blocks.
+
+All the paper's forbidden minors (``K4``, ``K2,3``, ``K5^-1``, ``K3,3^-1``,
+``K7^-1``, ``K4,4^-1``) are 2-connected, which makes the block
+decomposition the workhorse on sparse ISP-like topologies.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .edges import Node
+
+
+def pattern_profile(pattern: nx.Graph) -> tuple[int, int]:
+    """(min degree, max degree) of the pattern graph."""
+    degrees = [d for _, d in pattern.degree]
+    return (min(degrees), max(degrees)) if degrees else (0, 0)
+
+
+def reduce_host(graph: nx.Graph, pattern: nx.Graph) -> nx.Graph:
+    """Shrink ``graph`` with every reduction that is safe for ``pattern``.
+
+    Returns a new graph; the input is left untouched.  The reduced graph
+    contains ``pattern`` as a minor iff the input does.
+    """
+    min_deg, _max_deg = pattern_profile(pattern)
+    degrees = [d for _, d in graph.degree]
+    if degrees and min_deg >= 2:
+        # Fast path: skip the copy when no reduction can fire (hot path of
+        # the exact search, which calls reduce_host at every node).
+        threshold = 3 if min_deg >= 3 else 2
+        if min(degrees) >= threshold:
+            return graph
+    host = nx.Graph(graph)
+    host.remove_edges_from(nx.selfloop_edges(host))
+    changed = True
+    while changed:
+        changed = False
+        if min_deg >= 2:
+            low = [v for v, d in host.degree if d <= 1]
+            if low:
+                host.remove_nodes_from(low)
+                changed = True
+                continue
+        if min_deg >= 3:
+            changed = _suppress_one(host)
+            if changed:
+                continue
+    return host
+
+
+def _suppress_one(host: nx.Graph) -> bool:
+    for node in list(host.nodes):
+        if host.degree(node) != 2:
+            continue
+        u, w = host.neighbors(node)
+        if host.has_edge(u, w):
+            # Neighbours already adjacent: the vertex is redundant (the
+            # pattern's min degree >= 3 rules out hosting a branch set).
+            host.remove_node(node)
+            return True
+        host.remove_node(node)
+        host.add_edge(u, w)
+        return True
+    return False
+
+
+def biconnected_blocks(graph: nx.Graph) -> list[nx.Graph]:
+    """The biconnected components of ``graph`` as standalone graphs."""
+    blocks = []
+    for component_edges in nx.biconnected_component_edges(graph):
+        block = nx.Graph()
+        block.add_edges_from(component_edges)
+        blocks.append(block)
+    return blocks
+
+
+def search_units(graph: nx.Graph, pattern: nx.Graph) -> list[nx.Graph]:
+    """Reduced host pieces in which the pattern search must run.
+
+    For a 2-connected pattern: the reduced biconnected blocks, largest
+    first (positives are typically found in the dense core).  For other
+    patterns: the reduced connected components.
+    """
+    reduced = reduce_host(graph, pattern)
+    if len(reduced) == 0:
+        return []
+    if nx.is_biconnected(pattern) if len(pattern) > 2 else False:
+        pieces = biconnected_blocks(reduced)
+    else:
+        pieces = [reduced.subgraph(c).copy() for c in nx.connected_components(reduced)]
+    pieces = [reduce_host(piece, pattern) for piece in pieces]
+    pieces = [
+        piece
+        for piece in pieces
+        if piece.number_of_nodes() >= pattern.number_of_nodes()
+        and piece.number_of_edges() >= pattern.number_of_edges()
+    ]
+    pieces.sort(key=lambda g: g.number_of_edges(), reverse=True)
+    return pieces
+
+
+def contract_edge(graph: nx.Graph, u: Node, v: Node) -> nx.Graph:
+    """``G / (u, v)``: merge ``v`` into ``u``, dropping loops/parallels."""
+    merged = nx.contracted_nodes(graph, u, v, self_loops=False)
+    if merged.is_multigraph():  # pragma: no cover - nx.Graph stays simple
+        merged = nx.Graph(merged)
+    return merged

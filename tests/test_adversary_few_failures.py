@@ -1,0 +1,61 @@
+"""Theorems 14 and 15: few-failure impossibility via padding."""
+
+import pytest
+
+from repro.core.adversary import (
+    attack_complete_bipartite,
+    attack_complete_graph,
+    complete_bipartite_budget,
+    complete_graph_budget,
+)
+from repro.core.algorithms import Distance2Algorithm, RandomCyclicPermutations
+from repro.graphs import construct
+from repro.graphs.connectivity import are_connected
+
+
+class TestTheorem14:
+    @pytest.mark.parametrize("n", [8, 10, 14])
+    def test_linear_failure_budget(self, n):
+        graph = construct.complete_graph(n)
+        result = attack_complete_graph(graph, Distance2Algorithm(), 0, n - 1)
+        assert result is not None
+        # measured budget: 6(n-7) padding + <= 15 inner (see DESIGN.md for
+        # the paper's 6n-33 vs our 6n-27 accounting)
+        assert result.size <= 6 * (n - 7) + 15
+        assert are_connected(graph, 0, n - 1, result.failures)
+
+    def test_budget_is_linear(self):
+        sizes = {}
+        for n in (9, 12):
+            graph = construct.complete_graph(n)
+            result = attack_complete_graph(graph, RandomCyclicPermutations(seed=1), 0, n - 1)
+            sizes[n] = result.size
+        assert sizes[12] - sizes[9] == 6 * 3  # slope 6 per node
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            attack_complete_graph(construct.complete_graph(7), Distance2Algorithm(), 0, 6)
+
+    def test_paper_budget_formula(self):
+        assert complete_graph_budget(8) == 15
+        assert complete_graph_budget(20) == 87
+
+
+class TestTheorem15:
+    @pytest.mark.parametrize("a,b", [(4, 4), (5, 5), (4, 6)])
+    def test_bipartite_budget(self, a, b):
+        graph = construct.complete_bipartite(a, b)
+        result = attack_complete_bipartite(graph, Distance2Algorithm(), 0, a)
+        assert result is not None
+        assert result.size <= 3 * (b - 4) + 4 * (a - 4) + 11 + 4
+        assert are_connected(graph, 0, a, result.failures)
+
+    def test_small_parts_rejected(self):
+        with pytest.raises(ValueError):
+            attack_complete_bipartite(
+                construct.complete_bipartite(3, 5), Distance2Algorithm(), 0, 3
+            )
+
+    def test_paper_budget_formula(self):
+        assert complete_bipartite_budget(4, 4) == 7
+        assert complete_bipartite_budget(8, 8) == 35

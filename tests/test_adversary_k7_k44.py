@@ -1,0 +1,67 @@
+"""Theorems 6, 7 and Corollaries 3, 4: the K7 and K4,4 adversaries."""
+
+import pytest
+
+from repro.core.adversary import (
+    K44_FAILURE_BUDGET,
+    K7_FAILURE_BUDGET,
+    attack_k44,
+    attack_k7,
+)
+from repro.core.algorithms import (
+    Distance2Algorithm,
+    Distance3BipartiteAlgorithm,
+    GreedyLowestNeighbor,
+    RandomCyclicPermutations,
+)
+from repro.core.model import destination_as_source_destination
+from repro.graphs import construct
+from repro.graphs.connectivity import are_connected
+
+SD_PATTERNS = [
+    Distance2Algorithm(),
+    RandomCyclicPermutations(seed=2),
+    RandomCyclicPermutations(seed=9),
+    destination_as_source_destination(GreedyLowestNeighbor()),
+]
+
+
+class TestCorollary3:
+    @pytest.mark.parametrize("algorithm", SD_PATTERNS, ids=lambda a: a.name)
+    def test_k7_broken_within_budget(self, algorithm):
+        graph = construct.complete_graph(7)
+        result = attack_k7(graph, algorithm, 0, 6)
+        assert result is not None
+        assert result.size <= K7_FAILURE_BUDGET
+        assert are_connected(graph, 0, 6, result.failures)
+
+    def test_k7_minus_1(self):
+        # Theorem 6 proper: the construction also works without the s-t link
+        graph = construct.minus_links(construct.complete_graph(7), [(0, 6)])
+        result = attack_k7(graph, Distance2Algorithm(), 0, 6)
+        assert result is not None
+        assert are_connected(graph, 0, 6, result.failures)
+
+
+class TestCorollary4:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [Distance2Algorithm(), Distance3BipartiteAlgorithm(), RandomCyclicPermutations(seed=5)],
+        ids=lambda a: a.name,
+    )
+    def test_k44_broken_within_budget(self, algorithm):
+        graph = construct.complete_bipartite(4, 4)
+        result = attack_k44(graph, algorithm, 0, 4)
+        assert result is not None
+        assert result.size <= K44_FAILURE_BUDGET
+        assert are_connected(graph, 0, 4, result.failures)
+
+    def test_k44_minus_1(self):
+        graph = construct.minus_links(construct.complete_bipartite(4, 4), [(0, 4)])
+        result = attack_k44(graph, Distance2Algorithm(), 0, 4)
+        assert result is not None
+        assert are_connected(graph, 0, 4, result.failures)
+
+    def test_same_part_rejected(self):
+        with pytest.raises(ValueError):
+            attack_k44(construct.complete_bipartite(4, 4), Distance2Algorithm(), 0, 1)

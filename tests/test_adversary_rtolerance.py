@@ -1,0 +1,55 @@
+"""Theorem 1 and Corollary 1: the r-tolerance adversary."""
+
+import pytest
+
+from repro.core.adversary import attack_r_tolerance, gadget_count, verify_attack
+from repro.core.algorithms import Distance2Algorithm, RandomCyclicPermutations
+from repro.graphs import construct
+from repro.graphs.connectivity import st_edge_connectivity
+
+PATTERNS = [Distance2Algorithm(), RandomCyclicPermutations(seed=1), RandomCyclicPermutations(seed=7)]
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("r", [1, 2])
+    @pytest.mark.parametrize("algorithm", PATTERNS, ids=lambda a: a.name)
+    def test_adversary_wins_on_k_3_plus_5r(self, r, algorithm):
+        graph = construct.complete_graph(3 + 5 * r)
+        result = attack_r_tolerance(graph, algorithm, 0, 3 + 5 * r - 1, r=r)
+        assert result is not None
+        # promise: s and t remain exactly >= r connected
+        connectivity = st_edge_connectivity(graph, 0, 3 + 5 * r - 1, result.failures)
+        assert connectivity >= r
+
+    def test_witness_is_verified(self):
+        graph = construct.complete_graph(8)
+        algorithm = Distance2Algorithm()
+        result = attack_r_tolerance(graph, algorithm, 0, 7, r=1)
+        pattern = algorithm.build(graph, 0, 7)
+        assert verify_attack(graph, pattern, 0, 7, result.failures, min_connectivity=1)
+
+    def test_gadget_count(self):
+        assert gadget_count(construct.complete_graph(8)) == 1
+        assert gadget_count(construct.complete_graph(13)) == 2
+        assert gadget_count(construct.complete_graph(18)) == 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            attack_r_tolerance(construct.complete_graph(5), Distance2Algorithm(), 0, 4, r=1)
+
+
+class TestCorollary1:
+    def test_supergraph_inherits_impossibility(self):
+        # K9 contains K8 = K_{3+5} as a subgraph, so no pattern is
+        # 1-tolerant on it either; the adversary still wins.
+        graph = construct.complete_graph(9)
+        result = attack_r_tolerance(graph, Distance2Algorithm(), 0, 8, r=1)
+        assert result is not None
+
+
+class TestConstructionQuality:
+    def test_construction_not_fallback(self):
+        # the proof-guided construction (not random search) should win
+        graph = construct.complete_graph(13)
+        result = attack_r_tolerance(graph, RandomCyclicPermutations(seed=3), 0, 12, r=2)
+        assert result.method == "theorem-1 construction"

@@ -1,0 +1,103 @@
+"""Theorems 12 and 13: destination-based routing on K5^-2 / K3,3^-2.
+
+Exhaustive over all failure sets, all destinations, all sources — this is
+the full statement of both theorems (including the Fig. 4 table with the
+``@v4`` typo repaired).
+"""
+
+import pytest
+
+from repro.core.algorithms import K33Minus2Routing, K5Minus2Routing, fig4_pattern
+from repro.core.resilience import (
+    check_pattern_resilience,
+    check_perfect_resilience_destination,
+)
+from repro.graphs import construct
+
+
+class TestTheorem12:
+    def test_k5_minus_2_exhaustive(self):
+        verdict = check_perfect_resilience_destination(
+            construct.k_minus(5, 2), K5Minus2Routing()
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_k5_minus_2_adjacent_removals(self):
+        # both removed links incident to one node (the Fig. 5 drawing)
+        g = construct.minus_links(construct.complete_graph(5), [(4, 0), (4, 1)])
+        verdict = check_perfect_resilience_destination(g, K5Minus2Routing())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.k_minus(5, 3),
+            lambda: construct.complete_graph(4),
+            lambda: construct.cycle_graph(5),
+            lambda: construct.wheel_graph(4),
+        ],
+    )
+    def test_minors(self, builder):
+        verdict = check_perfect_resilience_destination(builder(), K5Minus2Routing())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_fig4_case_is_exercised(self):
+        # destination with exactly two neighbours attached to a full K4
+        g = construct.minus_links(construct.complete_graph(5), [(4, 2), (4, 3)])
+        pattern = K5Minus2Routing().build(g, 4)
+        verdict = check_pattern_resilience(g, pattern, 4)
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_fig4_pattern_direct(self):
+        g = construct.minus_links(construct.complete_graph(5), [(4, 2), (4, 3)])
+        pattern = fig4_pattern(g, 4)
+        verdict = check_pattern_resilience(g, pattern, 4)
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_rejects_k5_minus_1(self):
+        # Theorem 10 says K5^-1 is impossible; the router must refuse the
+        # destination that keeps too many links
+        g = construct.k_minus(5, 1)
+        router = K5Minus2Routing()
+        bad = [t for t in g.nodes if not router.supports(g, t)]
+        assert bad, "K5^-1 must have unsupported destinations"
+
+    def test_rejects_large(self):
+        with pytest.raises(ValueError):
+            K5Minus2Routing().build(construct.complete_graph(6), 0)
+
+
+class TestTheorem13:
+    def test_k33_minus_2_exhaustive(self):
+        verdict = check_perfect_resilience_destination(
+            construct.k_bipartite_minus(3, 3, 2), K33Minus2Routing()
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_k33_minus_2_both_at_destination(self):
+        # both removals at one node: the TwoStageTour case of the proof
+        g = construct.minus_links(construct.complete_bipartite(3, 3), [(2, 3), (2, 4)])
+        verdict = check_perfect_resilience_destination(g, K33Minus2Routing())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.k_bipartite_minus(3, 3, 3),
+            lambda: construct.complete_bipartite(2, 3),
+            lambda: construct.cycle_graph(6),
+        ],
+    )
+    def test_minors(self, builder):
+        verdict = check_perfect_resilience_destination(builder(), K33Minus2Routing())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_rejects_k33_minus_1(self):
+        g = construct.k_bipartite_minus(3, 3, 1)
+        router = K33Minus2Routing()
+        bad = [t for t in g.nodes if not router.supports(g, t)]
+        assert bad, "K3,3^-1 must have unsupported destinations"
+
+    def test_rejects_large(self):
+        with pytest.raises(ValueError):
+            K33Minus2Routing().build(construct.complete_bipartite(4, 4), 0)

@@ -1,0 +1,85 @@
+"""Theorem 9: the (repaired) K3,3 tables are perfectly resilient.
+
+Both tables are checked exhaustively over all failure sets: the
+different-part table exactly as published, the same-part table with the
+three-entry repair documented in ``core/algorithms/k33_source.py`` (the
+published table loops on ``F = {(t,v2),(t,v3),(s,v1)}``).
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithms import K33SourceRouting
+from repro.core.resilience import check_perfect_resilience_source_destination
+from repro.core.simulator import Outcome, route
+from repro.graphs import construct
+from repro.graphs.edges import failure_set
+
+ALGORITHM = K33SourceRouting()
+
+
+def k33_pairs(same_part):
+    pairs = []
+    for s in range(6):
+        for t in range(6):
+            if s != t and ((s < 3) == (t < 3)) == same_part:
+                pairs.append((s, t))
+    return pairs
+
+
+class TestExhaustiveK33:
+    def test_different_part_pairs(self):
+        verdict = check_perfect_resilience_source_destination(
+            construct.complete_bipartite(3, 3), ALGORITHM, pairs=k33_pairs(same_part=False)
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_same_part_pairs(self):
+        verdict = check_perfect_resilience_source_destination(
+            construct.complete_bipartite(3, 3), ALGORITHM, pairs=k33_pairs(same_part=True)
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_published_table_counterexample_now_delivered(self):
+        # the failure set on which the paper's same-part table loops
+        g = construct.complete_bipartite(3, 3)
+        pattern = ALGORITHM.build(g, 1, 0)
+        result = route(g, pattern, 1, 0, failure_set((0, 4), (0, 5), (1, 3)))
+        assert result.delivered
+
+
+class TestSubgraphs:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.k_bipartite_minus(3, 3, 1),
+            lambda: construct.k_bipartite_minus(3, 3, 2),
+            lambda: construct.complete_bipartite(2, 3),
+            lambda: construct.complete_bipartite(2, 2),
+            lambda: construct.cycle_graph(6),
+            lambda: construct.path_graph(6),
+            lambda: construct.star_graph(3),
+        ],
+    )
+    def test_perfect_resilience(self, builder):
+        verdict = check_perfect_resilience_source_destination(builder(), ALGORITHM)
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestEmbedding:
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(ValueError):
+            ALGORITHM.build(construct.complete_graph(3), 0, 2)
+
+    def test_rejects_oversized_part(self):
+        with pytest.raises(ValueError):
+            ALGORITHM.build(construct.star_graph(4), 0, 1)  # 4 leaves in one part
+
+    def test_supports(self):
+        assert ALGORITHM.supports(construct.cycle_graph(6), 0, 3)
+        assert not ALGORITHM.supports(construct.complete_graph(4), 0, 3)
+
+    def test_disconnected_embedding(self):
+        g = nx.Graph([(0, 1), (2, 3), (4, 5)])
+        verdict = check_perfect_resilience_source_destination(g, ALGORITHM)
+        assert verdict.resilient, str(verdict.counterexample)

@@ -1,0 +1,66 @@
+"""The Chiesa-style circular arborescence baseline (ideal resilience)."""
+
+import pytest
+
+from repro.core.algorithms import ArborescenceRouting
+from repro.core.resilience import all_failure_sets, check_pattern_resilience
+from repro.core.simulator import Network, route
+from repro.graphs import construct
+from repro.graphs.connectivity import are_connected
+
+
+class TestFailureFree:
+    @pytest.mark.parametrize(
+        "builder,destination",
+        [
+            (lambda: construct.complete_graph(5), 0),
+            (lambda: construct.complete_bipartite(3, 3), 4),
+            (lambda: construct.grid_graph(3, 3), 8),
+        ],
+    )
+    def test_delivers_without_failures(self, builder, destination):
+        graph = builder()
+        pattern = ArborescenceRouting().build(graph, destination)
+        network = Network(graph)
+        for source in graph.nodes:
+            if source == destination:
+                continue
+            assert route(network, pattern, source, destination).delivered
+
+
+class TestSingleFailure:
+    def test_k5_survives_any_single_failure(self):
+        graph = construct.complete_graph(5)
+        pattern = ArborescenceRouting().build(graph, 4)
+        verdict = check_pattern_resilience(
+            graph, pattern, 4, failure_sets=all_failure_sets(graph, max_failures=1)
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_cycle_survives_any_single_failure(self):
+        graph = construct.cycle_graph(6)
+        pattern = ArborescenceRouting().build(graph, 0)
+        verdict = check_pattern_resilience(
+            graph, pattern, 0, failure_sets=all_failure_sets(graph, max_failures=1)
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestIdealVersusPerfect:
+    def test_not_perfectly_resilient_on_k5(self):
+        # ideal resilience is weaker than perfect resilience (§I.B.1):
+        # some failure set that keeps s-t connected defeats the baseline
+        graph = construct.complete_graph(5)
+        pattern = ArborescenceRouting().build(graph, 4)
+        network = Network(graph)
+        broken = None
+        for failures in all_failure_sets(graph):
+            for source in graph.nodes:
+                if source == 4 or not are_connected(graph, source, 4, failures):
+                    continue
+                if not route(network, pattern, source, 4, failures).delivered:
+                    broken = (source, failures)
+                    break
+            if broken:
+                break
+        assert broken is not None

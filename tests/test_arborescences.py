@@ -1,0 +1,66 @@
+"""Unit tests for the arborescence packing (Chiesa baseline substrate)."""
+
+import pytest
+
+from repro.graphs import construct
+from repro.graphs.arborescences import arc_disjoint_in_arborescences, verify_arborescences
+
+
+class TestPacking:
+    @pytest.mark.parametrize(
+        "builder,root,k",
+        [
+            (lambda: construct.complete_graph(5), 0, 4),
+            (lambda: construct.complete_graph(7), 3, 6),
+            (lambda: construct.complete_bipartite(3, 3), 0, 3),
+            (lambda: construct.complete_bipartite(4, 4), 5, 4),
+            (lambda: construct.cycle_graph(6), 2, 2),
+            (lambda: construct.grid_graph(3, 3), 4, 2),
+            (lambda: construct.petersen_graph(), 0, 3),
+        ],
+    )
+    def test_full_connectivity_packing(self, builder, root, k):
+        graph = builder()
+        trees = arc_disjoint_in_arborescences(graph, root)
+        assert len(trees) == k
+        assert verify_arborescences(graph, root, trees)
+
+    def test_partial_k(self):
+        graph = construct.complete_graph(6)
+        trees = arc_disjoint_in_arborescences(graph, 0, k=3)
+        assert len(trees) == 3
+        assert verify_arborescences(graph, 0, trees)
+
+    def test_disconnected_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            arc_disjoint_in_arborescences(nx.Graph([(0, 1), (2, 3)]), 0)
+
+
+class TestVerification:
+    def test_detects_shared_arc(self):
+        graph = construct.complete_graph(4)
+        tree = {1: 0, 2: 0, 3: 0}
+        assert not verify_arborescences(graph, 0, [tree, tree])
+
+    def test_opposite_directions_allowed(self):
+        graph = construct.cycle_graph(3)
+        clockwise = {1: 0, 2: 1}
+        counter = {2: 0, 1: 2}
+        assert verify_arborescences(graph, 0, [clockwise, counter])
+
+    def test_detects_cycle(self):
+        graph = construct.complete_graph(4)
+        bad = {1: 2, 2: 1, 3: 0}
+        assert not verify_arborescences(graph, 0, [bad])
+
+    def test_detects_missing_node(self):
+        graph = construct.complete_graph(4)
+        bad = {1: 0, 2: 0}
+        assert not verify_arborescences(graph, 0, [bad])
+
+    def test_detects_fake_link(self):
+        graph = construct.cycle_graph(4)
+        bad = {1: 0, 2: 0, 3: 0}  # (2, 0) is not a link of C4
+        assert not verify_arborescences(graph, 0, [bad])

@@ -1,0 +1,97 @@
+"""Boundary cases across the library: tiny graphs, missing roles, reuse."""
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithms import (
+    Distance2Algorithm,
+    K33SourceRouting,
+    K5SourceRouting,
+    RightHandTouring,
+)
+from repro.core.resilience import (
+    check_perfect_resilience_source_destination,
+    check_perfect_touring,
+)
+from repro.core.simulator import Network, route
+from repro.graphs import construct
+from repro.graphs.edges import failure_set
+
+
+class TestTinyGraphs:
+    def test_single_link(self):
+        g = construct.path_graph(2)
+        verdict = check_perfect_resilience_source_destination(g, K5SourceRouting())
+        assert verdict.resilient
+
+    def test_two_isolated_nodes(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        verdict = check_perfect_resilience_source_destination(g, K5SourceRouting())
+        assert verdict.resilient  # never connected: vacuous
+
+    def test_triangle_all_models(self):
+        g = construct.complete_graph(3)
+        assert check_perfect_resilience_source_destination(g, K5SourceRouting()).resilient
+        assert check_perfect_touring(g, RightHandTouring()).resilient
+
+
+class TestK33RolesMissing:
+    def test_same_part_without_relay(self):
+        # path 0-3-1: s and t share the 2-node part, no "b" relay exists
+        g = nx.Graph([(0, 3), (3, 1)])
+        verdict = check_perfect_resilience_source_destination(
+            g, K33SourceRouting(), pairs=[(0, 1), (1, 0)]
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_four_node_path_all_pairs(self):
+        g = construct.path_graph(4)
+        verdict = check_perfect_resilience_source_destination(g, K33SourceRouting())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_single_link_bipartite(self):
+        g = construct.path_graph(2)
+        verdict = check_perfect_resilience_source_destination(g, K33SourceRouting())
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestNetworkReuse:
+    def test_network_shared_across_failure_sets(self):
+        g = construct.complete_graph(5)
+        network = Network(g)
+        pattern = Distance2Algorithm().build(g, 0, 4)
+        first = route(network, pattern, 0, 4, failure_set((0, 4)))
+        second = route(network, pattern, 0, 4, frozenset())
+        third = route(network, pattern, 0, 4, failure_set((0, 4)))
+        assert first.path == third.path
+        assert second.path == [0, 4]
+
+    def test_view_is_fresh_per_call(self):
+        g = construct.complete_graph(4)
+        network = Network(g)
+        view_a = network.view(0, None, failure_set((0, 1)))
+        view_b = network.view(0, None, frozenset())
+        assert view_a.alive != view_b.alive
+
+
+class TestStringNodeLabels:
+    def test_routing_with_string_nodes(self):
+        g = nx.Graph([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        pattern = K5SourceRouting().build(g, "a", "d")
+        result = route(g, pattern, "a", "d", failure_set(("c", "d")))
+        # (c,d) is d's only link: unreachable => loop is acceptable;
+        # without that failure it must deliver
+        result = route(g, pattern, "a", "d")
+        assert result.delivered
+
+    def test_touring_with_string_nodes(self):
+        g = nx.Graph([("x", "y"), ("y", "z")])
+        assert check_perfect_touring(g, RightHandTouring()).resilient
+
+    def test_classify_with_string_nodes(self):
+        from repro.core.classification import classify
+
+        g = nx.Graph([("a", "b"), ("b", "c"), ("c", "a")])
+        result = classify(g)
+        assert result.planarity == "outerplanar"

@@ -1,0 +1,71 @@
+"""§VII touring application: broadcast with local completion detection."""
+
+import pytest
+
+from repro.core.applications import TouringBroadcast
+from repro.core.algorithms import HamiltonianTouring, RightHandTouring
+from repro.core.resilience import all_failure_sets
+from repro.graphs import construct
+from repro.graphs.connectivity import component_of
+from repro.graphs.edges import failure_set
+
+
+class TestOuterplanarBroadcast:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.cycle_graph(6),
+            lambda: construct.fan_graph(6),
+            lambda: construct.path_graph(5),
+            lambda: construct.maximal_outerplanar(7, seed=3),
+        ],
+    )
+    def test_all_failure_sets_all_sources(self, builder):
+        graph = builder()
+        broadcast = TouringBroadcast(RightHandTouring())
+        for failures in all_failure_sets(graph, max_failures=3):
+            for source in graph.nodes:
+                result = broadcast.run(graph, source, failures)
+                assert result.completed
+                assert result.covers(component_of(graph, source, failures))
+
+    def test_verify_helper(self):
+        graph = construct.fan_graph(7)
+        broadcast = TouringBroadcast(RightHandTouring())
+        assert broadcast.verify(graph, 0)
+        assert broadcast.verify(graph, 3, failure_set((0, 3), (0, 4)))
+
+    def test_isolated_source(self):
+        graph = construct.path_graph(3)
+        broadcast = TouringBroadcast(RightHandTouring())
+        result = broadcast.run(graph, 0, failure_set((0, 1)))
+        assert result.completed
+        assert result.informed == frozenset({0})
+
+
+class TestHamiltonianBroadcast:
+    def test_k5_under_one_failure(self):
+        graph = construct.complete_graph(5)
+        broadcast = TouringBroadcast(HamiltonianTouring())
+        for failures in all_failure_sets(graph, max_failures=1):
+            for source in graph.nodes:
+                result = broadcast.run(graph, source, failures)
+                assert result.covers(component_of(graph, source, failures))
+
+
+class TestCompletionDetection:
+    def test_detects_in_bounded_hops(self):
+        graph = construct.cycle_graph(8)
+        broadcast = TouringBroadcast(RightHandTouring())
+        result = broadcast.run(graph, 0)
+        # a ring tour wraps after exactly n hops
+        assert result.completed
+        assert result.hops <= 2 * graph.number_of_edges() + 2
+
+    def test_walk_recorded(self):
+        graph = construct.cycle_graph(5)
+        broadcast = TouringBroadcast(RightHandTouring())
+        result = broadcast.run(graph, 0)
+        assert result.walk[0] == 0
+        for u, v in zip(result.walk, result.walk[1:]):
+            assert graph.has_edge(u, v)

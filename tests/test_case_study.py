@@ -1,0 +1,64 @@
+"""The §VIII case-study driver and reporting on a small sub-suite."""
+
+import pytest
+
+from repro.analysis import CaseStudyResult, fig7_table, fig8_table, run_case_study, simple_table
+from repro.core.classification import Possibility
+from repro.graphs.zoo import generate_zoo
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    suite = generate_zoo()[::13]  # 20 topologies across all families
+    return run_case_study(suite=suite, minor_budget=1_500, destination_cap=100)
+
+
+class TestCaseStudy:
+    def test_counts_add_up(self, small_result):
+        assert small_result.total == 20
+        for model in ("touring", "destination", "source_destination"):
+            assert sum(small_result.per_model_counts[model].values()) == 20
+
+    def test_touring_is_binary(self, small_result):
+        counts = small_result.per_model_counts["touring"]
+        assert counts[Possibility.SOMETIMES] == 0
+        assert counts[Possibility.UNKNOWN] == 0
+
+    def test_percentages(self, small_result):
+        total = sum(
+            small_result.percentage("destination", p) for p in Possibility
+        )
+        assert total == pytest.approx(100.0)
+
+    def test_scatter_rows(self, small_result):
+        rows = small_result.scatter_rows()
+        assert len(rows) == 20
+        name, n, density, dest, sd = rows[0]
+        assert isinstance(n, int) and density > 0
+
+    def test_outerplanar_consistency(self, small_result):
+        for c in small_result.classifications:
+            if c.planarity == "outerplanar":
+                assert c.touring is Possibility.POSSIBLE
+            else:
+                assert c.touring is Possibility.IMPOSSIBLE
+
+
+class TestReporting:
+    def test_fig7_renders(self, small_result):
+        text = fig7_table(small_result)
+        assert "Fig. 7" in text
+        assert "Touring" in text
+        assert "%" in text
+
+    def test_fig7_with_paper_reference(self, small_result):
+        text = fig7_table(small_result, paper={("touring", "possible"): 33.5})
+        assert "(paper)" in text
+
+    def test_fig8_renders(self, small_result):
+        text = fig8_table(small_result)
+        assert "Fig. 8" in text
+
+    def test_simple_table(self):
+        text = simple_table(["a", "bb"], [["1", "2"], ["33", "4"]])
+        assert "a" in text and "33" in text

@@ -1,0 +1,101 @@
+"""§VIII classification on known topologies."""
+
+import pytest
+
+from repro.core.classification import Possibility, classify, good_destinations
+from repro.graphs import construct
+
+
+class TestOuterplanarPossible:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.cycle_graph(8),
+            lambda: construct.path_graph(5),
+            lambda: construct.fan_graph(9),
+            lambda: construct.star_graph(6),
+        ],
+    )
+    def test_all_models_possible(self, builder):
+        c = classify(builder())
+        assert c.touring is Possibility.POSSIBLE
+        assert c.destination is Possibility.POSSIBLE
+        assert c.source_destination is Possibility.POSSIBLE
+        assert c.good_destination_fraction == 1.0
+
+
+class TestNetrail:
+    def test_fig6_classification(self):
+        # Fig. 6: touring impossible, both routing models "sometimes"
+        c = classify(construct.fig6_netrail(), minor_budget=100_000)
+        assert c.touring is Possibility.IMPOSSIBLE
+        assert c.destination is Possibility.SOMETIMES
+        assert c.source_destination is Possibility.SOMETIMES
+        assert 0 < c.good_destination_fraction < 1
+
+
+class TestForbiddenMinors:
+    def test_grid_destination_impossible(self):
+        c = classify(construct.grid_graph(4, 4))
+        assert c.touring is Possibility.IMPOSSIBLE
+        assert c.destination is Possibility.IMPOSSIBLE
+        # planar: the dense source-destination minors cannot occur
+        assert c.source_destination in (Possibility.UNKNOWN, Possibility.SOMETIMES)
+
+    def test_k7_everything_impossible(self):
+        c = classify(construct.complete_graph(7))
+        assert c.touring is Possibility.IMPOSSIBLE
+        assert c.destination is Possibility.IMPOSSIBLE
+        assert c.source_destination is Possibility.IMPOSSIBLE
+
+    def test_k44_source_destination_impossible(self):
+        c = classify(construct.complete_bipartite(4, 4))
+        assert c.source_destination is Possibility.IMPOSSIBLE
+
+
+class TestSmallPositives:
+    def test_k5_source_destination_possible(self):
+        # Theorem 8: K5 is non-planar yet source-destination possible
+        c = classify(construct.complete_graph(5))
+        assert c.source_destination is Possibility.POSSIBLE
+        assert c.destination is Possibility.IMPOSSIBLE  # Thm 10 territory is K5^-1; K5 itself: [2]
+
+    def test_k33_source_destination_possible(self):
+        c = classify(construct.complete_bipartite(3, 3))
+        assert c.source_destination is Possibility.POSSIBLE
+
+    def test_k5_minus_2_destination_possible(self):
+        c = classify(construct.k_minus(5, 2))
+        assert c.destination is Possibility.POSSIBLE
+
+    def test_k33_minus_2_destination_possible(self):
+        c = classify(construct.k_bipartite_minus(3, 3, 2))
+        assert c.destination is Possibility.POSSIBLE
+
+    def test_positives_can_be_disabled(self):
+        c = classify(construct.complete_graph(5), use_small_positives=False)
+        assert c.source_destination is not Possibility.POSSIBLE
+
+
+class TestGoodDestinations:
+    def test_wheel_all_good(self):
+        good, examined = good_destinations(construct.wheel_graph(6))
+        assert examined == 7
+        assert good == 7  # hub -> ring; rim node -> fan
+
+    def test_grid_none_good(self):
+        good, _ = good_destinations(construct.grid_graph(4, 4))
+        assert good == 0
+
+    def test_cap(self):
+        good, examined = good_destinations(construct.wheel_graph(10), cap=5)
+        assert examined == 5
+
+
+class TestMetadata:
+    def test_fields(self):
+        c = classify(construct.wheel_graph(5), name="wheel")
+        assert c.name == "wheel"
+        assert c.n == 6
+        assert c.m == 10
+        assert c.planarity == "planar"

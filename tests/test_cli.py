@@ -1,0 +1,82 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*args):
+    return main(list(args))
+
+
+class TestClassify:
+    def test_netrail(self, capsys):
+        assert run_cli("classify", "netrail", "--budget", "50000") == 0
+        out = capsys.readouterr().out
+        assert "sometimes" in out
+
+    def test_ring(self, capsys):
+        assert run_cli("classify", "ring") == 0
+        assert "possible" in capsys.readouterr().out
+
+    def test_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "net.txt"
+        path.write_text("# comment\n0 1\n1 2\n2 0\n")
+        assert run_cli("classify", str(path)) == 0
+        assert "outerplanar" in capsys.readouterr().out
+
+
+class TestRoute:
+    def test_k5_with_failures(self, capsys):
+        assert run_cli("route", "k5", "0", "4", "--fail", "0-4", "1-4") == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    def test_wheel_destination_routing(self, capsys):
+        assert run_cli("route", "wheel", "1", "0") == 0
+        assert "delivered" in capsys.readouterr().out
+
+
+class TestAttack:
+    def test_k7(self, capsys):
+        assert run_cli("attack", "k7", "k7") == 0
+        out = capsys.readouterr().out
+        assert "witness" in out
+
+    def test_k44(self, capsys):
+        assert run_cli("attack", "k44", "k44") == 0
+        assert "witness" in capsys.readouterr().out
+
+    def test_too_small_graph_reports(self, capsys):
+        assert run_cli("attack", "rtolerance", "k7", "--r", "1") == 2
+        assert "cannot attack" in capsys.readouterr().err
+
+
+class TestTour:
+    def test_fan(self, capsys):
+        assert run_cli("tour", "fan", "--fail", "0-3") == 0
+        assert "toured forever" in capsys.readouterr().out
+
+    def test_k5_hamiltonian(self, capsys):
+        assert run_cli("tour", "k5") == 0
+        assert "Hamiltonian" in capsys.readouterr().out
+
+
+class TestZoo:
+    def test_small_slice(self, capsys):
+        assert run_cli("zoo", "--stride", "40", "--budget", "1000") == 0
+        assert "Fig. 7" in capsys.readouterr().out
+
+
+def test_module_entry_point():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "classify", "ring"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0
+    assert "possible" in completed.stdout

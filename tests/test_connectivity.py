@@ -1,0 +1,138 @@
+"""Unit tests for link connectivity, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import construct
+from repro.graphs.connectivity import (
+    are_connected,
+    component_of,
+    global_edge_connectivity,
+    link_disjoint_paths,
+    preserves_r_connectivity,
+    st_edge_connectivity,
+    surviving_graph,
+)
+from repro.graphs.edges import edge, failure_set
+
+
+class TestSurvivingGraph:
+    def test_removes_failed_links(self):
+        g = construct.complete_graph(4)
+        survived = surviving_graph(g, failure_set((0, 1)))
+        assert not survived.has_edge(0, 1)
+        assert survived.number_of_edges() == 5
+
+    def test_input_untouched(self):
+        g = construct.complete_graph(4)
+        surviving_graph(g, failure_set((0, 1)))
+        assert g.has_edge(0, 1)
+
+
+class TestAreConnected:
+    def test_direct(self):
+        g = construct.path_graph(3)
+        assert are_connected(g, 0, 2)
+
+    def test_cut(self):
+        g = construct.path_graph(3)
+        assert not are_connected(g, 0, 2, failure_set((1, 2)))
+
+    def test_same_node(self):
+        assert are_connected(construct.path_graph(2), 0, 0)
+
+    def test_component(self):
+        g = construct.cycle_graph(5)
+        assert component_of(g, 0) == frozenset(range(5))
+        cut = failure_set((0, 1), (0, 4))
+        assert component_of(g, 0, cut) == frozenset({0})
+
+
+class TestStEdgeConnectivity:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_complete_graph(self, n):
+        g = construct.complete_graph(n)
+        assert st_edge_connectivity(g, 0, n - 1) == n - 1
+
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: construct.cycle_graph(6), 2),
+            (lambda: construct.complete_bipartite(3, 3), 3),
+            (lambda: construct.grid_graph(3, 3), 2),
+            (lambda: construct.petersen_graph(), 3),
+        ],
+    )
+    def test_matches_networkx(self, builder, expected):
+        g = builder()
+        nodes = list(g.nodes)
+        s, t = nodes[0], nodes[-1]
+        ours = st_edge_connectivity(g, s, t)
+        assert ours == nx.edge_connectivity(g, s, t)
+        assert ours == expected
+
+    def test_respects_failures(self):
+        g = construct.complete_graph(5)
+        failures = failure_set((0, 4), (1, 4))
+        assert st_edge_connectivity(g, 0, 4, failures) == nx.edge_connectivity(
+            surviving_graph(g, failures), 0, 4
+        )
+
+    def test_stop_at_early_exit(self):
+        g = construct.complete_graph(8)
+        assert st_edge_connectivity(g, 0, 7, stop_at=3) == 3
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            st_edge_connectivity(construct.complete_graph(3), 0, 0)
+
+
+class TestLinkDisjointPaths:
+    def test_count_matches_connectivity(self):
+        g = construct.complete_graph(6)
+        paths = link_disjoint_paths(g, 0, 5)
+        assert len(paths) == 5
+
+    def test_paths_are_link_disjoint(self):
+        g = construct.complete_bipartite(3, 4)
+        paths = link_disjoint_paths(g, 0, 3)
+        used = set()
+        for path in paths:
+            for u, v in zip(path, path[1:]):
+                assert edge(u, v) not in used
+                used.add(edge(u, v))
+
+    def test_paths_are_valid(self):
+        g = construct.grid_graph(3, 3)
+        for path in link_disjoint_paths(g, 0, 8):
+            assert path[0] == 0 and path[-1] == 8
+            for u, v in zip(path, path[1:]):
+                assert g.has_edge(u, v)
+
+
+class TestGlobalConnectivity:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: construct.complete_graph(5), 4),
+            (lambda: construct.cycle_graph(7), 2),
+            (lambda: construct.path_graph(4), 1),
+            (lambda: construct.petersen_graph(), 3),
+        ],
+    )
+    def test_known_values(self, builder, expected):
+        assert global_edge_connectivity(builder()) == expected
+
+    def test_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        assert global_edge_connectivity(g) == 0
+
+
+class TestRConnectivityPromise:
+    def test_promise_holds(self):
+        g = construct.complete_graph(5)
+        assert preserves_r_connectivity(g, 0, 4, failure_set((0, 4)), r=2)
+
+    def test_promise_broken(self):
+        g = construct.cycle_graph(5)
+        assert not preserves_r_connectivity(g, 0, 2, failure_set((0, 1)), r=2)

@@ -1,0 +1,135 @@
+"""Unit tests for the graph family constructors."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import construct
+from repro.graphs.planarity import is_outerplanar, is_planar
+
+
+class TestComplete:
+    def test_k5_size(self):
+        g = construct.complete_graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 10
+
+    def test_k1(self):
+        assert construct.complete_graph(1).number_of_nodes() == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            construct.complete_graph(0)
+
+
+class TestCompleteBipartite:
+    def test_k33_size(self):
+        g = construct.complete_bipartite(3, 3)
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 9
+
+    def test_parts_annotated(self):
+        g = construct.complete_bipartite(2, 3)
+        left, right = construct.bipartition(g)
+        assert {len(left), len(right)} == {2, 3}
+
+    def test_bipartite(self):
+        assert nx.is_bipartite(construct.complete_bipartite(4, 4))
+
+
+class TestMinusLinks:
+    def test_k5_minus_one(self):
+        g = construct.k_minus(5, 1)
+        assert g.number_of_edges() == 9
+
+    def test_k5_minus_two_matching(self):
+        g = construct.k_minus(5, 2)
+        # Deterministic removal is a matching: no node loses two links.
+        degrees = sorted(d for _, d in g.degree)
+        assert g.number_of_edges() == 8
+        assert degrees == [3, 3, 3, 3, 4]
+
+    def test_k44_minus_one(self):
+        g = construct.k_bipartite_minus(4, 4, 1)
+        assert g.number_of_edges() == 15
+
+    def test_k33_minus_two(self):
+        g = construct.k_bipartite_minus(3, 3, 2)
+        assert g.number_of_edges() == 7
+
+    def test_missing_link_rejected(self):
+        g = construct.complete_graph(4)
+        with pytest.raises(ValueError):
+            construct.minus_links(g, [(0, 1), (0, 1)])
+
+    def test_original_untouched(self):
+        g = construct.complete_graph(4)
+        construct.minus_links(g, [(0, 1)])
+        assert g.number_of_edges() == 6
+
+
+class TestOuterplanarFamilies:
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_cycles_outerplanar(self, n):
+        assert is_outerplanar(construct.cycle_graph(n))
+
+    @pytest.mark.parametrize("n", [4, 7, 12])
+    def test_fans_outerplanar(self, n):
+        assert is_outerplanar(construct.fan_graph(n))
+
+    def test_fan_is_maximal(self):
+        g = construct.fan_graph(8)
+        assert g.number_of_edges() == 2 * 8 - 3
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_maximal_outerplanar(self, seed):
+        g = construct.maximal_outerplanar(10, seed=seed)
+        assert is_outerplanar(g)
+        assert g.number_of_edges() == 2 * 10 - 3
+
+    def test_star_outerplanar(self):
+        assert is_outerplanar(construct.star_graph(7))
+
+
+class TestGadgets:
+    def test_wheel_planar_not_outerplanar(self):
+        g = construct.wheel_graph(6)
+        assert is_planar(g)
+        assert not is_outerplanar(g)
+
+    def test_theta_not_outerplanar(self):
+        # theta with >= 3 spokes contains K2,3.
+        assert not is_outerplanar(construct.theta_graph(3))
+        assert is_outerplanar(construct.theta_graph(2))
+
+    def test_fig2_two_rail_structure(self):
+        g = construct.fig2_two_rail(3)
+        assert g.number_of_nodes() == 8
+        assert nx.has_path(g, "s", "t")
+
+    def test_fig6_netrail(self):
+        g = construct.fig6_netrail()
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 10
+        assert is_planar(g)
+        assert not is_outerplanar(g)
+
+    def test_grid_planar(self):
+        g = construct.grid_graph(4, 5)
+        assert is_planar(g)
+        assert not is_outerplanar(g)
+
+    def test_petersen_nonplanar(self):
+        assert not is_planar(construct.petersen_graph())
+
+
+class TestBipartition:
+    def test_path(self):
+        left, right = construct.bipartition(nx.path_graph(4))
+        assert left | right == {0, 1, 2, 3}
+        for u, v in nx.path_graph(4).edges:
+            assert (u in left) != (v in left)
+
+    def test_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        left, right = construct.bipartition(g)
+        assert left | right == {0, 1, 2, 3}

@@ -1,0 +1,90 @@
+"""Theorems 3, 4, 5: distance-bounded exploration and r-tolerance."""
+
+import pytest
+
+from repro.core.algorithms import Distance2Algorithm, Distance3BipartiteAlgorithm
+from repro.core.resilience import all_failure_sets, check_r_tolerance
+from repro.core.simulator import Network, route
+from repro.graphs import construct
+from repro.graphs.connectivity import surviving_graph
+
+import networkx as nx
+
+
+class TestDistance2Guarantee:
+    """[2, Thm 6.1]: delivery whenever dist(s, t) <= 2 after failures."""
+
+    @pytest.mark.parametrize("builder", [
+        lambda: construct.complete_graph(5),
+        lambda: construct.wheel_graph(5),
+        lambda: construct.complete_bipartite(2, 4),
+    ])
+    def test_all_distance2_scenarios(self, builder):
+        graph = builder()
+        nodes = sorted(graph.nodes)
+        s, t = nodes[0], nodes[-1]
+        pattern = Distance2Algorithm().build(graph, s, t)
+        network = Network(graph)
+        for failures in all_failure_sets(graph):
+            survived = surviving_graph(graph, failures)
+            if not nx.has_path(survived, s, t):
+                continue
+            if nx.shortest_path_length(survived, s, t) > 2:
+                continue
+            assert route(network, pattern, s, t, failures).delivered, failures
+
+
+class TestTheorem3:
+    """K_{2r+1} admits r-tolerance via distance-2 exploration."""
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_k2r_plus_1(self, r):
+        graph = construct.complete_graph(2 * r + 1)
+        verdict = check_r_tolerance(graph, Distance2Algorithm(), 0, 2 * r, r=r)
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_subgraph_closure(self):
+        # Corollary 2: r-tolerance transfers to subgraphs
+        graph = construct.minus_links(construct.complete_graph(5), [(1, 2)])
+        verdict = check_r_tolerance(graph, Distance2Algorithm(), 0, 4, r=2)
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestTheorem4:
+    """Bipartite distance-3 delivery guarantee."""
+
+    @pytest.mark.parametrize("builder,s,t", [
+        (lambda: construct.complete_bipartite(3, 3), 0, 3),
+        (lambda: construct.complete_bipartite(3, 3), 0, 1),
+        (lambda: construct.complete_bipartite(2, 4), 0, 2),
+    ])
+    def test_all_distance3_scenarios(self, builder, s, t):
+        graph = builder()
+        pattern = Distance3BipartiteAlgorithm().build(graph, s, t)
+        network = Network(graph)
+        for failures in all_failure_sets(graph):
+            survived = surviving_graph(graph, failures)
+            if not nx.has_path(survived, s, t):
+                continue
+            if nx.shortest_path_length(survived, s, t) > 3:
+                continue
+            assert route(network, pattern, s, t, failures).delivered, failures
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(ValueError):
+            Distance3BipartiteAlgorithm().build(construct.complete_graph(4), 0, 3)
+
+
+class TestTheorem5:
+    """K_{2r-1,2r-1} admits r-tolerance via distance-3 exploration."""
+
+    @pytest.mark.parametrize("s,t", [(0, 3), (0, 1)])
+    def test_k33_2_tolerant(self, s, t):
+        graph = construct.complete_bipartite(3, 3)
+        verdict = check_r_tolerance(graph, Distance3BipartiteAlgorithm(), s, t, r=2)
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_k11_1_tolerant(self):
+        graph = construct.complete_bipartite(1, 1)
+        verdict = check_r_tolerance(graph, Distance3BipartiteAlgorithm(), 0, 1, r=1)
+        assert verdict.resilient

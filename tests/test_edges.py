@@ -1,0 +1,89 @@
+"""Unit tests for canonical edges and failure sets."""
+
+import pytest
+
+from repro.graphs.edges import (
+    EMPTY_FAILURES,
+    edge,
+    edges,
+    failure_set,
+    incident_failures,
+    iter_subsets,
+    other_endpoint,
+)
+
+
+class TestEdge:
+    def test_orders_integers(self):
+        assert edge(3, 1) == (1, 3)
+
+    def test_orders_strings(self):
+        assert edge("b", "a") == ("a", "b")
+
+    def test_symmetric(self):
+        assert edge(1, 2) == edge(2, 1)
+
+    def test_hash_equal(self):
+        assert hash(edge(1, 2)) == hash(edge(2, 1))
+
+    def test_mixed_types_stable(self):
+        assert edge("x", 1) == edge(1, "x")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            edge(1, 1)
+
+    def test_preserves_identity(self):
+        u, v = edge(5, 2)
+        assert {u, v} == {2, 5}
+
+
+class TestEdges:
+    def test_deduplicates_orientations(self):
+        assert edges([(2, 1), (1, 2)]) == frozenset({(1, 2)})
+
+    def test_failure_set_constructor(self):
+        assert failure_set((1, 2), (3, 2)) == frozenset({(1, 2), (2, 3)})
+
+    def test_empty(self):
+        assert edges([]) == EMPTY_FAILURES
+
+
+class TestIncidentFailures:
+    def test_filters_by_node(self):
+        failures = failure_set((1, 2), (2, 3), (4, 5))
+        assert incident_failures(failures, 2) == failure_set((1, 2), (2, 3))
+
+    def test_non_member(self):
+        failures = failure_set((1, 2))
+        assert incident_failures(failures, 9) == EMPTY_FAILURES
+
+    def test_empty_failures(self):
+        assert incident_failures(EMPTY_FAILURES, 1) == EMPTY_FAILURES
+
+
+class TestOtherEndpoint:
+    def test_both_directions(self):
+        assert other_endpoint((1, 2), 1) == 2
+        assert other_endpoint((1, 2), 2) == 1
+
+    def test_non_endpoint_raises(self):
+        with pytest.raises(ValueError):
+            other_endpoint((1, 2), 3)
+
+
+class TestIterSubsets:
+    def test_counts_power_set(self):
+        items = [edge(0, 1), edge(1, 2), edge(2, 3)]
+        assert sum(1 for _ in iter_subsets(items)) == 8
+
+    def test_size_cap(self):
+        items = [edge(0, 1), edge(1, 2), edge(2, 3)]
+        subsets = list(iter_subsets(items, max_size=1))
+        assert len(subsets) == 4
+        assert all(len(s) <= 1 for s in subsets)
+
+    def test_increasing_size_order(self):
+        items = [edge(0, 1), edge(1, 2)]
+        sizes = [len(s) for s in iter_subsets(items)]
+        assert sizes == sorted(sizes)

@@ -1,0 +1,81 @@
+"""Unit tests for rotation systems and outer-face walks."""
+
+import pytest
+
+from repro.graphs import construct
+from repro.graphs.embeddings import (
+    NotOuterplanarError,
+    outer_face_walk,
+    outerplanar_rotation,
+)
+
+
+class TestRotation:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.cycle_graph(6),
+            lambda: construct.fan_graph(7),
+            lambda: construct.path_graph(4),
+            lambda: construct.maximal_outerplanar(12, seed=0),
+            lambda: construct.star_graph(5),
+        ],
+    )
+    def test_covers_all_neighbours(self, builder):
+        graph = builder()
+        rotation = outerplanar_rotation(graph)
+        for node in graph.nodes:
+            assert set(rotation.rotation[node]) == set(graph.neighbors(node))
+
+    def test_rejects_non_outerplanar(self):
+        with pytest.raises(NotOuterplanarError):
+            outerplanar_rotation(construct.complete_graph(4))
+
+    def test_isolated_node(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        assert outerplanar_rotation(g).rotation[0] == ()
+
+    def test_successor_skips_dead(self):
+        graph = construct.cycle_graph(4)
+        rotation = outerplanar_rotation(graph)
+        order = rotation.rotation[0]
+        only = {order[0]}
+        assert rotation.successor(0, order[1], only) == order[0]
+
+    def test_successor_bounce(self):
+        graph = construct.cycle_graph(4)
+        rotation = outerplanar_rotation(graph)
+        inport = rotation.rotation[0][0]
+        assert rotation.successor(0, inport, {inport}) == inport
+
+    def test_successor_unknown_inport(self):
+        graph = construct.cycle_graph(4)
+        rotation = outerplanar_rotation(graph)
+        with pytest.raises(ValueError):
+            rotation.successor(0, 2, {1, 3})
+
+
+class TestOuterFaceWalk:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_walk_covers_all_nodes(self, seed):
+        graph = construct.maximal_outerplanar(9, seed=seed)
+        rotation = outerplanar_rotation(graph)
+        for start in graph.nodes:
+            walk = outer_face_walk(graph, rotation, start)
+            assert set(walk) == set(graph.nodes)
+
+    def test_walk_on_tree(self):
+        graph = construct.star_graph(4)
+        rotation = outerplanar_rotation(graph)
+        walk = outer_face_walk(graph, rotation, 0)
+        assert set(walk) == set(graph.nodes)
+
+    def test_walk_moves_along_links(self):
+        graph = construct.fan_graph(6)
+        rotation = outerplanar_rotation(graph)
+        walk = outer_face_walk(graph, rotation, 1)
+        for u, v in zip(walk, walk[1:]):
+            assert graph.has_edge(u, v)

@@ -1,0 +1,43 @@
+"""GraphML import/export: the bridge to the real Topology Zoo dataset."""
+
+import networkx as nx
+
+from repro.core.classification import classify
+from repro.graphs.zoo import generate_zoo, load_graphml_zoo, save_graphml
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        suite = generate_zoo()[:6]
+        written = save_graphml(suite, tmp_path)
+        assert written == 6
+        loaded = load_graphml_zoo(tmp_path)
+        assert len(loaded) == 6
+        by_name = {z.name: z for z in loaded}
+        for original in suite:
+            restored = by_name[original.name]
+            assert nx.is_isomorphic(original.graph, restored.graph)
+            assert restored.family == original.family
+
+    def test_loaded_graphs_classify(self, tmp_path):
+        suite = generate_zoo()[:2]
+        save_graphml(suite, tmp_path)
+        for topology in load_graphml_zoo(tmp_path):
+            result = classify(topology.graph, name=topology.name, minor_budget=500)
+            assert result.n == topology.n
+
+    def test_multigraph_collapsed(self, tmp_path):
+        multi = nx.MultiGraph()
+        multi.add_edge("a", "b")
+        multi.add_edge("a", "b")  # parallel link, as in some real Zoo files
+        multi.add_edge("b", "b")  # self loop
+        multi.add_edge("b", "c")
+        nx.write_graphml(multi, tmp_path / "real.graphml")
+        loaded = load_graphml_zoo(tmp_path)
+        assert len(loaded) == 1
+        graph = loaded[0].graph
+        assert graph.number_of_edges() == 2
+        assert not any(u == v for u, v in graph.edges)
+
+    def test_empty_directory(self, tmp_path):
+        assert load_graphml_zoo(tmp_path) == []

@@ -1,0 +1,84 @@
+"""Unit tests for Hamiltonian decompositions (Theorem 17 substrate)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import construct
+from repro.graphs.hamiltonian import (
+    bipartite_hamiltonian_decomposition,
+    cycle_edges,
+    hamiltonian_decomposition,
+    is_hamiltonian_decomposition,
+    walecki_decomposition,
+)
+
+
+class TestWalecki:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 11, 13])
+    def test_partitions_complete_graph(self, n):
+        cycles = walecki_decomposition(n)
+        assert len(cycles) == (n - 1) // 2
+        assert is_hamiltonian_decomposition(construct.complete_graph(n), cycles)
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_even_rejected(self, n):
+        with pytest.raises(ValueError):
+            walecki_decomposition(n)
+
+    def test_cycles_are_hamiltonian(self):
+        for cycle in walecki_decomposition(9):
+            assert len(cycle) == 9
+            assert len(set(cycle)) == 9
+
+
+class TestBipartite:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10])
+    def test_partitions_complete_bipartite(self, n):
+        cycles = bipartite_hamiltonian_decomposition(n)
+        assert len(cycles) == n // 2
+        assert is_hamiltonian_decomposition(construct.complete_bipartite(n, n), cycles)
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_odd_rejected(self, n):
+        with pytest.raises(ValueError):
+            bipartite_hamiltonian_decomposition(n)
+
+    def test_cycles_alternate_parts(self):
+        for cycle in bipartite_hamiltonian_decomposition(4):
+            for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+                assert (u < 4) != (v < 4)
+
+
+class TestDispatcher:
+    def test_complete(self):
+        g = construct.complete_graph(7)
+        assert is_hamiltonian_decomposition(g, hamiltonian_decomposition(g))
+
+    def test_complete_bipartite(self):
+        g = construct.complete_bipartite(4, 4)
+        assert is_hamiltonian_decomposition(g, hamiltonian_decomposition(g))
+
+    def test_unsupported(self):
+        with pytest.raises(ValueError):
+            hamiltonian_decomposition(construct.cycle_graph(6))
+
+
+class TestValidation:
+    def test_rejects_shared_link(self):
+        g = construct.complete_graph(5)
+        cycles = walecki_decomposition(5)
+        bad = [cycles[0], cycles[0]]
+        assert not is_hamiltonian_decomposition(g, bad)
+
+    def test_rejects_partial_cover(self):
+        g = construct.complete_graph(5)
+        cycles = walecki_decomposition(5)[:1]
+        assert not is_hamiltonian_decomposition(g, cycles)
+
+    def test_rejects_non_hamiltonian(self):
+        g = construct.complete_graph(5)
+        assert not is_hamiltonian_decomposition(g, [[0, 1, 2, 3]])
+
+    def test_cycle_edges_closes_loop(self):
+        edges = cycle_edges([0, 1, 2])
+        assert set(edges) == {(0, 1), (1, 2), (0, 2)}

@@ -1,0 +1,52 @@
+"""Theorem 17: k-resilient touring of 2k-connected K_n / K_{n,n}."""
+
+import pytest
+
+from repro.core.algorithms import HamiltonianTouring
+from repro.core.resilience import check_k_resilient_touring, sampled_failure_sets
+from repro.graphs import construct
+
+
+class TestTheorem17Complete:
+    @pytest.mark.parametrize("n,k", [(5, 2), (7, 3)])
+    def test_exhaustive_up_to_k_minus_1_failures(self, n, k):
+        graph = construct.complete_graph(n)
+        assert HamiltonianTouring.tolerated_failures(graph) == k - 1
+        verdict = check_k_resilient_touring(graph, HamiltonianTouring(), max_failures=k - 1)
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_k9_sampled(self):
+        graph = construct.complete_graph(9)
+        verdict = check_k_resilient_touring(
+            graph,
+            HamiltonianTouring(),
+            max_failures=3,
+            failure_sets=sampled_failure_sets(graph, samples=200, max_failures=3, seed=4),
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestTheorem17Bipartite:
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3)])
+    def test_exhaustive_up_to_k_minus_1_failures(self, n, k):
+        graph = construct.complete_bipartite(n, n)
+        verdict = check_k_resilient_touring(graph, HamiltonianTouring(), max_failures=k - 1)
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestBeyondPromise:
+    def test_no_crash_on_many_failures(self):
+        # beyond k-1 failures nothing is guaranteed, but the pattern must
+        # still behave (no illegal forwards)
+        from repro.core.simulator import tour
+        from repro.graphs.edges import failure_set
+
+        graph = construct.complete_graph(5)
+        pattern = HamiltonianTouring().build(graph)
+        failures = failure_set((0, 1), (1, 2), (2, 3), (3, 4))
+        result = tour(graph, pattern, 0, failures)
+        assert result.failed is None or result.failed.value in ("dropped",)
+
+    def test_unsupported_graph(self):
+        with pytest.raises(ValueError):
+            HamiltonianTouring().build(construct.cycle_graph(6))

@@ -1,0 +1,76 @@
+"""Ideal resilience (§I.B.1) and the Theorem 2 minor gap."""
+
+import pytest
+
+from repro.core.adversary import (
+    GuardedSourceAlgorithm,
+    attack_r_tolerance,
+    theorem2_graph,
+)
+from repro.core.algorithms import ArborescenceRouting, Distance2Algorithm, TourToDestination
+from repro.core.resilience import check_ideal_resilience, check_r_tolerance
+from repro.graphs import construct
+from repro.graphs.connectivity import st_edge_connectivity
+from repro.graphs.edges import edge
+
+
+class TestIdealResilience:
+    def test_ring_is_1_ideally_resilient(self):
+        verdict = check_ideal_resilience(construct.cycle_graph(5), ArborescenceRouting())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_k4_is_2_ideally_resilient(self):
+        verdict = check_ideal_resilience(construct.complete_graph(4), ArborescenceRouting())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_perfect_implies_ideal(self):
+        # Cor 5's pattern is perfectly resilient on the wheel for the hub,
+        # hence also ideally resilient (§I.B.1)
+        graph = construct.wheel_graph(5)
+        verdict = check_ideal_resilience(graph, TourToDestination(), destinations=[0])
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_disconnected_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            check_ideal_resilience(nx.Graph([(0, 1), (2, 3)]), ArborescenceRouting())
+
+
+class TestTheorem2:
+    def test_construction_shape(self):
+        graph, source, destination = theorem2_graph(2)
+        assert graph.degree(source) == 2  # r-1 relays + direct link
+        assert graph.has_edge(source, destination)
+
+    def test_new_graph_is_r_tolerant(self):
+        graph, source, destination = theorem2_graph(2)
+        # the promise forces all of s''s links alive; sample the failure
+        # sets that keep the promise and check delivery
+        from repro.core.resilience import sampled_failure_sets
+
+        verdict = check_r_tolerance(
+            graph,
+            GuardedSourceAlgorithm(),
+            source,
+            destination,
+            r=2,
+            failure_sets=sampled_failure_sets(graph, samples=300, seed=3),
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_promise_forces_direct_link(self):
+        graph, source, destination = theorem2_graph(2)
+        direct = edge(source, destination)
+        # failing the direct link caps λ(s', t) at deg(s') - 1 = 1 < 2
+        assert st_edge_connectivity(graph, source, destination, frozenset([direct])) < 2
+
+    def test_minor_is_not_r_tolerant(self):
+        # the K13 minor admits no 2-tolerant pattern (Theorem 1)
+        base = construct.complete_graph(13)
+        result = attack_r_tolerance(base, Distance2Algorithm(), 0, 12, r=2)
+        assert result is not None
+
+    def test_r1_rejected(self):
+        with pytest.raises(ValueError):
+            theorem2_graph(1)

@@ -1,0 +1,104 @@
+"""[2, §4] closure machinery: patterns survive subgraphs and contractions.
+
+These tests *execute* the minor-closure arguments the paper cites: start
+from a verified perfectly resilient pattern and check (exhaustively) that
+the wrapped pattern is perfectly resilient on the minor.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithms import K5SourceRouting, K33SourceRouting, RightHandTouring
+from repro.core.algorithms.minor_transfer import (
+    ContractionPattern,
+    SubgraphPattern,
+    contract_link_with_pattern,
+    delete_link_with_pattern,
+)
+from repro.core.resilience import check_pattern_resilience, check_perfect_touring
+from repro.core.simulator import Network, tours_component
+from repro.core.resilience import all_failure_sets
+from repro.graphs import construct
+
+
+class TestSubgraphTransfer:
+    @pytest.mark.parametrize("removed", [(0, 1), (1, 2), (0, 4)])
+    def test_k5_pattern_on_subgraph(self, removed):
+        host = construct.complete_graph(5)
+        source, destination = 0, 4
+        if destination in removed and source in removed:
+            pytest.skip("removing the s-t link directly is covered elsewhere")
+        base = K5SourceRouting().build(host, source, destination)
+        minor, pattern = delete_link_with_pattern(host, base, *removed)
+        verdict = check_pattern_resilience(minor, pattern, destination, sources=[source])
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_iterated_deletion(self):
+        host = construct.complete_graph(5)
+        base = K5SourceRouting().build(host, 0, 4)
+        graph, pattern = host, base
+        for link in [(1, 2), (2, 3), (1, 3)]:
+            graph, pattern = delete_link_with_pattern(graph, pattern, *link)
+        verdict = check_pattern_resilience(graph, pattern, 4, sources=[0])
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestContractionTransfer:
+    def test_k5_contraction_gives_k4_pattern(self):
+        host = construct.complete_graph(5)
+        source, destination = 0, 4
+        base = K5SourceRouting().build(host, source, destination)
+        minor, pattern = contract_link_with_pattern(host, base, keep=1, absorb=2)
+        assert minor.number_of_nodes() == 4
+        verdict = check_pattern_resilience(minor, pattern, destination, sources=[source])
+        assert verdict.resilient, str(verdict.counterexample)
+
+    @pytest.mark.parametrize("keep,absorb", [(1, 2), (2, 3), (3, 1)])
+    def test_k33_contraction(self, keep, absorb):
+        host = construct.complete_bipartite(3, 3)
+        source, destination = 0, 5
+        # contract within the non-terminal nodes (parts are {0,1,2}, {3,4,5})
+        keep_node, absorb_node = keep, absorb + 3 - 3  # stay explicit
+        host_edgeable = [(1, 3), (1, 4), (2, 3)]
+        keep_node, absorb_node = host_edgeable[(keep + absorb) % 3]
+        base = K33SourceRouting().build(host, source, destination)
+        minor, pattern = contract_link_with_pattern(host, base, keep_node, absorb_node)
+        verdict = check_pattern_resilience(minor, pattern, destination, sources=[source])
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_contraction_requires_link(self):
+        host = construct.complete_bipartite(3, 3)
+        base = K33SourceRouting().build(host, 0, 5)
+        with pytest.raises(ValueError):
+            ContractionPattern(host, base, keep=0, absorb=1)  # same part: no link
+
+    def test_mixed_operations(self):
+        host = construct.complete_graph(5)
+        base = K5SourceRouting().build(host, 0, 4)
+        graph, pattern = delete_link_with_pattern(host, base, 1, 3)
+        graph, pattern = contract_link_with_pattern(graph, pattern, keep=1, absorb=2)
+        verdict = check_pattern_resilience(graph, pattern, 4, sources=[0])
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestTouringTransfer:
+    """Corollary 7: touring patterns transfer to minors."""
+
+    def test_touring_subgraph(self):
+        host = construct.maximal_outerplanar(7, seed=4)
+        base = RightHandTouring().build(host)
+        link = next(iter(host.edges))
+        minor, pattern = delete_link_with_pattern(host, base, *link)
+        network = Network(minor)
+        for failures in all_failure_sets(minor, max_failures=2):
+            for start in minor.nodes:
+                assert tours_component(network, pattern, start, failures)
+
+    def test_touring_contraction(self):
+        host = construct.cycle_graph(6)
+        base = RightHandTouring().build(host)
+        minor, pattern = contract_link_with_pattern(host, base, keep=0, absorb=1)
+        network = Network(minor)
+        for failures in all_failure_sets(minor):
+            for start in minor.nodes:
+                assert tours_component(network, pattern, start, failures)

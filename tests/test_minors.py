@@ -1,0 +1,188 @@
+"""Unit tests for the minor-containment engine (the minorminer substitute)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import construct
+from repro.graphs.minors import (
+    MinorOutcome,
+    contains_subgraph,
+    forbidden_minor_destination,
+    forbidden_minor_source_destination,
+    forbidden_minor_touring,
+    has_any_minor,
+    has_minor,
+    is_minor_of,
+    pattern_k4,
+    pattern_k7_minus1,
+    pattern_k23,
+    pattern_k33_minus1,
+    pattern_k44_minus1,
+    pattern_k5_minus1,
+)
+from repro.graphs.reductions import reduce_host
+
+
+def subdivide(graph, times=1):
+    """Subdivide every link ``times`` times."""
+    out = nx.Graph()
+    counter = max(graph.nodes) + 1
+    for u, v in graph.edges:
+        previous = u
+        for _ in range(times):
+            out.add_edge(previous, counter)
+            previous = counter
+            counter += 1
+        out.add_edge(previous, v)
+    return out
+
+
+class TestPatterns:
+    def test_shapes(self):
+        assert pattern_k4().number_of_edges() == 6
+        assert pattern_k23().number_of_edges() == 6
+        assert pattern_k5_minus1().number_of_edges() == 9
+        assert pattern_k33_minus1().number_of_edges() == 8
+        assert pattern_k7_minus1().number_of_edges() == 20
+        assert pattern_k44_minus1().number_of_edges() == 15
+
+
+class TestContainsSubgraph:
+    def test_k4_in_k5(self):
+        assert contains_subgraph(construct.complete_graph(5), pattern_k4())
+
+    def test_k5_not_in_k4(self):
+        assert not contains_subgraph(construct.complete_graph(4), construct.complete_graph(5))
+
+    def test_non_induced(self):
+        # C4 is a (non-induced) subgraph of K4
+        assert contains_subgraph(construct.complete_graph(4), construct.cycle_graph(4))
+
+
+class TestHasMinor:
+    def test_petersen_contains_k5(self):
+        assert has_minor(construct.petersen_graph(), construct.complete_graph(5)) is MinorOutcome.YES
+
+    def test_petersen_contains_k33(self):
+        assert (
+            has_minor(construct.petersen_graph(), construct.complete_bipartite(3, 3))
+            is MinorOutcome.YES
+        )
+
+    def test_k4_not_in_cycle(self):
+        assert has_minor(construct.cycle_graph(10), pattern_k4()) is MinorOutcome.NO
+
+    def test_subgraph_is_minor(self):
+        assert has_minor(construct.complete_graph(6), pattern_k5_minus1()) is MinorOutcome.YES
+
+    def test_subdivision_is_minor(self):
+        sub = subdivide(pattern_k4(), times=2)
+        assert has_minor(sub, pattern_k4()) is MinorOutcome.YES
+
+    def test_subdivided_k33_minus1_regression(self):
+        # Regression: degree-2 pattern vertices may sit on subdivision
+        # nodes — host suppression must not erase them.
+        sub = subdivide(pattern_k33_minus1(), times=1)
+        assert has_minor(sub, pattern_k33_minus1()) is MinorOutcome.YES
+
+    def test_wheel_has_no_k5_minus1(self):
+        assert has_minor(construct.wheel_graph(6), pattern_k5_minus1(), budget=100_000) is MinorOutcome.NO
+
+    def test_planarity_shortcut(self):
+        # K7^-1 is non-planar; any planar host is immediately clean.
+        assert has_minor(construct.grid_graph(6, 6), pattern_k7_minus1()) is MinorOutcome.NO
+
+    def test_disconnected_pattern_rejected(self):
+        pattern = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            has_minor(construct.complete_graph(5), pattern)
+
+    def test_pendants_do_not_matter(self):
+        host = nx.Graph(construct.petersen_graph())
+        for i in range(5):
+            host.add_edge(i, 100 + i)
+        assert has_minor(host, construct.complete_graph(5)) is MinorOutcome.YES
+
+
+class TestHasAnyMinor:
+    def test_yes_dominates(self):
+        outcome = has_any_minor(
+            construct.petersen_graph(), [pattern_k7_minus1(), construct.complete_graph(5)]
+        )
+        assert outcome is MinorOutcome.YES
+
+    def test_all_no(self):
+        outcome = has_any_minor(construct.cycle_graph(8), [pattern_k4(), pattern_k23()])
+        assert outcome is MinorOutcome.NO
+
+
+class TestIsMinorOf:
+    def test_triangle_of_k33(self):
+        # the triangle is a minor of K3,3 (contract one link)
+        assert is_minor_of(construct.complete_graph(3), construct.complete_bipartite(3, 3)) is MinorOutcome.YES
+
+    def test_k4_not_of_k33_minus(self):
+        assert is_minor_of(construct.complete_graph(4), construct.k_bipartite_minus(3, 3, 2)) is MinorOutcome.NO
+
+
+class TestForbiddenMinorClassifiers:
+    def test_touring_is_outerplanarity(self):
+        assert forbidden_minor_touring(construct.cycle_graph(6)) is MinorOutcome.NO
+        assert forbidden_minor_touring(construct.wheel_graph(5)) is MinorOutcome.YES
+
+    def test_destination_nonplanar_shortcut(self):
+        assert forbidden_minor_destination(construct.petersen_graph()) is MinorOutcome.YES
+
+    def test_destination_netrail_clean(self):
+        # Fig. 6: Netrail has no K5^-1 / K3,3^-1 minor ("sometimes")
+        assert forbidden_minor_destination(construct.fig6_netrail(), budget=100_000) is MinorOutcome.NO
+
+    def test_destination_grid_dirty(self):
+        assert forbidden_minor_destination(construct.grid_graph(4, 4)) is MinorOutcome.YES
+
+    def test_destination_double_wheel_dirty(self):
+        g = construct.cycle_graph(6)
+        for hub in (6, 7):
+            for v in range(6):
+                g.add_edge(hub, v)
+        assert forbidden_minor_destination(g) is MinorOutcome.YES
+
+    def test_source_destination_planar_clean(self):
+        assert forbidden_minor_source_destination(construct.grid_graph(6, 6)) is MinorOutcome.NO
+
+    def test_source_destination_k7_dirty(self):
+        assert forbidden_minor_source_destination(construct.complete_graph(7)) is MinorOutcome.YES
+
+    def test_source_destination_k44_dirty(self):
+        assert forbidden_minor_source_destination(construct.complete_bipartite(4, 4)) is MinorOutcome.YES
+
+    def test_source_destination_k6_clean(self):
+        # K6 is non-planar but holds neither K7^-1 nor K4,4^-1
+        assert (
+            forbidden_minor_source_destination(construct.complete_graph(6), budget=200_000)
+            is MinorOutcome.NO
+        )
+
+
+class TestReductions:
+    def test_pendants_removed(self):
+        host = nx.Graph(construct.complete_graph(5))
+        host.add_edge(0, 10)
+        reduced = reduce_host(host, pattern_k4())
+        assert 10 not in reduced
+
+    def test_series_suppressed_for_min_degree_3(self):
+        sub = subdivide(construct.complete_graph(5), times=1)
+        reduced = reduce_host(sub, pattern_k4())
+        assert reduced.number_of_nodes() == 5
+        assert reduced.number_of_edges() == 10
+
+    def test_no_suppression_for_degree2_patterns(self):
+        sub = subdivide(pattern_k33_minus1(), times=1)
+        reduced = reduce_host(sub, pattern_k33_minus1())
+        # degree-2 pattern: only pendant removal is safe; nothing shrinks
+        assert reduced.number_of_nodes() == sub.number_of_nodes()
+
+    def test_fast_path_returns_same_object(self):
+        host = construct.complete_graph(6)
+        assert reduce_host(host, pattern_k4()) is host

@@ -1,0 +1,63 @@
+"""Unit tests for the routing-model formalism (§II)."""
+
+from repro.core.model import (
+    LocalView,
+    RoutingModel,
+    destination_as_source_destination,
+    touring_as_destination,
+)
+from repro.core.algorithms import GreedyLowestNeighbor, RightHandTouring
+from repro.core.resilience import check_pattern_resilience
+from repro.core.simulator import route
+from repro.graphs import construct
+from repro.graphs.edges import failure_set
+
+
+class TestLocalView:
+    def test_alive_set(self):
+        view = LocalView(node=0, inport=None, alive=(1, 2), failed_links=frozenset())
+        assert view.alive_set == frozenset({1, 2})
+
+    def test_alive_without(self):
+        view = LocalView(node=0, inport=1, alive=(1, 2, 3), failed_links=frozenset())
+        assert view.alive_without(1) == (2, 3)
+        assert view.alive_without(None, 2) == (1, 3)
+
+    def test_frozen(self):
+        view = LocalView(node=0, inport=None, alive=(), failed_links=frozenset())
+        try:
+            view.node = 5
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
+
+
+class TestModelEnum:
+    def test_three_models(self):
+        assert {m.value for m in RoutingModel} == {
+            "source-destination",
+            "destination",
+            "port",
+        }
+
+
+class TestAdapters:
+    def test_destination_as_source_destination(self):
+        algorithm = destination_as_source_destination(GreedyLowestNeighbor())
+        g = construct.complete_graph(4)
+        pattern = algorithm.build(g, 0, 3)
+        assert route(g, pattern, 0, 3).delivered
+
+    def test_touring_as_destination_on_ring(self):
+        algorithm = touring_as_destination(RightHandTouring())
+        g = construct.cycle_graph(6)
+        verdict = check_pattern_resilience(g, algorithm.build(g, 3), 3)
+        assert verdict.resilient
+
+    def test_touring_as_destination_under_failures(self):
+        algorithm = touring_as_destination(RightHandTouring())
+        g = construct.fan_graph(6)
+        pattern = algorithm.build(g, 5)
+        result = route(g, pattern, 1, 5, failure_set((0, 5)))
+        assert result.delivered

@@ -1,0 +1,87 @@
+"""Definitions 2/3 and Corollary 8: relevant neighbours and orbits."""
+
+from repro.core.algorithms import GreedyLowestNeighbor, K5SourceRouting
+from repro.core.orbits import (
+    corollary8_violation,
+    orbit_of,
+    relevant_neighbors,
+    same_orbit,
+)
+from repro.core.tables import CyclicPermutationPattern
+from repro.graphs import construct
+from repro.graphs.edges import failure_set
+
+
+class TestRelevantNeighbors:
+    def test_only_destination_relevant_when_adjacent(self):
+        # Definition 2 removes the *other* surviving neighbours entirely,
+        # so while the t-link is alive only t itself is relevant
+        g = construct.complete_graph(5)
+        assert relevant_neighbors(g, 1, destination=4) == [4]
+
+    def test_all_relevant_once_t_link_fails(self):
+        g = construct.complete_graph(5)
+        relevant = relevant_neighbors(g, 1, destination=4, failures=failure_set((1, 4)))
+        assert relevant == [0, 2, 3]
+
+    def test_cut_neighbour_is_relevant(self):
+        g = construct.path_graph(4)  # 0-1-2-3, t=3
+        assert relevant_neighbors(g, 1, destination=3) == [2]
+
+    def test_failures_shrink_relevance(self):
+        g = construct.complete_graph(4)
+        failures = failure_set((1, 3))
+        relevant = relevant_neighbors(g, 1, destination=3, failures=failures)
+        assert 3 not in relevant
+        assert relevant  # 0 and 2 can still relay
+
+    def test_dead_end_not_relevant(self):
+        g = construct.path_graph(3)
+        g.add_edge(1, 9)  # pendant off the middle node
+        # 9 can never relay packets from 1 to 2
+        assert relevant_neighbors(g, 1, destination=2) == [2]
+
+
+class TestOrbits:
+    def test_cyclic_pattern_single_orbit(self):
+        g = construct.complete_graph(4)
+        pattern = CyclicPermutationPattern(cycles={0: (1, 2, 3)})
+        orbit = orbit_of(g, pattern, 0, start=1)
+        assert set(orbit) == {1, 2, 3}
+
+    def test_bouncing_pattern_small_orbit(self):
+        g = construct.complete_graph(4)
+        pattern = CyclicPermutationPattern(cycles={0: (1, 2)})  # ignores 3
+        assert 3 not in orbit_of(g, pattern, 0, start=1)
+
+    def test_same_orbit_symmetry_on_cycles(self):
+        g = construct.complete_graph(4)
+        pattern = CyclicPermutationPattern(cycles={0: (1, 2, 3)})
+        assert same_orbit(g, pattern, 0, 1, 3)
+        assert same_orbit(g, pattern, 0, 3, 1)
+
+
+class TestCorollary8:
+    def test_algorithm1_is_clean_at_inner_nodes(self):
+        # Algorithm 1 is perfectly resilient, so no certificate can exist
+        g = construct.complete_graph(5)
+        pattern = K5SourceRouting().build(g, 0, 4)
+        assert corollary8_violation(g, pattern, destination=4, source=0) is None
+
+    def test_greedy_pattern_violates(self):
+        # greedy lowest-neighbour is not perfectly resilient on K5; the
+        # certificate finds a node that never relays to a relevant neighbour
+        g = construct.complete_graph(5)
+        pattern = GreedyLowestNeighbor().build(g, 4)
+        witness = corollary8_violation(g, pattern, destination=4)
+        assert witness is not None
+        node, failures, a, b = witness
+        assert a != b
+        assert node not in (4,)
+
+    def test_violation_names_relevant_pair(self):
+        g = construct.complete_graph(5)
+        pattern = GreedyLowestNeighbor().build(g, 4)
+        node, failures, a, b = corollary8_violation(g, pattern, destination=4)
+        relevant = relevant_neighbors(g, node, 4, failures)
+        assert a in relevant and b in relevant

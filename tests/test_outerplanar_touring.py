@@ -1,0 +1,99 @@
+"""Corollaries 5 and 6 (positive side): right-hand-rule touring."""
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithms import RightHandTouring, TourToDestination, TwoStageTour
+from repro.core.resilience import (
+    check_pattern_resilience,
+    check_perfect_touring,
+    sampled_failure_sets,
+)
+from repro.graphs import construct
+from repro.graphs.embeddings import NotOuterplanarError
+
+
+class TestRightHandTouring:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.cycle_graph(5),
+            lambda: construct.path_graph(5),
+            lambda: construct.fan_graph(6),
+            lambda: construct.star_graph(4),
+            lambda: construct.maximal_outerplanar(7, seed=1),
+            lambda: construct.maximal_outerplanar(7, seed=5),
+        ],
+    )
+    def test_exhaustive_perfect_touring(self, builder):
+        verdict = check_perfect_touring(builder(), RightHandTouring())
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_larger_graph_sampled(self):
+        graph = construct.maximal_outerplanar(15, seed=3)
+        verdict = check_perfect_touring(
+            graph,
+            RightHandTouring(),
+            failure_sets=sampled_failure_sets(graph, samples=120, seed=9),
+        )
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_rejects_non_outerplanar(self):
+        with pytest.raises(NotOuterplanarError):
+            RightHandTouring().build(construct.complete_graph(4))
+
+    def test_disconnected(self):
+        g = nx.disjoint_union(construct.cycle_graph(4), construct.path_graph(3))
+        verdict = check_perfect_touring(g, RightHandTouring())
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestTourToDestination:
+    def test_supports(self):
+        wheel = construct.wheel_graph(6)
+        assert TourToDestination().supports(wheel, 0)  # hub removal -> ring
+        assert not TourToDestination().supports(construct.complete_graph(5), 0)
+
+    @pytest.mark.parametrize(
+        "builder,destination",
+        [
+            (lambda: construct.wheel_graph(5), 0),
+            (lambda: construct.wheel_graph(5), 3),
+            (lambda: construct.cycle_graph(6), 2),
+            (lambda: construct.fan_graph(6), 0),
+        ],
+    )
+    def test_exhaustive_perfect_resilience(self, builder, destination):
+        graph = builder()
+        pattern = TourToDestination().build(graph, destination)
+        verdict = check_pattern_resilience(graph, pattern, destination)
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_netrail_good_destination(self):
+        # Fig. 6: with v6 as destination, the remaining graph is
+        # outerplanar and Cor 5 yields perfect resilience
+        graph = construct.fig6_netrail()
+        good = [t for t in graph.nodes if TourToDestination().supports(graph, t)]
+        assert good
+        pattern = TourToDestination().build(graph, good[0])
+        verdict = check_pattern_resilience(graph, pattern, good[0])
+        assert verdict.resilient, str(verdict.counterexample)
+
+
+class TestTwoStageTour:
+    def test_supports_degree_one_destination(self):
+        g = construct.minus_links(construct.complete_bipartite(3, 3), [(2, 3), (2, 4)])
+        assert TwoStageTour().supports(g, 2)
+
+    def test_rejects_high_degree(self):
+        assert not TwoStageTour().supports(construct.complete_bipartite(3, 3), 0)
+
+    def test_exhaustive(self):
+        g = construct.minus_links(construct.complete_bipartite(3, 3), [(2, 3), (2, 4)])
+        pattern = TwoStageTour().build(g, 2)
+        verdict = check_pattern_resilience(g, pattern, 2)
+        assert verdict.resilient, str(verdict.counterexample)
+
+    def test_build_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            TwoStageTour().build(construct.complete_bipartite(3, 3), 0)

@@ -1,0 +1,94 @@
+"""Unit tests for planarity and outerplanarity (the §VIII backbone)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import construct
+from repro.graphs.planarity import density, is_outerplanar, is_planar, planarity_class
+
+
+class TestPlanarity:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.complete_graph(4),
+            lambda: construct.k_minus(5, 1),
+            lambda: construct.k_bipartite_minus(3, 3, 1),
+            lambda: construct.grid_graph(5, 5),
+            lambda: construct.wheel_graph(8),
+            lambda: nx.path_graph(2),
+        ],
+    )
+    def test_planar(self, builder):
+        assert is_planar(builder())
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.complete_graph(5),
+            lambda: construct.complete_bipartite(3, 3),
+            lambda: construct.complete_graph(7),
+            lambda: construct.complete_bipartite(4, 4),
+            lambda: construct.petersen_graph(),
+        ],
+    )
+    def test_nonplanar(self, builder):
+        assert not is_planar(builder())
+
+    def test_euler_filter(self):
+        # dense graph rejected without running the LR test
+        assert not is_planar(construct.complete_graph(40))
+
+
+class TestOuterplanarity:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.cycle_graph(8),
+            lambda: construct.path_graph(5),
+            lambda: construct.fan_graph(7),
+            lambda: construct.star_graph(9),
+            lambda: construct.complete_graph(3),
+            lambda: construct.k_bipartite_minus(2, 3, 1),  # K2,3 minus a link
+            lambda: construct.maximal_outerplanar(14, seed=7),
+        ],
+    )
+    def test_outerplanar(self, builder):
+        assert is_outerplanar(builder())
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.complete_graph(4),  # forbidden minor (Lemma 2)
+            lambda: construct.complete_bipartite(2, 3),  # forbidden minor
+            lambda: construct.wheel_graph(5),
+            lambda: construct.grid_graph(3, 3),
+            lambda: construct.fig6_netrail(),
+            lambda: construct.complete_graph(5),
+        ],
+    )
+    def test_not_outerplanar(self, builder):
+        assert not is_outerplanar(builder())
+
+    def test_disconnected_componentwise(self):
+        g = nx.disjoint_union(construct.cycle_graph(4), construct.cycle_graph(5))
+        assert is_outerplanar(g)
+        g = nx.disjoint_union(construct.cycle_graph(4), construct.complete_graph(4))
+        assert not is_outerplanar(g)
+
+    def test_k33_minus_two_destination_case(self):
+        # the Theorem 13 case split: K3,3 minus a node is K2,3 (not
+        # outerplanar), minus a node and its relay is K2,2 (outerplanar)
+        assert not is_outerplanar(construct.complete_bipartite(2, 3))
+        assert is_outerplanar(construct.complete_bipartite(2, 2))
+
+
+class TestClasses:
+    def test_planarity_class_values(self):
+        assert planarity_class(construct.cycle_graph(5)) == "outerplanar"
+        assert planarity_class(construct.wheel_graph(6)) == "planar"
+        assert planarity_class(construct.petersen_graph()) == "non-planar"
+
+    def test_density(self):
+        assert density(construct.cycle_graph(10)) == pytest.approx(1.0)
+        assert density(construct.complete_graph(5)) == pytest.approx(2.0)

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms import K5SourceRouting, RightHandTouring
+from repro.core.model import FunctionPattern
+from repro.core.simulator import Network, Outcome, route, tours_component
+from repro.graphs import construct
+from repro.graphs.connectivity import are_connected, st_edge_connectivity
+from repro.graphs.edges import edge, edges
+from repro.graphs.hamiltonian import is_hamiltonian_decomposition, walecki_decomposition
+from repro.graphs.minors import MinorOutcome, has_minor
+from repro.graphs.planarity import is_outerplanar
+from repro.graphs.reductions import contract_edge
+
+
+# --------------------------------------------------------------------------
+# Strategies.
+# --------------------------------------------------------------------------
+
+nodes = st.integers(min_value=0, max_value=6)
+
+
+@st.composite
+def small_graphs(draw, max_nodes=7, connected=False):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(chosen)
+    if connected:
+        for component in list(nx.connected_components(graph)):
+            if 0 not in component:
+                graph.add_edge(0, min(component))
+    return graph
+
+
+@st.composite
+def graph_with_failures(draw, max_nodes=6):
+    graph = draw(small_graphs(max_nodes=max_nodes))
+    links = sorted(edge(u, v) for u, v in graph.edges)
+    failed = draw(st.lists(st.sampled_from(links), unique=True)) if links else []
+    return graph, edges(failed)
+
+
+# --------------------------------------------------------------------------
+# Edge canonicalization.
+# --------------------------------------------------------------------------
+
+
+@given(u=nodes, v=nodes)
+def test_edge_symmetric(u, v):
+    if u == v:
+        return
+    assert edge(u, v) == edge(v, u)
+    assert set(edge(u, v)) == {u, v}
+
+
+# --------------------------------------------------------------------------
+# Connectivity agrees with networkx.
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=graph_with_failures())
+def test_connectivity_matches_networkx(data):
+    graph, failures = data
+    survived = nx.Graph(graph)
+    survived.remove_edges_from(failures)
+    nodes_list = sorted(graph.nodes)
+    s, t = nodes_list[0], nodes_list[-1]
+    if s == t:
+        return
+    assert are_connected(graph, s, t, failures) == nx.has_path(survived, s, t)
+    ours = st_edge_connectivity(graph, s, t, failures)
+    theirs = nx.edge_connectivity(survived, s, t) if nx.has_path(survived, s, t) else 0
+    assert ours == theirs
+
+
+# --------------------------------------------------------------------------
+# Simulator invariants.
+# --------------------------------------------------------------------------
+
+
+def lowest_neighbor_rule(view):
+    for candidate in view.alive:
+        if candidate != view.inport:
+            return candidate
+    return view.inport if view.inport in view.alive_set else None
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=graph_with_failures())
+def test_simulator_deterministic_and_legal(data):
+    graph, failures = data
+    nodes_list = sorted(graph.nodes)
+    s, t = nodes_list[0], nodes_list[-1]
+    if s == t:
+        return
+    pattern = FunctionPattern(lowest_neighbor_rule)
+    first = route(graph, pattern, s, t, failures)
+    second = route(graph, pattern, s, t, failures)
+    assert first.outcome == second.outcome
+    assert first.path == second.path
+    assert first.outcome is not Outcome.ILLEGAL
+    if first.delivered:
+        assert first.path[0] == s and first.path[-1] == t
+        for u, v in zip(first.path, first.path[1:]):
+            assert graph.has_edge(u, v)
+            assert edge(u, v) not in failures
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=graph_with_failures())
+def test_delivery_implies_connectivity(data):
+    graph, failures = data
+    nodes_list = sorted(graph.nodes)
+    s, t = nodes_list[0], nodes_list[-1]
+    if s == t:
+        return
+    result = route(graph, FunctionPattern(lowest_neighbor_rule), s, t, failures)
+    if result.delivered:
+        assert are_connected(graph, s, t, failures)
+
+
+# --------------------------------------------------------------------------
+# Algorithm 1 (Thm 8) as a property: any <= 5 node graph, any failures.
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=graph_with_failures(max_nodes=5))
+def test_algorithm1_delivers_when_connected(data):
+    graph, failures = data
+    nodes_list = sorted(graph.nodes)
+    s, t = nodes_list[0], nodes_list[-1]
+    if s == t or not are_connected(graph, s, t, failures):
+        return
+    pattern = K5SourceRouting().build(graph, s, t)
+    assert route(graph, pattern, s, t, failures).delivered
+
+
+# --------------------------------------------------------------------------
+# Touring (Cor 6) as a property on random outerplanar graphs.
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=3, max_value=9),
+    failure_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_right_hand_touring_covers_component(seed, n, failure_seed):
+    import random
+
+    graph = construct.maximal_outerplanar(n, seed=seed)
+    rng = random.Random(failure_seed)
+    links = sorted(edge(u, v) for u, v in graph.edges)
+    failures = edges(rng.sample(links, rng.randint(0, len(links))))
+    pattern = RightHandTouring().build(graph)
+    for start in graph.nodes:
+        assert tours_component(graph, pattern, start, failures)
+
+
+# --------------------------------------------------------------------------
+# Minor containment invariants.
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=small_graphs(max_nodes=6, connected=True), pick=st.integers(min_value=0, max_value=100))
+def test_contraction_preserves_minor(data, pick):
+    graph = data
+    if graph.number_of_edges() == 0:
+        return
+    links = sorted(graph.edges)
+    u, v = links[pick % len(links)]
+    minor = contract_edge(graph, u, v)
+    if minor.number_of_edges() == 0 or not nx.is_connected(minor):
+        return
+    assert has_minor(graph, minor, budget=50_000) is MinorOutcome.YES
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6))
+def test_walecki_property(n):
+    odd = 2 * n + 1
+    cycles = walecki_decomposition(odd)
+    assert is_hamiltonian_decomposition(construct.complete_graph(odd), cycles)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), n=st.integers(min_value=3, max_value=10))
+def test_maximal_outerplanar_property(seed, n):
+    graph = construct.maximal_outerplanar(n, seed=seed)
+    assert is_outerplanar(graph)
+    assert graph.number_of_edges() == 2 * n - 3

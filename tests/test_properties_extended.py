@@ -1,0 +1,191 @@
+"""Extended hypothesis property tests over the paper's core invariants."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms import (
+    Distance3BipartiteAlgorithm,
+    K33SourceRouting,
+    K5Minus2Routing,
+    RightHandTouring,
+)
+from repro.core.algorithms.minor_transfer import (
+    contract_link_with_pattern,
+    delete_link_with_pattern,
+)
+from repro.core.applications import TouringBroadcast
+from repro.core.resilience import check_pattern_resilience
+from repro.core.simulator import route
+from repro.graphs import construct
+from repro.graphs.connectivity import are_connected, component_of
+from repro.graphs.edges import edge, edges
+from repro.graphs.minors import MinorOutcome, contains_subgraph, has_minor
+
+
+@st.composite
+def bipartite_subgraph_33(draw):
+    """A random subgraph of K3,3 (with all six nodes present)."""
+    possible = [(u, v) for u in range(3) for v in range(3, 6)]
+    chosen = draw(st.lists(st.sampled_from(possible), unique=True, min_size=1))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(6))
+    graph.add_edges_from(chosen)
+    return graph
+
+
+@st.composite
+def failures_of(draw, graph):
+    links = sorted((edge(u, v) for u, v in graph.edges), key=repr)
+    failed = draw(st.lists(st.sampled_from(links), unique=True)) if links else []
+    return edges(failed)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 9 as a property over random K3,3 subgraphs and failures.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_k33_tables_deliver_on_random_subgraphs(data):
+    graph = data.draw(bipartite_subgraph_33())
+    failures = data.draw(failures_of(graph))
+    source = data.draw(st.sampled_from(sorted(graph.nodes)))
+    destination = data.draw(st.sampled_from(sorted(graph.nodes)))
+    if source == destination or not are_connected(graph, source, destination, failures):
+        return
+    pattern = K33SourceRouting().build(graph, source, destination)
+    assert route(graph, pattern, source, destination, failures).delivered
+
+
+# ---------------------------------------------------------------------------
+# Theorem 12 as a property over random destinations of K5^-2 variants.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    first=st.integers(min_value=0, max_value=9),
+    second=st.integers(min_value=0, max_value=9),
+    destination=st.integers(min_value=0, max_value=4),
+)
+def test_k5_minus_2_random_removals(first, second, destination):
+    links = sorted(construct.complete_graph(5).edges)
+    if first == second:
+        return
+    graph = construct.minus_links(construct.complete_graph(5), [links[first], links[second]])
+    router = K5Minus2Routing()
+    if not router.supports(graph, destination):
+        # only possible when this destination hits the Thm 10 frontier
+        return
+    pattern = router.build(graph, destination)
+    verdict = check_pattern_resilience(graph, pattern, destination)
+    assert verdict.resilient, str(verdict.counterexample)
+
+
+# ---------------------------------------------------------------------------
+# Broadcast coverage on random outerplanar graphs.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=3, max_value=10),
+    data=st.data(),
+)
+def test_broadcast_covers_component(seed, n, data):
+    graph = construct.maximal_outerplanar(n, seed=seed)
+    failures = data.draw(failures_of(graph))
+    source = data.draw(st.sampled_from(sorted(graph.nodes)))
+    broadcast = TouringBroadcast(RightHandTouring())
+    result = broadcast.run(graph, source, failures)
+    assert result.completed
+    assert result.covers(component_of(graph, source, failures))
+
+
+# ---------------------------------------------------------------------------
+# Minor-transfer: random delete/contract chains preserve resilience.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations=st.lists(st.tuples(st.booleans(), st.integers(min_value=0, max_value=50)), max_size=3))
+def test_minor_transfer_chains(operations):
+    from repro.core.algorithms import K5SourceRouting
+
+    graph = construct.complete_graph(5)
+    source, destination = 0, 4
+    pattern = K5SourceRouting().build(graph, source, destination)
+    for is_delete, pick in operations:
+        candidates = [
+            (u, v)
+            for u, v in sorted(graph.edges)
+            if source not in (u, v) and destination not in (u, v)
+        ]
+        if not candidates:
+            break
+        u, v = candidates[pick % len(candidates)]
+        if is_delete:
+            graph, pattern = delete_link_with_pattern(graph, pattern, u, v)
+        else:
+            graph, pattern = contract_link_with_pattern(graph, pattern, u, v)
+    if not nx.has_path(graph, source, destination):
+        return
+    verdict = check_pattern_resilience(graph, pattern, destination, sources=[source])
+    assert verdict.resilient, str(verdict.counterexample)
+
+
+# ---------------------------------------------------------------------------
+# Minor engine: subgraph containment implies minor containment.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_subgraph_implies_minor(data):
+    n = data.draw(st.integers(min_value=3, max_value=6))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    host_links = data.draw(st.lists(st.sampled_from(possible), unique=True, min_size=n - 1))
+    host = nx.Graph(host_links)
+    if host.number_of_nodes() < 3 or not nx.is_connected(host):
+        return
+    pattern_links = data.draw(
+        st.lists(st.sampled_from(host_links), unique=True, min_size=1)
+    )
+    pattern = nx.Graph(pattern_links)
+    if not nx.is_connected(pattern):
+        return
+    assert contains_subgraph(host, pattern)
+    assert has_minor(host, pattern, budget=100_000) is MinorOutcome.YES
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4's guarantee as a property on random bipartite graphs.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_distance3_property_random_bipartite(data):
+    a = data.draw(st.integers(min_value=1, max_value=3))
+    b = data.draw(st.integers(min_value=1, max_value=3))
+    possible = [(u, v) for u in range(a) for v in range(a, a + b)]
+    chosen = data.draw(st.lists(st.sampled_from(possible), unique=True, min_size=1))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(a + b))
+    graph.add_edges_from(chosen)
+    failures = data.draw(failures_of(graph))
+    nodes = sorted(graph.nodes)
+    source = data.draw(st.sampled_from(nodes))
+    destination = data.draw(st.sampled_from(nodes))
+    if source == destination:
+        return
+    survived = nx.Graph(graph)
+    survived.remove_edges_from(failures)
+    if not nx.has_path(survived, source, destination):
+        return
+    if nx.shortest_path_length(survived, source, destination) > 3:
+        return
+    pattern = Distance3BipartiteAlgorithm().build(graph, source, destination)
+    assert route(graph, pattern, source, destination, failures).delivered

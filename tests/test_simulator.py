@@ -1,0 +1,183 @@
+"""Unit tests for the deterministic forwarding simulator."""
+
+import networkx as nx
+import pytest
+
+from repro.core.model import FunctionPattern
+from repro.core.simulator import Network, Outcome, route, tour, tours_component
+from repro.core.tables import ORIGIN, PriorityTable
+from repro.graphs import construct
+from repro.graphs.edges import failure_set
+
+
+def follow_lowest(view):
+    """Toy rule: go to the lowest alive neighbour that is not the in-port."""
+    for candidate in view.alive:
+        if candidate != view.inport:
+            return candidate
+    return view.inport if view.inport in view.alive_set else None
+
+
+class TestNetworkView:
+    def test_alive_excludes_failures(self):
+        network = Network(construct.complete_graph(4))
+        view = network.view(0, None, failure_set((0, 1)))
+        assert view.alive == (2, 3)
+        assert view.failed_links == failure_set((0, 1))
+
+    def test_local_failures_only(self):
+        network = Network(construct.complete_graph(4))
+        view = network.view(0, None, failure_set((1, 2)))
+        assert view.alive == (1, 2, 3)
+        assert view.failed_links == frozenset()
+
+    def test_alive_without(self):
+        network = Network(construct.complete_graph(5))
+        view = network.view(0, 1, frozenset())
+        assert view.alive_without(1, None) == (2, 3, 4)
+
+
+class TestRoute:
+    def test_trivial_same_node(self):
+        result = route(construct.path_graph(2), FunctionPattern(follow_lowest), 0, 0)
+        assert result.delivered
+        assert result.steps == 0
+
+    def test_direct_delivery(self):
+        result = route(construct.path_graph(2), FunctionPattern(follow_lowest), 0, 1)
+        assert result.delivered
+        assert result.path == [0, 1]
+
+    def test_chain_delivery(self):
+        result = route(construct.path_graph(5), FunctionPattern(follow_lowest), 0, 4)
+        assert result.delivered
+        assert result.steps == 4
+
+    def test_permanent_loop(self):
+        g = nx.Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+        def stay_in_triangle(view):
+            cycle = {0: 1, 1: 2, 2: 0}
+            return cycle.get(view.node)
+
+        result = route(g, FunctionPattern(stay_in_triangle), 0, 3)
+        assert result.outcome is Outcome.LOOP
+
+    def test_drop(self):
+        result = route(construct.path_graph(3), FunctionPattern(lambda v: None), 0, 2)
+        assert result.outcome is Outcome.DROPPED
+
+    def test_illegal_forward_detected(self):
+        g = construct.path_graph(3)
+
+        def cheat(view):
+            return 2  # not a neighbour of node 0
+
+        result = route(g, FunctionPattern(cheat), 0, 2)
+        assert result.outcome is Outcome.ILLEGAL
+
+    def test_forward_over_failed_link_is_illegal(self):
+        g = construct.path_graph(2)
+        result = route(g, FunctionPattern(lambda v: 1), 0, 1, failure_set((0, 1)))
+        assert result.outcome is Outcome.ILLEGAL
+
+    def test_deterministic(self):
+        g = construct.complete_graph(5)
+        pattern = FunctionPattern(follow_lowest)
+        first = route(g, pattern, 0, 4, failure_set((0, 4)))
+        second = route(g, pattern, 0, 4, failure_set((0, 4)))
+        assert first.path == second.path
+        assert first.outcome == second.outcome
+
+    def test_delivered_path_is_alive(self):
+        g = construct.complete_graph(5)
+        failures = failure_set((0, 4), (1, 4))
+        result = route(g, FunctionPattern(follow_lowest), 0, 4, failures)
+        if result.delivered:
+            for u, v in zip(result.path, result.path[1:]):
+                assert g.has_edge(u, v)
+                assert (min(u, v), max(u, v)) not in failures
+
+
+class TestTour:
+    def test_ring_tour(self):
+        g = construct.cycle_graph(5)
+
+        def around(view):
+            if view.inport is None:
+                return view.alive[0] if view.alive else None
+            candidates = view.alive_without(view.inport)
+            return candidates[0] if candidates else view.inport
+
+        result = tour(g, FunctionPattern(around), 0)
+        assert result.failed is None
+        assert result.recurrent == frozenset(range(5))
+
+    def test_tours_component_checks_recurrence(self):
+        g = construct.cycle_graph(5)
+
+        def around(view):
+            if view.inport is None:
+                return view.alive[0] if view.alive else None
+            candidates = view.alive_without(view.inport)
+            return candidates[0] if candidates else view.inport
+
+        assert tours_component(g, FunctionPattern(around), 0)
+        # cut the ring open: the bounce walk still covers the path
+        assert tours_component(g, FunctionPattern(around), 0, failure_set((0, 1)))
+
+    def test_stuck_walk_fails(self):
+        g = construct.path_graph(4)
+
+        def pingpong(view):
+            # oscillate over the first link forever
+            if view.node == 0:
+                return 1 if 1 in view.alive_set else None
+            if view.node == 1:
+                return 0 if view.inport == 1 or view.inport == 0 else 0
+            return None
+
+        assert not tours_component(g, FunctionPattern(pingpong), 0)
+
+    def test_drop_fails(self):
+        g = construct.cycle_graph(4)
+        result = tour(g, FunctionPattern(lambda v: None), 0)
+        assert result.failed is Outcome.DROPPED
+
+    def test_singleton_component_tours(self):
+        g = construct.path_graph(2)
+        assert tours_component(g, FunctionPattern(lambda v: None), 0, failure_set((0, 1)))
+
+
+class TestPriorityTable:
+    def test_first_alive_wins(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {ORIGIN: (1, 2, 3)}})
+        result = route(g, table, 0, 1)
+        assert result.delivered
+
+    def test_skips_failed(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {ORIGIN: (1, 2, 3)}})
+        result = route(g, table, 0, 2, failure_set((0, 1)))
+        assert result.path[1] == 2
+
+    def test_bounce_fallback(self):
+        # node 1 has no rule for in-port 0: it must bounce the packet back
+        g = construct.path_graph(3)
+        table = PriorityTable(rules={0: {ORIGIN: (1,)}, 1: {}})
+        result = route(g, table, 0, 2, failure_set((1, 2)))
+        assert result.outcome is Outcome.LOOP
+        assert result.path[:3] == [0, 1, 0]
+
+    def test_deliver_first(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {ORIGIN: (1,)}}, deliver_first=3)
+        result = route(g, table, 0, 3)
+        assert result.path == [0, 3]
+
+    def test_exhausted_origin_drops(self):
+        g = construct.path_graph(2)
+        table = PriorityTable(rules={0: {ORIGIN: (1,)}})
+        result = route(g, table, 0, 1, failure_set((0, 1)))
+        assert result.outcome is Outcome.DROPPED

@@ -1,0 +1,89 @@
+"""Unit tests for priority-table and cyclic-permutation patterns."""
+
+from repro.core.simulator import Network
+from repro.core.tables import ORIGIN, CyclicPermutationPattern, PriorityTable
+from repro.graphs import construct
+from repro.graphs.edges import failure_set
+
+
+def view(graph, node, inport, failures=frozenset()):
+    return Network(graph).view(node, inport, failures)
+
+
+class TestPriorityTable:
+    def test_priority_order(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {ORIGIN: (2, 1, 3)}})
+        assert table.forward(view(g, 0, None)) == 2
+
+    def test_skips_dead_candidates(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {ORIGIN: (2, 1, 3)}})
+        assert table.forward(view(g, 0, None, failure_set((0, 2)))) == 1
+
+    def test_deliver_first_overrides(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {ORIGIN: (2,)}}, deliver_first=3)
+        assert table.forward(view(g, 0, None)) == 3
+
+    def test_deliver_first_respects_failures(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {ORIGIN: (2,)}}, deliver_first=3)
+        assert table.forward(view(g, 0, None, failure_set((0, 3)))) == 2
+
+    def test_no_shortcut_exclusion(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(
+            rules={0: {ORIGIN: (2,)}}, deliver_first=3, no_shortcut=frozenset({0})
+        )
+        assert table.forward(view(g, 0, None)) == 2
+
+    def test_missing_inport_bounces(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {}})
+        assert table.forward(view(g, 0, 1)) == 1
+
+    def test_exhausted_bounces(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {1: (2,)}})
+        assert table.forward(view(g, 0, 1, failure_set((0, 2)))) == 1
+
+    def test_origin_without_rule_drops(self):
+        g = construct.complete_graph(4)
+        table = PriorityTable(rules={0: {}})
+        assert table.forward(view(g, 0, None)) is None
+
+
+class TestCyclicPermutation:
+    def test_follows_cycle(self):
+        g = construct.complete_graph(4)
+        pattern = CyclicPermutationPattern(cycles={0: (1, 2, 3)})
+        assert pattern.forward(view(g, 0, 1)) == 2
+        assert pattern.forward(view(g, 0, 2)) == 3
+        assert pattern.forward(view(g, 0, 3)) == 1
+
+    def test_skips_failed(self):
+        g = construct.complete_graph(4)
+        pattern = CyclicPermutationPattern(cycles={0: (1, 2, 3)})
+        assert pattern.forward(view(g, 0, 1, failure_set((0, 2)))) == 3
+
+    def test_origin_takes_first_alive(self):
+        g = construct.complete_graph(4)
+        pattern = CyclicPermutationPattern(cycles={0: (2, 1, 3)})
+        assert pattern.forward(view(g, 0, None)) == 2
+        assert pattern.forward(view(g, 0, None, failure_set((0, 2)))) == 1
+
+    def test_deliver_first(self):
+        g = construct.complete_graph(4)
+        pattern = CyclicPermutationPattern(cycles={0: (1, 2, 3)}, deliver_first=3)
+        assert pattern.forward(view(g, 0, 1)) == 3
+
+    def test_single_neighbour_bounce(self):
+        g = construct.path_graph(2)
+        pattern = CyclicPermutationPattern(cycles={0: (1,)})
+        assert pattern.forward(view(g, 0, 1)) == 1
+
+    def test_isolated_drops(self):
+        g = construct.path_graph(2)
+        pattern = CyclicPermutationPattern(cycles={0: (1,)})
+        assert pattern.forward(view(g, 0, None, failure_set((0, 1)))) is None

@@ -1,0 +1,73 @@
+"""The synthetic Topology Zoo suite (§VIII substitution)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.planarity import is_outerplanar, is_planar, planarity_class
+from repro.graphs.zoo import FAMILY_MIX, generate_zoo
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return generate_zoo()
+
+
+class TestSuiteShape:
+    def test_size_is_260(self, suite):
+        assert len(suite) == 260
+        assert sum(count for _, count in FAMILY_MIX) == 260
+
+    def test_deterministic(self, suite):
+        again = generate_zoo()
+        for a, b in zip(suite, again):
+            assert a.name == b.name
+            assert set(a.graph.edges) == set(b.graph.edges)
+
+    def test_size_ranges(self, suite):
+        ns = [z.n for z in suite]
+        ms = [z.m for z in suite]
+        assert min(ns) >= 3
+        assert max(ns) <= 754
+        assert max(ms) <= 895
+
+    def test_all_connected(self, suite):
+        assert all(nx.is_connected(z.graph) for z in suite)
+
+    def test_all_simple(self, suite):
+        for z in suite:
+            assert not any(u == v for u, v in z.graph.edges)
+
+
+class TestPlanarityMix:
+    def test_matches_paper_aggregates(self, suite):
+        classes = [planarity_class(z.graph) for z in suite]
+        outerplanar = classes.count("outerplanar") / len(classes)
+        planar = classes.count("planar") / len(classes)
+        nonplanar = classes.count("non-planar") / len(classes)
+        # paper: ~33.5% outerplanar, 55.8% planar, rest non-planar
+        assert 0.28 <= outerplanar <= 0.40
+        assert 0.45 <= planar <= 0.65
+        assert 0.05 <= nonplanar <= 0.18
+
+
+class TestFamilies:
+    def test_outerplanar_families(self, suite):
+        for z in suite:
+            if z.family in ("tree", "ring", "max_outerplanar", "cactus"):
+                assert is_outerplanar(z.graph), z.name
+
+    def test_planar_families(self, suite):
+        for z in suite:
+            if z.family in ("wheel", "netrail_tree", "grid", "double_wheel", "apollonian", "prism"):
+                assert is_planar(z.graph), z.name
+                assert not is_outerplanar(z.graph), z.name
+
+    def test_nonplanar_families(self, suite):
+        for z in suite:
+            if z.family in ("nonplanar_sparse", "nonplanar_dense"):
+                assert not is_planar(z.graph), z.name
+
+    def test_trees_are_trees(self, suite):
+        for z in suite:
+            if z.family == "tree":
+                assert nx.is_tree(z.graph), z.name
