@@ -1,0 +1,166 @@
+"""Engine speedup benchmark: old (naive) vs new (indexed + memoized) path.
+
+Two workloads, both straight from the paper's experimental core:
+
+* **gadget** — exhaustive destination-resilience checking of a 16-link
+  outerplanar gadget (2^16 failure sets, every connected source), the
+  shape of every Table 1 / impossibility verification;
+* **zoo** — the routing-bound component of the §VIII case study:
+  exhaustively verifying Cor-5 ``TourToDestination`` patterns on the
+  small Topology Zoo instances that support them.
+
+Results are printed, written to ``benchmarks/results/`` like every other
+benchmark, and additionally dumped machine-readable to
+``BENCH_engine.json`` at the repo root so the perf trajectory can be
+tracked across PRs.  Runnable standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speedup.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.analysis import simple_table
+from repro.core.algorithms import TourToDestination
+from repro.core.algorithms.outerplanar import RightHandTouring
+from repro.core.model import touring_as_destination
+from repro.core.resilience import check_pattern_resilience, check_perfect_resilience_destination
+from repro.graphs.construct import maximal_outerplanar
+from repro.graphs.zoo import generate_zoo
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
+
+#: the acceptance bar for the exhaustive 16-link gadget check
+GADGET_MIN_SPEEDUP = 3.0
+#: how many eligible zoo topologies to verify (bounds naive runtime)
+ZOO_TOPOLOGY_CAP = 4
+
+
+def sixteen_link_gadget():
+    """A 16-link outerplanar gadget with a perfectly resilient π^t scheme.
+
+    Outerplanar so that right-hand-rule touring is perfectly resilient
+    (Cor 6) — the check must sweep *all* 2^16 failure sets instead of
+    stopping at an early counterexample.
+    """
+    graph = maximal_outerplanar(10, seed=1)  # 17 links; drop one chord
+    for u, v in sorted(graph.edges):
+        if abs(u - v) not in (1, 9):
+            graph.remove_edge(u, v)
+            break
+    assert graph.number_of_edges() == 16
+    return graph
+
+
+def bench_gadget() -> dict:
+    graph = sixteen_link_gadget()
+    algorithm = touring_as_destination(RightHandTouring())
+    start = time.perf_counter()
+    fast = check_perfect_resilience_destination(graph, algorithm, destinations=[0])
+    engine_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    slow = check_perfect_resilience_destination(
+        graph, algorithm, destinations=[0], use_engine=False
+    )
+    naive_seconds = time.perf_counter() - start
+    assert fast.resilient and slow.resilient
+    assert fast.scenarios_checked == slow.scenarios_checked
+    assert fast.exhaustive and slow.exhaustive
+    return {
+        "graph": "maximal-outerplanar n=10 minus one chord",
+        "links": graph.number_of_edges(),
+        "failure_sets": 2 ** graph.number_of_edges(),
+        "scenarios": fast.scenarios_checked,
+        "naive_seconds": naive_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": naive_seconds / engine_seconds,
+    }
+
+
+def bench_zoo() -> dict:
+    """Exhaustive Cor-5 pattern verification on small zoo topologies."""
+    router = TourToDestination()
+    jobs = []
+    for topology in generate_zoo(seed=2022):
+        graph = topology.graph
+        if graph.number_of_edges() > 16 or graph.number_of_edges() < 6:
+            continue
+        destinations = [t for t in sorted(graph.nodes) if router.supports(graph, t)]
+        if destinations:
+            jobs.append((topology.name, graph, destinations[:2]))
+        if len(jobs) >= ZOO_TOPOLOGY_CAP:
+            break
+    scenarios = 0
+    start = time.perf_counter()
+    for _, graph, destinations in jobs:
+        for destination in destinations:
+            pattern = router.build(graph, destination)
+            verdict = check_pattern_resilience(graph, pattern, destination)
+            assert verdict.resilient
+            scenarios += verdict.scenarios_checked
+    engine_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _, graph, destinations in jobs:
+        for destination in destinations:
+            pattern = router.build(graph, destination)
+            verdict = check_pattern_resilience(graph, pattern, destination, use_engine=False)
+            assert verdict.resilient
+    naive_seconds = time.perf_counter() - start
+    return {
+        "topologies": [name for name, _, _ in jobs],
+        "patterns": sum(len(d) for _, _, d in jobs),
+        "scenarios": scenarios,
+        "naive_seconds": naive_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": naive_seconds / engine_seconds,
+    }
+
+
+def run_benchmark() -> dict:
+    gadget = bench_gadget()
+    zoo = bench_zoo()
+    results = {
+        "benchmark": "engine_speedup",
+        "cpu_count": os.cpu_count(),
+        "thresholds": {"gadget_min_speedup": GADGET_MIN_SPEEDUP},
+        "gadget": gadget,
+        "zoo": zoo,
+    }
+    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def format_report(results: dict) -> str:
+    rows = [
+        [
+            name,
+            f"{results[name]['scenarios']:,}",
+            f"{results[name]['naive_seconds']:.2f}",
+            f"{results[name]['engine_seconds']:.2f}",
+            f"{results[name]['speedup']:.1f}x",
+        ]
+        for name in ("gadget", "zoo")
+    ]
+    return (
+        "Engine speedup: naive simulator vs indexed+memoized engine\n"
+        f"(gadget = exhaustive 16-link destination check; bar: >= {GADGET_MIN_SPEEDUP:.0f}x)\n"
+        + simple_table(["workload", "scenarios", "naive s", "engine s", "speedup"], rows)
+    )
+
+
+def test_engine_speedup(report):
+    results = run_benchmark()
+    report("engine_speedup", format_report(results))
+    assert results["gadget"]["speedup"] >= GADGET_MIN_SPEEDUP, results["gadget"]
+    # zoo verification must never get slower than the naive path
+    assert results["zoo"]["speedup"] >= 1.0, results["zoo"]
+
+
+if __name__ == "__main__":
+    print(format_report(run_benchmark()))
+    print(f"machine-readable results: {BENCH_JSON}")

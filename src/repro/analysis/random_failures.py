@@ -19,9 +19,8 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from ..core.engine.sweep import EngineState
 from ..core.model import DestinationAlgorithm, SourceDestinationAlgorithm
-from ..core.simulator import Network, route
-from ..graphs.connectivity import are_connected
 from ..graphs.edges import edge, edge_sort_key
 
 
@@ -57,7 +56,10 @@ def delivery_curve(
         pattern = algorithm.build(graph, source, destination)
     else:
         pattern = algorithm.build(graph, destination)
-    network = Network(graph)
+    # engine state shared across every size and sample: mask-cached
+    # connectivity plus one memoized decision table for the pattern
+    state = EngineState(graph)
+    memo = state.memoized(pattern)
     rng = random.Random(seed)
     probabilities = []
     for size in sizes:
@@ -67,10 +69,10 @@ def delivery_curve(
         while valid < samples and guard < 50 * samples:
             guard += 1
             failures = frozenset(rng.sample(links, min(size, len(links))))
-            if not are_connected(graph, source, destination, failures):
+            if not state.connected(source, destination, failures):
                 continue
             valid += 1
-            if route(network, pattern, source, destination, failures).delivered:
+            if state.route(memo, source, destination, failures).delivered:
                 delivered += 1
         probabilities.append(delivered / valid if valid else float("nan"))
     return DeliveryCurve(

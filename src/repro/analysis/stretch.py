@@ -14,8 +14,8 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from ..core.engine.sweep import EngineState
 from ..core.model import DestinationAlgorithm, SourceDestinationAlgorithm
-from ..core.simulator import Network, route
 from ..graphs.connectivity import surviving_graph
 from ..graphs.edges import edge, edge_sort_key
 
@@ -50,7 +50,8 @@ def measure_stretch(
         pattern = algorithm.build(graph, source, destination)
     else:
         pattern = algorithm.build(graph, destination)
-    network = Network(graph)
+    state = EngineState(graph)
+    memo = state.memoized(pattern)
     rng = random.Random(seed)
     stretches: list[float] = []
     delivered = 0
@@ -60,12 +61,12 @@ def measure_stretch(
         guard += 1
         size = rng.randint(0, max_failures)
         failures = frozenset(rng.sample(links, min(size, len(links))))
-        survived = surviving_graph(graph, failures)
-        if not nx.has_path(survived, source, destination):
+        if not state.connected(source, destination, failures):
             continue
         scenarios += 1
+        survived = surviving_graph(graph, failures)
         shortest = nx.shortest_path_length(survived, source, destination)
-        result = route(network, pattern, source, destination, failures)
+        result = state.route(memo, source, destination, failures)
         if result.delivered:
             delivered += 1
             stretches.append(result.steps / max(shortest, 1))

@@ -11,6 +11,18 @@ from .model import (
     destination_as_source_destination,
     touring_as_destination,
 )
+from .engine import (
+    ComponentTracker,
+    EngineState,
+    IndexedNetwork,
+    MemoizedPattern,
+    ScenarioGrid,
+    SweepResult,
+    route_indexed,
+    sweep_pattern_resilience,
+    sweep_resilience,
+    tour_indexed,
+)
 from .export import ForwardingTable, MaterializedPattern, materialize, reload_pattern
 from .orbits import corollary8_violation, orbit_of, relevant_neighbors, same_orbit
 from .resilience import (

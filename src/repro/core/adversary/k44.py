@@ -25,6 +25,7 @@ import networkx as nx
 
 from ...graphs.construct import bipartition
 from ...graphs.edges import FailureSet, Node, edge
+from ..engine.sweep import EngineState
 from ..model import ForwardingPattern, SourceDestinationAlgorithm
 from .search import AttackResult, random_attack, verify_attack
 
@@ -71,6 +72,7 @@ def attack_embedded_k44(
         raise ValueError("need three role candidates on each side")
     real = {source, destination, *t_side, *s_side}
     inner_links = {edge(u, v) for u, v in graph.edges if u in real and v in real}
+    network = EngineState(graph)  # shared across all candidate verifications
     for a, b, d in permutations(t_side):
         for v1, v2, v3 in permutations(s_side):
             alive = {
@@ -84,7 +86,7 @@ def attack_embedded_k44(
                 edge(v3, destination),
             }
             failures = frozenset((inner_links - alive) | base_failures)
-            if verify_attack(graph, pattern, source, destination, failures):
+            if verify_attack(graph, pattern, source, destination, failures, network=network):
                 return AttackResult(failures, method="theorem-7 construction")
     if base_failures:
         return None

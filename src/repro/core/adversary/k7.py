@@ -30,6 +30,7 @@ from itertools import permutations
 import networkx as nx
 
 from ...graphs.edges import FailureSet, Node, edge
+from ..engine.sweep import EngineState
 from ..model import ForwardingPattern, SourceDestinationAlgorithm
 from .search import AttackResult, make_view, random_attack, verify_attack
 
@@ -68,10 +69,11 @@ def attack_embedded_k7(
     if len(middles) != 5:
         raise ValueError("the K7 gadget needs exactly five middle nodes")
     inner_links = _inner_links(graph, source, destination, middles)
+    network = EngineState(graph)  # shared across all candidate verifications
 
     def finish(alive: set) -> AttackResult | None:
         failures = frozenset((inner_links - alive) | base_failures)
-        if verify_attack(graph, pattern, source, destination, failures):
+        if verify_attack(graph, pattern, source, destination, failures, network=network):
             return AttackResult(failures, method="theorem-6 construction")
         return None
 

@@ -5,6 +5,11 @@ adversaries (``rtolerance``, ``k7``, ``k44``) follow the proofs, but every
 adversary in this package *verifies* its candidate failure set by
 simulation and can fall back to the searches here, so a returned witness
 is always genuine: the promise holds and the routing fails.
+
+The searches run on the fast engine: one :class:`EngineState` per
+search, one memoized decision table per pattern, mask-cached
+connectivity — so greedy minimization and exhaustive enumeration pay
+for network construction once instead of once per candidate.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ import networkx as nx
 
 from ...graphs.connectivity import are_connected, st_edge_connectivity
 from ...graphs.edges import Edge, FailureSet, Node, edge, edge_sort_key
+from ..engine.memo import MemoizedPattern
+from ..engine.sweep import EngineState
 from ..model import ForwardingPattern, LocalView
 from ..resilience import all_failure_sets
 from ..simulator import Network, route
@@ -60,8 +67,19 @@ def verify_attack(
     destination: Node,
     failures: FailureSet,
     min_connectivity: int = 1,
+    network: Network | EngineState | None = None,
 ) -> bool:
-    """Does the witness hold: promise satisfied but the packet not delivered?"""
+    """Does the witness hold: promise satisfied but the packet not delivered?
+
+    Pass a prebuilt ``network`` (naive :class:`Network` or engine
+    :class:`EngineState`) when verifying many candidates on the same
+    graph — rebuilding it per call made greedy minimization quadratic
+    in network construction.
+    """
+    if isinstance(network, EngineState):
+        return _verify_fast(
+            network, network.memoized(pattern), source, destination, failures, min_connectivity
+        )
     if min_connectivity <= 1:
         if not are_connected(graph, source, destination, failures):
             return False
@@ -70,8 +88,29 @@ def verify_attack(
         < min_connectivity
     ):
         return False
-    result = route(Network(graph), pattern, source, destination, failures)
+    result = route(network if network is not None else Network(graph), pattern,
+                   source, destination, failures)
     return not result.delivered
+
+
+def _verify_fast(
+    state: EngineState,
+    memo: MemoizedPattern,
+    source: Node,
+    destination: Node,
+    failures: FailureSet,
+    min_connectivity: int,
+) -> bool:
+    """Engine-shared verifier: one decision table across all candidates."""
+    if min_connectivity <= 1:
+        if not state.connected(source, destination, failures):
+            return False
+    elif (
+        st_edge_connectivity(state.graph, source, destination, failures, stop_at=min_connectivity)
+        < min_connectivity
+    ):
+        return False
+    return not state.route(memo, source, destination, failures).delivered
 
 
 def exhaustive_attack(
@@ -83,17 +122,10 @@ def exhaustive_attack(
     min_connectivity: int = 1,
 ) -> AttackResult | None:
     """Smallest breaking failure set by exhaustive enumeration (small graphs)."""
-    network = Network(graph)
+    state = EngineState(graph)
+    memo = state.memoized(pattern)
     for failures in all_failure_sets(graph, max_failures):
-        if min_connectivity <= 1:
-            if not are_connected(graph, source, destination, failures):
-                continue
-        elif (
-            st_edge_connectivity(graph, source, destination, failures, stop_at=min_connectivity)
-            < min_connectivity
-        ):
-            continue
-        if not route(network, pattern, source, destination, failures).delivered:
+        if _verify_fast(state, memo, source, destination, failures, min_connectivity):
             return AttackResult(failures, method="exhaustive")
     return None
 
@@ -112,22 +144,23 @@ def random_attack(
     rng = random.Random(seed)
     links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
     limit = len(links) if max_failures is None else min(max_failures, len(links))
-    network = Network(graph)
+    state = EngineState(graph)
+    memo = state.memoized(pattern)
     for _ in range(attempts):
         size = rng.randint(1, limit)
         failures = frozenset(rng.sample(links, size))
-        if not verify_attack(graph, pattern, source, destination, failures, min_connectivity):
+        if not _verify_fast(state, memo, source, destination, failures, min_connectivity):
             continue
         failures = _minimize(
-            graph, pattern, source, destination, failures, min_connectivity
+            state, memo, source, destination, failures, min_connectivity
         )
         return AttackResult(failures, method="random")
     return None
 
 
 def _minimize(
-    graph: nx.Graph,
-    pattern: ForwardingPattern,
+    state: EngineState,
+    memo: MemoizedPattern,
     source: Node,
     destination: Node,
     failures: FailureSet,
@@ -135,8 +168,12 @@ def _minimize(
 ) -> FailureSet:
     """Drop failures one by one while the witness still holds."""
     current = set(failures)
-    for link in sorted(failures):
+    try:
+        order = sorted(failures)
+    except TypeError:
+        order = sorted(failures, key=edge_sort_key)
+    for link in order:
         candidate = frozenset(current - {link})
-        if verify_attack(graph, pattern, source, destination, candidate, min_connectivity):
+        if _verify_fast(state, memo, source, destination, candidate, min_connectivity):
             current.discard(link)
     return frozenset(current)

@@ -1,0 +1,539 @@
+"""Batched scenario sweeps: (destination × source × failure set) grids.
+
+This is the engine's public face.  :func:`sweep_resilience` evaluates a
+whole grid of scenarios for one algorithm with shared state — one
+:class:`IndexedNetwork`, one component cache across all destinations,
+one decision table per pattern — and optionally fans destinations out
+across ``multiprocessing`` workers.  The serial path reproduces the
+naive checkers' verdicts *exactly* (same counterexample, same
+``scenarios_checked``, same ``exhaustive`` flag); the parallel path
+evaluates eagerly but aggregates in deterministic grid order, so the
+final verdict is identical too (it merely wastes work past the first
+failing destination).
+
+Verdict semantics note: sub-checks driven by an explicitly supplied
+failure-set list report ``exhaustive=False`` exactly like the naive
+checkers do.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from ...graphs.connectivity import component_of
+from ...graphs.edges import FailureSet, Node, sorted_nodes
+from ..model import (
+    DestinationAlgorithm,
+    ForwardingPattern,
+    SourceDestinationAlgorithm,
+    TouringAlgorithm,
+)
+from ..simulator import Network, RouteResult
+from ..simulator import route as naive_route
+from .components import ComponentTracker
+from .indexed import IndexedNetwork
+from .memo import MemoizedPattern, route_covers, route_indexed, tour_recurrent_indices
+
+
+class EngineState:
+    """Shared engine state for one graph: index maps + caches.
+
+    Build once, reuse across patterns, destinations and failure sets —
+    the component cache and the per-``(node, local mask)`` view cache
+    amortize across the whole sweep.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        self.graph = graph
+        self.network = IndexedNetwork(graph)
+        self.tracker = ComponentTracker(self.network)
+        self._naive: Network | None = None
+        self._memos: dict[int, MemoizedPattern] = {}
+
+    @property
+    def naive_network(self) -> Network:
+        """Naive fallback network, for failure sets outside the index."""
+        if self._naive is None:
+            self._naive = Network(self.graph)
+        return self._naive
+
+    #: decision tables kept per state — bounds memory (and pattern
+    #: pinning) when one long-lived state sees many patterns
+    MEMO_CACHE_LIMIT = 8
+
+    def memoized(self, pattern: ForwardingPattern) -> MemoizedPattern:
+        """The pattern's decision table, shared across calls.
+
+        Keyed by object identity; the cached entry keeps the pattern
+        alive, so the id cannot be recycled while the key is live.  A
+        small FIFO cap evicts the oldest tables so a state reused for
+        many patterns (e.g. adversarial candidate loops) stays bounded.
+        """
+        memo = self._memos.get(id(pattern))
+        if memo is None or memo.pattern is not pattern:
+            memo = MemoizedPattern(self.network, pattern)
+            while len(self._memos) >= self.MEMO_CACHE_LIMIT:
+                self._memos.pop(next(iter(self._memos)))
+            self._memos[id(pattern)] = memo
+        return memo
+
+    def route(
+        self,
+        pattern: MemoizedPattern,
+        source: Node,
+        destination: Node,
+        failures: FailureSet,
+    ) -> RouteResult:
+        """Label-level routing; falls back to the naive walk when the
+        failure set mentions links outside the graph."""
+        network = self.network
+        fmask = network.mask_of(failures)
+        src = network.index.get(source)
+        dst = network.index.get(destination)
+        if fmask is None or src is None or dst is None:
+            return naive_route(self.naive_network, pattern.pattern, source, destination, failures)
+        return route_indexed(network, pattern, src, dst, fmask)
+
+    def connected(self, source: Node, destination: Node, failures: FailureSet) -> bool:
+        """Engine twin of :func:`repro.graphs.connectivity.are_connected`.
+
+        Uses the mask-cached partition on small graphs (where sweeps
+        revisit masks) and a one-off mask BFS on large ones (where
+        caching every random mask's partition would not pay).
+        """
+        if source == destination:
+            return True
+        network = self.network
+        fmask = network.mask_of(failures)
+        src = network.index.get(source)
+        dst = network.index.get(destination)
+        if fmask is None or src is None or dst is None:
+            from ...graphs.connectivity import are_connected
+
+            return are_connected(self.graph, source, destination, failures)
+        from ..resilience import EXHAUSTIVE_LINK_LIMIT
+
+        if network.m <= EXHAUSTIVE_LINK_LIMIT:
+            return self.tracker.same_component(fmask, src, dst)
+        return network.connected_indices(fmask, src, dst)
+
+
+@dataclass
+class ScenarioGrid:
+    """A (destination × source × failure set) scenario grid.
+
+    ``None`` fields mean the checker defaults: all destinations, every
+    source in the destination's surviving component, and exhaustive
+    failure enumeration when the graph has few enough links (else the
+    deterministic-prefix random sample) — exactly the naive checkers'
+    behaviour.  ``pairs`` overrides destinations × sources for the
+    source-destination model.
+    """
+
+    destinations: Sequence[Node] | None = None
+    sources: Sequence[Node] | None = None
+    pairs: Sequence[tuple[Node, Node]] | None = None
+    failure_sets: Iterable[FailureSet] | None = None
+    max_failures: int | None = None
+    samples: int = 400
+    seed: int = 0
+
+    def resolved_failures(
+        self, graph: nx.Graph
+    ) -> tuple[list[FailureSet] | None, Callable[[], Iterable[FailureSet]], bool]:
+        """(materialized list or None, per-unit iterator factory, exhaustive)."""
+        from ..resilience import default_failure_sets
+
+        if self.failure_sets is not None:
+            materialized = list(self.failure_sets)
+            return materialized, lambda: materialized, False
+
+        def factory() -> Iterable[FailureSet]:
+            iterator, _ = default_failure_sets(
+                graph, max_failures=self.max_failures, samples=self.samples, seed=self.seed
+            )
+            return iterator
+
+        _, exhaustive = default_failure_sets(
+            graph, max_failures=self.max_failures, samples=self.samples, seed=self.seed
+        )
+        return None, factory, exhaustive
+
+
+@dataclass
+class SweepResult:
+    """Aggregate verdict plus the per-unit breakdown of a sweep.
+
+    ``units`` holds ``(unit, Verdict)`` in grid order, where a unit is a
+    destination (π^t), an (s, t) pair (π^{s,t}), or ``None`` for the
+    single touring pattern.  Both the serial and the parallel path stop
+    recording at the first failing unit (each parallel worker likewise
+    stops within its own chunk at that chunk's first failure), so after
+    a failure ``units`` is a prefix of the grid, not the full breakdown.
+    """
+
+    verdict: Any
+    units: list[tuple[Any, Any]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+
+# ---------------------------------------------------------------------------
+# Fork fan-out.
+# ---------------------------------------------------------------------------
+
+_FORK_PAYLOAD: Callable[[Any], Any] | None = None
+
+
+def _fork_call(item: Any) -> Any:
+    assert _FORK_PAYLOAD is not None
+    return _FORK_PAYLOAD(item)
+
+
+def parallel_map(function: Callable[[Any], Any], items: Sequence[Any], processes: int) -> list[Any]:
+    """``[function(x) for x in items]`` with an optional process fan-out.
+
+    Uses the ``fork`` start method so arbitrary (closure) functions and
+    unpicklable build inputs work: the callable is inherited by the
+    forked workers via a module global, never pickled.  Falls back to
+    the serial loop only on fan-out *infrastructure* failures (fork
+    unavailable, unpicklable items/results, broken pool) — exceptions
+    raised by ``function`` itself propagate, exactly as in the serial
+    loop, instead of silently re-running the whole workload.
+    """
+    if processes <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    global _FORK_PAYLOAD
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return [function(item) for item in items]
+    previous = _FORK_PAYLOAD
+    _FORK_PAYLOAD = function
+    try:
+        try:
+            pool = context.Pool(min(processes, len(items)))
+        except OSError:  # pragma: no cover - fork failed (resource limits)
+            return [function(item) for item in items]
+        with pool:
+            return pool.map(_fork_call, list(items))
+    except (
+        pickle.PicklingError,
+        multiprocessing.pool.MaybeEncodingError,
+    ):  # pragma: no cover - unpicklable items/results: serial semantics win
+        return [function(item) for item in items]
+    finally:
+        _FORK_PAYLOAD = previous
+
+
+# ---------------------------------------------------------------------------
+# Single-pattern sweep (the inner loop of every checker).
+# ---------------------------------------------------------------------------
+
+
+def sweep_pattern_resilience(
+    state: EngineState,
+    pattern: ForwardingPattern,
+    destination: Node,
+    sources: Iterable[Node] | None = None,
+    failure_sets: Iterable[FailureSet] | None = None,
+    exhaustive: bool | None = None,
+) -> Any:
+    """Engine twin of the naive ``check_pattern_resilience``.
+
+    Identical verdicts: failure sets are walked in the same order,
+    sources in the same (component frozenset) order, and the
+    counterexample carries the same route trace.  ``exhaustive``
+    overrides the reported flag (used by grid sweeps that generate the
+    default enumeration themselves).
+    """
+    from ..resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict, default_failure_sets
+
+    if failure_sets is not None:
+        failure_iter: Iterable[FailureSet] = failure_sets
+        if exhaustive is None:
+            exhaustive = False
+    else:
+        failure_iter, default_exhaustive = default_failure_sets(state.graph)
+        if exhaustive is None:
+            exhaustive = default_exhaustive
+    network = state.network
+    tracker = state.tracker
+    memo = MemoizedPattern(network, pattern)
+    index = network.index
+    node_labels = network.labels
+    dest_idx = index.get(destination)
+    wanted = None if sources is None else set(sources)
+    # the per-mask partition cache pays off when masks repeat across
+    # destinations (exhaustive sweeps); on larger, sampled graphs the
+    # incremental peel would cache every random mask's prefixes forever
+    use_tracker = network.m <= EXHAUSTIVE_LINK_LIMIT
+    checked = 0
+    for failures in failure_iter:
+        fmask = network.mask_of(failures) if dest_idx is not None else None
+        if fmask is None:
+            # Links outside the graph (or an un-indexed destination):
+            # keep the naive path's semantics to the letter.
+            component = sorted_nodes(component_of(state.graph, destination, failures))
+            naive = state.naive_network
+            for source in component:
+                if source == destination or (wanted is not None and source not in wanted):
+                    continue
+                checked += 1
+                result = naive_route(naive, pattern, source, destination, failures)
+                if not result.delivered:
+                    return Verdict(
+                        False,
+                        checked,
+                        Counterexample(source, destination, failures, result),
+                        exhaustive,
+                    )
+            continue
+        if use_tracker:
+            component = tracker.component_sorted(fmask, dest_idx)
+        else:
+            component = sorted_nodes(
+                node_labels[i] for i in network.component_of_indices(fmask, dest_idx)
+            )
+        delivered_states: set[int] = set()
+        for source in component:
+            if source == destination or (wanted is not None and source not in wanted):
+                continue
+            checked += 1
+            if not route_covers(network, memo, index[source], dest_idx, fmask, delivered_states):
+                # re-walk for the exact trace (decisions are all cached)
+                result = route_indexed(network, memo, index[source], dest_idx, fmask)
+                return Verdict(
+                    False,
+                    checked,
+                    Counterexample(source, destination, failures, result),
+                    exhaustive,
+                )
+    return Verdict(True, checked, exhaustive=exhaustive)
+
+
+# ---------------------------------------------------------------------------
+# Grid sweeps per routing model.
+# ---------------------------------------------------------------------------
+
+
+def sweep_resilience(
+    graph: nx.Graph,
+    algorithm: DestinationAlgorithm | SourceDestinationAlgorithm | TouringAlgorithm,
+    scenarios: ScenarioGrid | None = None,
+    processes: int = 1,
+) -> SweepResult:
+    """Evaluate a whole scenario grid for one algorithm, batched.
+
+    Dispatches on the algorithm's routing model.  ``processes > 1``
+    fans independent grid units (destinations / pair chunks) out across
+    forked workers; the touring model has a single network-wide pattern
+    and always runs serially.
+    """
+    grid = scenarios if scenarios is not None else ScenarioGrid()
+    if isinstance(algorithm, TouringAlgorithm):
+        return _sweep_touring(graph, algorithm, grid)
+    if isinstance(algorithm, SourceDestinationAlgorithm):
+        return _sweep_source_destination(graph, algorithm, grid, processes)
+    if isinstance(algorithm, DestinationAlgorithm):
+        return _sweep_destination(graph, algorithm, grid, processes)
+    raise TypeError(f"not a routing algorithm: {algorithm!r}")
+
+
+def _sweep_destination(
+    graph: nx.Graph,
+    algorithm: DestinationAlgorithm,
+    grid: ScenarioGrid,
+    processes: int,
+) -> SweepResult:
+    from ..resilience import Verdict
+
+    destinations = list(grid.destinations) if grid.destinations is not None else list(graph.nodes)
+    materialized, factory, default_exhaustive = grid.resolved_failures(graph)
+
+    def check_one(destination: Node, state: EngineState) -> Any:
+        pattern = algorithm.build(graph, destination)
+        if materialized is not None:
+            return sweep_pattern_resilience(
+                state, pattern, destination, sources=grid.sources, failure_sets=materialized
+            )
+        return sweep_pattern_resilience(
+            state,
+            pattern,
+            destination,
+            sources=grid.sources,
+            failure_sets=factory(),
+            exhaustive=default_exhaustive,
+        )
+
+    def check_chunk(chunk: Sequence[Node]) -> list[Any]:
+        # one shared state per worker chunk: the component cache
+        # amortizes across the chunk's destinations, like the serial path
+        state = EngineState(graph)
+        verdicts = []
+        for destination in chunk:
+            verdict = check_one(destination, state)
+            verdicts.append(verdict)
+            if not verdict.resilient:
+                break  # later destinations cannot affect the aggregate
+        return verdicts
+
+    units: list[tuple[Any, Any]] = []
+    total = 0
+    exhaustive = True
+    if processes > 1 and len(destinations) > 1:
+        workers = min(processes, len(destinations))
+        size = (len(destinations) + workers - 1) // workers
+        chunks = [destinations[i : i + size] for i in range(0, len(destinations), size)]
+        verdict_lists = parallel_map(check_chunk, chunks, processes)
+        ordered: Iterable[tuple[Node, Any]] = (
+            pair
+            for chunk, verdicts in zip(chunks, verdict_lists)
+            for pair in zip(chunk, verdicts)
+        )
+    else:
+        state = EngineState(graph)
+        ordered = ((d, check_one(d, state)) for d in destinations)
+    for destination, verdict in ordered:
+        units.append((destination, verdict))
+        total += verdict.scenarios_checked
+        exhaustive = exhaustive and verdict.exhaustive
+        if not verdict.resilient:
+            verdict.scenarios_checked = total
+            return SweepResult(verdict, units)
+    return SweepResult(
+        Verdict(True, total, exhaustive=exhaustive and materialized is None), units
+    )
+
+
+def _sweep_source_destination(
+    graph: nx.Graph,
+    algorithm: SourceDestinationAlgorithm,
+    grid: ScenarioGrid,
+    processes: int,
+) -> SweepResult:
+    from ..resilience import Verdict
+
+    if grid.pairs is not None:
+        pairs = list(grid.pairs)
+    else:
+        destinations = (
+            list(grid.destinations) if grid.destinations is not None else list(graph.nodes)
+        )
+        sources = list(grid.sources) if grid.sources is not None else list(graph.nodes)
+        pairs = [(s, t) for t in destinations for s in sources if s != t]
+    materialized, factory, default_exhaustive = grid.resolved_failures(graph)
+
+    def check_chunk(chunk: Sequence[tuple[Node, Node]]) -> list[Any]:
+        state = EngineState(graph)
+        verdicts = []
+        for source, destination in chunk:
+            pattern = algorithm.build(graph, source, destination)
+            if materialized is not None:
+                verdict = sweep_pattern_resilience(
+                    state, pattern, destination, sources=[source], failure_sets=materialized
+                )
+            else:
+                verdict = sweep_pattern_resilience(
+                    state,
+                    pattern,
+                    destination,
+                    sources=[source],
+                    failure_sets=factory(),
+                    exhaustive=default_exhaustive,
+                )
+            verdicts.append(verdict)
+            if not verdict.resilient:
+                break  # later pairs cannot affect the aggregate
+        return verdicts
+
+    if processes > 1 and len(pairs) > 1:
+        workers = min(processes, len(pairs))
+        size = (len(pairs) + workers - 1) // workers
+        chunks = [pairs[i : i + size] for i in range(0, len(pairs), size)]
+        verdict_lists = parallel_map(check_chunk, chunks, processes)
+        flattened = []
+        for chunk, verdicts in zip(chunks, verdict_lists):
+            flattened.extend(zip(chunk, verdicts))
+    else:
+        flattened = list(zip(pairs, check_chunk(pairs)))
+    units: list[tuple[Any, Any]] = []
+    total = 0
+    exhaustive = True
+    for pair, verdict in flattened:
+        units.append((pair, verdict))
+        total += verdict.scenarios_checked
+        exhaustive = exhaustive and (verdict.exhaustive or materialized is not None)
+        if not verdict.resilient:
+            verdict.scenarios_checked = total
+            return SweepResult(verdict, units)
+    return SweepResult(
+        Verdict(True, total, exhaustive=exhaustive and materialized is None), units
+    )
+
+
+def _sweep_touring(
+    graph: nx.Graph,
+    algorithm: TouringAlgorithm,
+    grid: ScenarioGrid,
+) -> SweepResult:
+    from ..resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict
+
+    state = EngineState(graph)
+    network = state.network
+    tracker = state.tracker
+    use_tracker = network.m <= EXHAUSTIVE_LINK_LIMIT
+    pattern = algorithm.build(graph)
+    memo = MemoizedPattern(network, pattern)
+    # single pattern, single pass: stream the failure sets, never
+    # materialize (k-resilient touring can pass ~200k-set generators)
+    if grid.failure_sets is not None:
+        failure_iter: Iterable[FailureSet] = grid.failure_sets
+        exhaustive = False
+    else:
+        _, factory, exhaustive = grid.resolved_failures(graph)
+        failure_iter = factory()
+    starts = list(grid.sources) if grid.sources is not None else list(graph.nodes)
+    index = network.index
+    checked = 0
+    for failures in failure_iter:
+        fmask = network.mask_of(failures)
+        for start in starts:
+            checked += 1
+            if fmask is None or start not in index:
+                from ..simulator import tours_component
+
+                covered = tours_component(state.naive_network, pattern, start, failures)
+            else:
+                start_idx = index[start]
+                if use_tracker:
+                    component: frozenset[int] | set[int] = tracker.component_index_set(
+                        fmask, start_idx
+                    )
+                else:
+                    component = set(network.component_of_indices(fmask, start_idx))
+                if len(component) == 1:
+                    covered = True
+                else:
+                    recurrent = tour_recurrent_indices(network, memo, start_idx, fmask)
+                    covered = recurrent is not None and recurrent >= component
+            if not covered:
+                verdict = Verdict(
+                    False,
+                    checked,
+                    Counterexample(
+                        start, None, failures, None, note="tour does not cover component"
+                    ),
+                    exhaustive,
+                )
+                return SweepResult(verdict, [(None, verdict)])
+    verdict = Verdict(True, checked, exhaustive=exhaustive)
+    return SweepResult(verdict, [(None, verdict)])

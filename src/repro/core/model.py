@@ -27,6 +27,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
 
 import networkx as nx
 
@@ -56,8 +57,10 @@ class LocalView:
     alive: tuple[Node, ...]
     failed_links: FailureSet
 
-    @property
+    @cached_property
     def alive_set(self) -> frozenset[Node]:
+        # cached: route() consults this every hop, and patterns often do
+        # too; frozen dataclasses still have a __dict__ for the cache.
         return frozenset(self.alive)
 
     def alive_without(self, *excluded: Node | None) -> tuple[Node, ...]:

@@ -9,6 +9,14 @@ For small graphs the checkers enumerate **all** failure sets (the paper's
 gadgets have ≤ 16 links, so exhaustive checking is exact); larger graphs
 use structured plus uniformly random samples.  Checkers always skip
 failure sets that break the respective promise.
+
+Checkers run on the fast engine (:mod:`repro.core.engine`) by default:
+integer-indexed networks, memoized ``(node, inport, local mask)``
+forwarding decisions, and a component cache shared across the whole
+destination × failure-set grid.  ``use_engine=False`` selects the naive
+reference path (same verdicts, hop-by-hop simulation) — kept for
+differential testing and the speedup benchmarks.  ``processes`` fans
+independent destinations/pairs out across forked workers.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from itertools import combinations
 import networkx as nx
 
 from ..graphs.connectivity import component_of, st_edge_connectivity
-from ..graphs.edges import Edge, FailureSet, Node, edge, edge_sort_key
+from ..graphs.edges import Edge, FailureSet, Node, edge, edge_sort_key, sorted_nodes
 from .model import (
     DestinationAlgorithm,
     ForwardingPattern,
@@ -119,12 +127,19 @@ def check_pattern_resilience(
     destination: Node,
     sources: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
+    use_engine: bool = True,
 ) -> Verdict:
     """Check one concrete pattern: every connected source must be served.
 
     This is the §II definition specialized to a fixed destination (and
     optionally a fixed source, for the source-destination model).
     """
+    if use_engine:
+        from .engine.sweep import EngineState, sweep_pattern_resilience
+
+        return sweep_pattern_resilience(
+            EngineState(graph), pattern, destination, sources=sources, failure_sets=failure_sets
+        )
     network = Network(graph)
     failure_iter, exhaustive = (
         (failure_sets, False) if failure_sets is not None else default_failure_sets(graph)
@@ -132,7 +147,8 @@ def check_pattern_resilience(
     wanted = None if sources is None else set(sources)
     checked = 0
     for failures in failure_iter:
-        component = component_of(graph, destination, failures)
+        # sorted: deterministic counterexamples, matching the engine path
+        component = sorted_nodes(component_of(graph, destination, failures))
         for source in component:
             if source == destination or (wanted is not None and source not in wanted):
                 continue
@@ -153,8 +169,15 @@ def check_perfect_resilience_source_destination(
     algorithm: SourceDestinationAlgorithm,
     pairs: Iterable[tuple[Node, Node]] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
+    use_engine: bool = True,
+    processes: int = 1,
 ) -> Verdict:
     """Is the algorithm perfectly resilient on ``graph`` in the π^{s,t} model?"""
+    if use_engine:
+        from .engine.sweep import ScenarioGrid, sweep_resilience
+
+        grid = ScenarioGrid(pairs=pairs, failure_sets=failure_sets)
+        return sweep_resilience(graph, algorithm, grid, processes=processes).verdict
     nodes = list(graph.nodes)
     if pairs is None:
         pairs = [(s, t) for t in nodes for s in nodes if s != t]
@@ -164,7 +187,8 @@ def check_perfect_resilience_source_destination(
     for source, destination in pairs:
         pattern = algorithm.build(graph, source, destination)
         verdict = check_pattern_resilience(
-            graph, pattern, destination, sources=[source], failure_sets=materialized
+            graph, pattern, destination, sources=[source], failure_sets=materialized,
+            use_engine=False,
         )
         total += verdict.scenarios_checked
         exhaustive = exhaustive and (verdict.exhaustive or materialized is not None)
@@ -179,12 +203,19 @@ def check_perfect_resilience_destination(
     algorithm: DestinationAlgorithm,
     destinations: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
+    use_engine: bool = True,
+    processes: int = 1,
 ) -> Verdict:
     """Is the algorithm perfectly resilient on ``graph`` in the π^t model?
 
     Every node of the destination's surviving component must be served,
     whatever the source (§II).
     """
+    if use_engine:
+        from .engine.sweep import ScenarioGrid, sweep_resilience
+
+        grid = ScenarioGrid(destinations=destinations, failure_sets=failure_sets)
+        return sweep_resilience(graph, algorithm, grid, processes=processes).verdict
     nodes = list(destinations) if destinations is not None else list(graph.nodes)
     total = 0
     exhaustive = True
@@ -192,7 +223,7 @@ def check_perfect_resilience_destination(
     for destination in nodes:
         pattern = algorithm.build(graph, destination)
         verdict = check_pattern_resilience(
-            graph, pattern, destination, failure_sets=materialized
+            graph, pattern, destination, failure_sets=materialized, use_engine=False
         )
         total += verdict.scenarios_checked
         exhaustive = exhaustive and verdict.exhaustive
@@ -214,23 +245,34 @@ def check_r_tolerance(
     destination: Node,
     r: int,
     failure_sets: Iterable[FailureSet] | None = None,
+    use_engine: bool = True,
 ) -> Verdict:
     """Is the pattern r-tolerant for (source, destination) on ``graph``?
 
     Only failure sets under which s and t remain r-connected count
     (Definition 1); everything else is vacuously fine.
     """
-    network = Network(graph)
     pattern = algorithm.build(graph, source, destination)
     failure_iter, exhaustive = (
         (failure_sets, False) if failure_sets is not None else default_failure_sets(graph)
     )
+    if use_engine:
+        from .engine.sweep import EngineState
+
+        state = EngineState(graph)
+        memo = state.memoized(pattern)
+        simulate = lambda failures: state.route(memo, source, destination, failures)  # noqa: E731
+    else:
+        network = Network(graph)
+        simulate = lambda failures: route(  # noqa: E731
+            network, pattern, source, destination, failures
+        )
     checked = 0
     for failures in failure_iter:
         if st_edge_connectivity(graph, source, destination, failures, stop_at=r) < r:
             continue
         checked += 1
-        result = route(network, pattern, source, destination, failures)
+        result = simulate(failures)
         if not result.delivered:
             return Verdict(
                 False,
@@ -251,8 +293,14 @@ def check_perfect_touring(
     algorithm: TouringAlgorithm,
     starts: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
+    use_engine: bool = True,
 ) -> Verdict:
     """Does the π^∀ pattern tour every component under every failure set?"""
+    if use_engine:
+        from .engine.sweep import ScenarioGrid, sweep_resilience
+
+        grid = ScenarioGrid(sources=starts, failure_sets=failure_sets)
+        return sweep_resilience(graph, algorithm, grid).verdict
     network = Network(graph)
     pattern = algorithm.build(graph)
     failure_iter, exhaustive = (
@@ -278,6 +326,7 @@ def check_ideal_resilience(
     algorithm: DestinationAlgorithm,
     destinations: Iterable[Node] | None = None,
     k: int | None = None,
+    use_engine: bool = True,
 ) -> Verdict:
     """Ideal resilience (§I.B.1, Chiesa et al.): survive k-1 failures.
 
@@ -293,15 +342,27 @@ def check_ideal_resilience(
     if k < 1:
         raise ValueError("ideal resilience needs a connected graph")
     nodes = list(destinations) if destinations is not None else list(graph.nodes)
+    state = None
+    if use_engine:
+        from .engine.sweep import EngineState, sweep_pattern_resilience
+
+        state = EngineState(graph)
     total = 0
     for destination in nodes:
         pattern = algorithm.build(graph, destination)
-        verdict = check_pattern_resilience(
-            graph,
-            pattern,
-            destination,
-            failure_sets=all_failure_sets(graph, max_failures=k - 1),
-        )
+        if state is not None:
+            verdict = sweep_pattern_resilience(
+                state, pattern, destination,
+                failure_sets=all_failure_sets(graph, max_failures=k - 1),
+            )
+        else:
+            verdict = check_pattern_resilience(
+                graph,
+                pattern,
+                destination,
+                failure_sets=all_failure_sets(graph, max_failures=k - 1),
+                use_engine=False,
+            )
         total += verdict.scenarios_checked
         if not verdict.resilient:
             verdict.scenarios_checked = total
@@ -315,18 +376,19 @@ def check_k_resilient_touring(
     max_failures: int,
     starts: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
+    use_engine: bool = True,
 ) -> Verdict:
     """k-resilient touring: tours must survive every |F| <= max_failures."""
     if failure_sets is None:
-        total = sum(1 for _ in combinations(range(graph.number_of_edges()), 0))
         # exhaustive up to the size cap when the count is tractable
         count = _binomial_prefix(graph.number_of_edges(), max_failures)
         if count <= 200_000:
             failure_sets = all_failure_sets(graph, max_failures)
         else:
             failure_sets = sampled_failure_sets(graph, samples=500, max_failures=max_failures)
-        del total
-    return check_perfect_touring(graph, algorithm, starts=starts, failure_sets=failure_sets)
+    return check_perfect_touring(
+        graph, algorithm, starts=starts, failure_sets=failure_sets, use_engine=use_engine
+    )
 
 
 def _binomial_prefix(n: int, k: int) -> int:

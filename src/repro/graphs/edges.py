@@ -29,6 +29,20 @@ def edge_sort_key(e: Edge) -> tuple[tuple[str, str], tuple[str, str]]:
     return (_sort_key(u), _sort_key(v))
 
 
+def sorted_nodes(nodes: Iterable[Node]) -> list[Node]:
+    """Nodes in ascending order, tolerating mixed/non-comparable labels.
+
+    The checkers iterate candidate sources in this order so that
+    counterexamples are deterministic (independent of set iteration
+    order and hash randomization).
+    """
+    pool = list(nodes)  # a one-shot iterator must survive the retry
+    try:
+        return sorted(pool)
+    except TypeError:
+        return sorted(pool, key=_sort_key)
+
+
 def edge(u: Node, v: Node) -> Edge:
     """Return the canonical representation of the undirected link ``{u, v}``.
 

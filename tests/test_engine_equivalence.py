@@ -1,0 +1,309 @@
+"""Engine ⇔ naive equivalence: the fast path must change nothing.
+
+Property-style differential tests: for random graphs, all three routing
+models, and the paper gadgets (K7, K4,4, Netrail), the indexed +
+memoized engine must return *identical* results to the naive
+simulator/checkers — same ``Outcome``, same hop-by-hop path, same
+``Verdict`` (resilient flag, scenario count, exhaustiveness) and the
+same counterexample trace.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithms.naive import (
+    GreedyLowestNeighbor,
+    RandomCyclicDestinationOnly,
+    RandomCyclicPermutations,
+    RandomPortCycles,
+)
+from repro.core.engine import EngineState, route_indexed, tour_indexed
+from repro.core.resilience import (
+    all_failure_sets,
+    check_pattern_resilience,
+    check_perfect_resilience_destination,
+    check_perfect_resilience_source_destination,
+    check_perfect_touring,
+    check_r_tolerance,
+)
+from repro.core.simulator import Network, route, tour
+from repro.graphs.construct import complete_bipartite, complete_graph, fig6_netrail
+from repro.graphs.edges import edge, edge_sort_key
+
+RANDOM_GRAPHS_PER_MODEL = 50
+
+
+def random_graph(index: int) -> nx.Graph:
+    """A small connected random graph, deterministic per index."""
+    rng = random.Random(index)
+    n = rng.randint(5, 8)
+    while True:
+        graph = nx.gnp_random_graph(n, 0.45, seed=rng.randint(0, 10**9))
+        if graph.number_of_edges() >= n - 1 and nx.is_connected(graph):
+            return graph
+
+
+def verdict_tuple(verdict):
+    t = (verdict.resilient, verdict.scenarios_checked, verdict.exhaustive)
+    c = verdict.counterexample
+    if c is not None:
+        result = None
+        if c.result is not None:
+            result = (c.result.outcome, tuple(c.result.path), c.result.steps)
+        t += (c.source, c.destination, c.failures, result, c.note)
+    return t
+
+
+def small_failure_family(graph: nx.Graph) -> list:
+    """All |F| ≤ 2 plus a few random larger sets — cheap but varied."""
+    sets = list(all_failure_sets(graph, max_failures=2))
+    links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
+    rng = random.Random(graph.number_of_edges() * 1000 + graph.number_of_nodes())
+    for _ in range(5):
+        size = rng.randint(3, max(3, len(links)))
+        sets.append(frozenset(rng.sample(links, min(size, len(links)))))
+    return sets
+
+
+def assert_routes_match(graph, pattern, scenarios):
+    """Every (source, destination, failures) routes identically."""
+    naive = Network(graph)
+    state = EngineState(graph)
+    memo = state.memoized(pattern)
+    network = state.network
+    for source, destination, failures in scenarios:
+        expected = route(naive, pattern, source, destination, failures)
+        fmask = network.mask_of(failures)
+        assert fmask is not None
+        got = route_indexed(
+            network, memo, network.index[source], network.index[destination], fmask
+        )
+        assert got.outcome is expected.outcome, (source, destination, failures)
+        assert got.path == expected.path, (source, destination, failures)
+        assert got.steps == expected.steps, (source, destination, failures)
+
+
+class TestRouteEquivalenceRandomGraphs:
+    @pytest.mark.parametrize("index", range(RANDOM_GRAPHS_PER_MODEL))
+    def test_destination_model(self, index):
+        graph = random_graph(index)
+        destination = min(graph.nodes)
+        pattern = RandomCyclicDestinationOnly(seed=index).build(graph, destination)
+        scenarios = [
+            (s, destination, failures)
+            for failures in small_failure_family(graph)
+            for s in graph.nodes
+            if s != destination
+        ]
+        assert_routes_match(graph, pattern, scenarios)
+
+    @pytest.mark.parametrize("index", range(RANDOM_GRAPHS_PER_MODEL))
+    def test_source_destination_model(self, index):
+        graph = random_graph(1_000 + index)
+        nodes = sorted(graph.nodes)
+        source, destination = nodes[0], nodes[-1]
+        pattern = RandomCyclicPermutations(seed=index).build(graph, source, destination)
+        scenarios = [
+            (source, destination, failures) for failures in small_failure_family(graph)
+        ]
+        assert_routes_match(graph, pattern, scenarios)
+
+    @pytest.mark.parametrize("index", range(RANDOM_GRAPHS_PER_MODEL))
+    def test_port_model_tours(self, index):
+        graph = random_graph(2_000 + index)
+        pattern = RandomPortCycles(seed=index).build(graph)
+        naive = Network(graph)
+        state = EngineState(graph)
+        memo = state.memoized(pattern)
+        network = state.network
+        for failures in small_failure_family(graph):
+            fmask = network.mask_of(failures)
+            assert fmask is not None
+            for start in graph.nodes:
+                expected = tour(naive, pattern, start, failures)
+                got = tour_indexed(network, memo, network.index[start], fmask)
+                assert got.visited == expected.visited, (start, failures)
+                assert got.recurrent == expected.recurrent, (start, failures)
+                assert got.failed == expected.failed, (start, failures)
+                assert got.path == expected.path, (start, failures)
+
+
+class TestCheckerEquivalenceRandomGraphs:
+    """Full checker verdicts, engine vs naive, on a graph subsample."""
+
+    @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
+    def test_destination_checker(self, index):
+        graph = random_graph(3_000 + index)
+        algorithm = GreedyLowestNeighbor()
+        fast = check_perfect_resilience_destination(graph, algorithm)
+        slow = check_perfect_resilience_destination(graph, algorithm, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
+    def test_source_destination_checker(self, index):
+        graph = random_graph(4_000 + index)
+        algorithm = RandomCyclicPermutations(seed=index)
+        fast = check_perfect_resilience_source_destination(graph, algorithm)
+        slow = check_perfect_resilience_source_destination(graph, algorithm, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
+    def test_touring_checker(self, index):
+        graph = random_graph(5_000 + index)
+        algorithm = RandomPortCycles(seed=index)
+        fast = check_perfect_touring(graph, algorithm)
+        slow = check_perfect_touring(graph, algorithm, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 10))
+    def test_r_tolerance_checker(self, index):
+        graph = random_graph(6_000 + index)
+        nodes = sorted(graph.nodes)
+        algorithm = RandomCyclicPermutations(seed=index)
+        fast = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2)
+        slow = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+
+class TestPaperGadgets:
+    """K7, K4,4 and Netrail: the graphs the paper's theorems live on."""
+
+    @pytest.mark.parametrize(
+        "maker", [lambda: complete_graph(7), lambda: complete_bipartite(4, 4), fig6_netrail]
+    )
+    def test_destination_checker_on_gadget(self, maker):
+        graph = maker()
+        failure_sets = list(all_failure_sets(graph, max_failures=2))
+        algorithm = GreedyLowestNeighbor()
+        fast = check_perfect_resilience_destination(graph, algorithm, failure_sets=failure_sets)
+        slow = check_perfect_resilience_destination(
+            graph, algorithm, failure_sets=failure_sets, use_engine=False
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    @pytest.mark.parametrize(
+        "maker", [lambda: complete_graph(7), lambda: complete_bipartite(4, 4), fig6_netrail]
+    )
+    def test_route_level_on_gadget(self, maker):
+        graph = maker()
+        nodes = sorted(graph.nodes)
+        for seed, (source, destination) in enumerate([(nodes[0], nodes[-1]), (nodes[1], nodes[0])]):
+            pattern = RandomCyclicPermutations(seed=seed).build(graph, source, destination)
+            scenarios = [
+                (source, destination, failures) for failures in small_failure_family(graph)
+            ]
+            assert_routes_match(graph, pattern, scenarios)
+
+    def test_netrail_full_default_enumeration(self):
+        graph = fig6_netrail()
+        algorithm = RandomCyclicDestinationOnly(seed=7)
+        fast = check_perfect_resilience_destination(graph, algorithm)
+        slow = check_perfect_resilience_destination(graph, algorithm, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_parallel_fanout_matches_serial(self):
+        graph = fig6_netrail()
+        algorithm = GreedyLowestNeighbor()
+        serial = check_perfect_resilience_destination(graph, algorithm)
+        fanned = check_perfect_resilience_destination(graph, algorithm, processes=2)
+        assert verdict_tuple(serial) == verdict_tuple(fanned)
+
+
+class TestSampledLargeGraphs:
+    """Graphs above EXHAUSTIVE_LINK_LIMIT take the uncached component
+    path (sampled failure sets never repeat masks across destinations)."""
+
+    @pytest.mark.parametrize("index", range(3))
+    def test_destination_checker_sampled(self, index):
+        graph = nx.gnp_random_graph(12, 0.5, seed=index)
+        assert graph.number_of_edges() > 17 and nx.is_connected(graph)
+        destinations = sorted(graph.nodes)[:2]
+        algorithm = GreedyLowestNeighbor()
+        fast = check_perfect_resilience_destination(graph, algorithm, destinations=destinations)
+        slow = check_perfect_resilience_destination(
+            graph, algorithm, destinations=destinations, use_engine=False
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_touring_checker_sampled(self):
+        graph = nx.gnp_random_graph(12, 0.5, seed=5)
+        assert graph.number_of_edges() > 17
+        algorithm = RandomPortCycles(seed=5)
+        starts = sorted(graph.nodes)[:3]
+        fast = check_perfect_touring(graph, algorithm, starts=starts)
+        slow = check_perfect_touring(graph, algorithm, starts=starts, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+
+class TestPatternLevel:
+    def test_single_pattern_checker_equivalence(self):
+        graph = fig6_netrail()
+        destination = sorted(graph.nodes)[0]
+        pattern = GreedyLowestNeighbor().build(graph, destination)
+        fast = check_pattern_resilience(graph, pattern, destination)
+        slow = check_pattern_resilience(graph, pattern, destination, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_mixed_label_graph_matches_naive_ordering(self):
+        # one non-comparable neighbourhood flips the naive Network to
+        # repr-order for *every* node; the engine must follow suit —
+        # note 10 vs 2 sort differently under native and repr order
+        graph = nx.Graph()
+        graph.add_edges_from([(1, 2), (2, 10), (10, 1), (1, "x"), ("x", 2)])
+        algorithm = GreedyLowestNeighbor()
+        fast = check_perfect_resilience_destination(graph, algorithm)
+        slow = check_perfect_resilience_destination(graph, algorithm, use_engine=False)
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+        destination = 1
+        pattern = RandomCyclicDestinationOnly(seed=3).build(graph, destination)
+        scenarios = [
+            (s, destination, failures)
+            for failures in small_failure_family(graph)
+            for s in graph.nodes
+            if s != destination
+        ]
+        assert_routes_match(graph, pattern, scenarios)
+
+    def test_non_graph_links_fall_back_to_naive_semantics(self):
+        graph = complete_graph(4)
+        destination = 0
+        pattern = GreedyLowestNeighbor().build(graph, destination)
+        weird = [frozenset({(0, 99)}), frozenset({(1, 2), ("x", "y")})]
+        fast = check_pattern_resilience(graph, pattern, destination, failure_sets=weird)
+        slow = check_pattern_resilience(
+            graph, pattern, destination, failure_sets=weird, use_engine=False
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_non_canonical_failure_tuples_keep_naive_semantics(self):
+        # the naive path matches failures against canonical edges only,
+        # so a reversed tuple like (1, 0) is effectively alive; the
+        # engine must not canonicalize it into a failed link
+        graph = complete_graph(4)
+        destination = 0
+        pattern = GreedyLowestNeighbor().build(graph, destination)
+        reversed_links = [frozenset({(1, 0)}), frozenset({(2, 1), (3, 0)})]
+        fast = check_pattern_resilience(graph, pattern, destination, failure_sets=reversed_links)
+        slow = check_pattern_resilience(
+            graph, pattern, destination, failure_sets=reversed_links, use_engine=False
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+        # and at the route level (the reviewer's reproduction)
+        from repro.core.engine import EngineState
+        from repro.graphs.construct import cycle_graph
+
+        ring = cycle_graph(4)
+        ring_pattern = GreedyLowestNeighbor().build(ring, 0)
+        state = EngineState(ring)
+        memo = state.memoized(ring_pattern)
+        got = state.route(memo, 2, 0, frozenset({(1, 0)}))
+        expected = route(Network(ring), ring_pattern, 2, 0, frozenset({(1, 0)}))
+        assert (got.outcome, got.path, got.steps) == (
+            expected.outcome,
+            expected.path,
+            expected.steps,
+        )
