@@ -1,0 +1,131 @@
+"""Congestion benchmark: batched multi-flow router vs per-packet routing.
+
+The traffic subsystem's pitch is that routing a whole matrix through a
+static pattern costs one functional-graph pass per failure mask instead
+of one simulated walk per flow.  This benchmark measures that on the
+2021 congestion paper's setting — ``fat_tree(4)`` under incast
+(all-to-one) and permutation matrices across a sampled failure grid —
+and verifies, per scenario, that both routers report *identical* link
+loads (the benchmark doubles as a large differential test).
+
+Results merge into ``BENCH_engine.json`` under the ``congestion`` key
+(the engine-speedup benchmark owns the other keys).  Runnable
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_congestion.py [--quick]
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_engine_speedup import BENCH_JSON, merge_bench_json
+
+from repro.analysis import simple_table
+from repro.core.algorithms import ArborescenceRouting
+from repro.graphs.construct import fat_tree
+from repro.traffic import (
+    TrafficEngine,
+    all_to_one,
+    per_packet_loads,
+    permutation,
+    sample_failure_grid,
+)
+
+#: the batched router must never be slower than per-packet routing
+MIN_SPEEDUP = 1.0
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    graph = fat_tree(4)
+    sink = ("core", 0)
+    matrices = {
+        "all-to-one(core0)": all_to_one(graph, sink),
+        "permutation": permutation(graph, seed=1),
+    }
+    sizes = [0, 2] if quick else [0, 1, 2, 4, 8]
+    samples = 3 if quick else 25
+    grid = sample_failure_grid(graph, sizes, samples, seed=0)
+    scenario_sets = [failures for size in sorted(grid) for failures in grid[size]]
+
+    algorithm = ArborescenceRouting()
+    workloads = {}
+    for name, demands in matrices.items():
+        engine = TrafficEngine(graph, algorithm)
+        start = time.perf_counter()
+        batched = [engine.load(demands, failures) for failures in scenario_sets]
+        batched_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        naive = [
+            per_packet_loads(graph, algorithm, demands, failures)
+            for failures in scenario_sets
+        ]
+        per_packet_seconds = time.perf_counter() - start
+        for fast, slow in zip(batched, naive):
+            assert fast.loads == slow.loads, "batched router diverged from per-packet loads"
+        workloads[name] = {
+            "demands": len(demands),
+            "scenarios": len(scenario_sets),
+            "flows_routed": len(demands) * len(scenario_sets),
+            "per_packet_seconds": per_packet_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": per_packet_seconds / batched_seconds,
+            "worst_max_load": max(report.max_load for report in batched),
+            "min_delivered_fraction": min(report.delivered_fraction for report in batched),
+        }
+    results = {
+        "benchmark": "congestion",
+        "graph": "fat_tree(4)",
+        "algorithm": algorithm.name,
+        "cpu_count": os.cpu_count(),
+        "thresholds": {"min_speedup": MIN_SPEEDUP},
+        "workloads": workloads,
+    }
+    if not quick:
+        merge_bench_json({"congestion": results})
+    return results
+
+
+def format_report(results: dict) -> str:
+    rows = [
+        [
+            name,
+            data["flows_routed"],
+            f"{data['per_packet_seconds']:.2f}",
+            f"{data['batched_seconds']:.2f}",
+            f"{data['speedup']:.1f}x",
+            data["worst_max_load"],
+        ]
+        for name, data in results["workloads"].items()
+    ]
+    return (
+        f"Congestion: batched multi-flow router vs per-packet walks on {results['graph']}\n"
+        f"(algorithm: {results['algorithm']}; loads verified identical per scenario)\n"
+        + simple_table(
+            ["matrix", "flows", "per-packet s", "batched s", "speedup", "worst max load"],
+            rows,
+        )
+    )
+
+
+def test_congestion_speedup(report):
+    results = run_benchmark()
+    report("congestion", format_report(results))
+    for name, data in results["workloads"].items():
+        assert data["speedup"] >= MIN_SPEEDUP, (name, data)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: fewer scenarios, no BENCH_engine.json write",
+    )
+    cli_args = parser.parse_args()
+    print(format_report(run_benchmark(quick=cli_args.quick)))
+    if not cli_args.quick:
+        print(f"machine-readable results: {BENCH_JSON}")

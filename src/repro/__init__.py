@@ -10,6 +10,10 @@ touring), its constructive impossibility adversaries (Theorems 1, 6, 7,
 14, 15 and the touring lemmas), and the §VIII topology classification
 pipeline, on top of self-contained graph substrates (connectivity,
 planarity, minors, Hamiltonian decompositions, arborescence packings).
+:mod:`repro.traffic` extends the single-packet view to whole traffic
+matrices: batched multi-flow load accounting under failures, congestion
+sweeps and worst-case load adversaries on datacenter fabrics
+(fat-tree, hypercube, torus).
 
 Quickstart::
 

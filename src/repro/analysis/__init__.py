@@ -4,7 +4,7 @@ from .case_study import MODELS, CaseStudyResult, run_case_study
 from .random_failures import DeliveryCurve, compare_curves, delivery_curve
 from .reporting import fig7_table, fig8_table, simple_table
 from .stretch import StretchSummary, measure_stretch
-from .table_space import TableSpace, table_space, table_space_report
+from .table_space import TableSpace, measured_table_space, table_space, table_space_report
 
 __all__ = [
     "MODELS",
@@ -17,6 +17,7 @@ __all__ = [
     "fig7_table",
     "fig8_table",
     "measure_stretch",
+    "measured_table_space",
     "run_case_study",
     "simple_table",
     "table_space",

@@ -7,17 +7,27 @@ that: the number of forwarding rules a switch must hold under each
 routing model, where one rule maps (header match, in-port, local failure
 condition) to an out-port.
 
-We count rules conservatively as *(match keys) × (in-ports + ⊥)* per
-node; failure conditions multiply all models equally (rules are
-conditional on incident failures in every model) and are therefore
-normalized out.
+:func:`table_space` counts rules analytically — *(match keys) ×
+(in-ports + ⊥)* per node; failure conditions multiply all models equally
+(rules are conditional on incident failures in every model) and are
+therefore normalized out.  :func:`measured_table_space` instead *runs*
+concrete algorithms on the engine and counts the distinct ``(node,
+in-port, local failure set)`` decisions their patterns are actually
+asked for across a scenario sweep — the engine's memoized decision
+tables (:class:`~repro.core.engine.memo.MemoizedPattern`) are exactly
+that rule set, so the measurement falls out of one shared
+:class:`~repro.core.engine.sweep.EngineState` instead of naive
+per-scenario network rebuilds.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import networkx as nx
+
+from ..graphs.edges import FailureSet
 
 
 @dataclass
@@ -67,3 +77,82 @@ def table_space(graph: nx.Graph, name: str = "") -> TableSpace:
 def table_space_report(graphs: dict[str, nx.Graph]) -> list[TableSpace]:
     """Table-space accounting for a dictionary of named topologies."""
     return [table_space(graph, name) for name, graph in graphs.items()]
+
+
+def measured_table_space(
+    graph: nx.Graph,
+    destination_algorithm=None,
+    source_destination_algorithm=None,
+    touring_algorithm=None,
+    failure_sets: Iterable[FailureSet] | None = None,
+    name: str = "",
+) -> TableSpace:
+    """Rules the given algorithms *actually* install, measured by sweeping.
+
+    Routes every source through every supplied model's patterns under
+    every failure set (default: the checkers' exhaustive-or-sampled
+    enumeration) on one shared engine, then counts each pattern's
+    distinct exercised ``(node, in-port, F ∩ E(v))`` decisions — the
+    entries of its memoized decision table.  Models without an algorithm
+    report 0.  Comparable directly against the analytic upper bounds of
+    :func:`table_space` (measured ≤ analytic bound × failure conditions).
+    """
+    from ..core.engine.memo import MemoizedPattern, route_indexed, tour_indexed
+    from ..core.engine.sweep import EngineState
+    from ..core.resilience import default_failure_sets
+
+    state = EngineState(graph)
+    network = state.network
+    if failure_sets is None:
+        failure_sets, _ = default_failure_sets(graph)
+    masks = []
+    for failures in failure_sets:
+        mask = network.mask_of(failures)
+        if mask is None:
+            raise ValueError(f"failure set {sorted(failures)!r} names links outside the graph")
+        masks.append(mask)
+    indices = range(network.n)
+
+    destination_rules = 0
+    if destination_algorithm is not None:
+        for dest in indices:
+            memo = MemoizedPattern(
+                network, destination_algorithm.build(graph, network.labels[dest])
+            )
+            for fmask in masks:
+                for source in indices:
+                    if source != dest:
+                        route_indexed(network, memo, source, dest, fmask)
+            destination_rules += len(memo.table)
+
+    source_destination_rules = 0
+    if source_destination_algorithm is not None:
+        for dest in indices:
+            for source in indices:
+                if source == dest:
+                    continue
+                memo = MemoizedPattern(
+                    network,
+                    source_destination_algorithm.build(
+                        graph, network.labels[source], network.labels[dest]
+                    ),
+                )
+                for fmask in masks:
+                    route_indexed(network, memo, source, dest, fmask)
+                source_destination_rules += len(memo.table)
+
+    touring_rules = 0
+    if touring_algorithm is not None:
+        memo = MemoizedPattern(network, touring_algorithm.build(graph))
+        for fmask in masks:
+            for start in indices:
+                tour_indexed(network, memo, start, fmask)
+        touring_rules = len(memo.table)
+
+    return TableSpace(
+        name=name,
+        n=graph.number_of_nodes(),
+        source_destination_rules=source_destination_rules,
+        destination_rules=destination_rules,
+        touring_rules=touring_rules,
+    )

@@ -8,7 +8,10 @@ Commands:
 * ``attack`` — run the constructive adversaries (Thm 1 / Thm 6 / Thm 7);
 * ``tour`` — tour a graph with the right-hand rule or Hamiltonian cycles;
 * ``zoo`` — regenerate the synthetic Topology Zoo and print the Fig. 7
-  table for a slice of it.
+  table for a slice of it;
+* ``traffic`` — route a whole traffic matrix under sampled failure sets
+  and print congestion curves (and, optionally, a greedy worst-case
+  load attack).
 """
 
 from __future__ import annotations
@@ -23,7 +26,10 @@ from .analysis import fig7_table, run_case_study
 from .core import Network, route as simulate_route, tour as simulate_tour
 from .core.adversary import attack_k44, attack_k7, attack_r_tolerance
 from .core.algorithms import (
+    ArborescenceRouting,
     Distance2Algorithm,
+    Distance3BipartiteAlgorithm,
+    GreedyLowestNeighbor,
     HamiltonianTouring,
     K5SourceRouting,
     K33SourceRouting,
@@ -45,6 +51,9 @@ _FAMILIES = {
     "grid": lambda: G.grid_graph(4, 4),
     "ring": lambda: G.cycle_graph(8),
     "fan": lambda: G.fan_graph(8),
+    "fattree": lambda: G.fat_tree(4),
+    "hypercube": lambda: G.hypercube(4),
+    "torus": lambda: G.torus(4, 4),
 }
 
 
@@ -165,6 +174,125 @@ def _cmd_zoo(args) -> int:
     return 0
 
 
+_TRAFFIC_ALGORITHMS = {
+    "arborescence": ArborescenceRouting,
+    "distance2": Distance2Algorithm,
+    "distance3": Distance3BipartiteAlgorithm,
+    "tour": TourToDestination,
+    "greedy": GreedyLowestNeighbor,
+}
+
+
+def _build_matrix(graph, args):
+    from . import traffic
+
+    nodes = sorted(graph.nodes, key=repr)
+    if args.matrix == "all-to-one":
+        destination = _maybe_int(args.destination) if args.destination else nodes[-1]
+        return traffic.all_to_one(graph, destination), f"all-to-one({destination})"
+    if args.matrix == "all-to-all":
+        return traffic.all_to_all(graph), "all-to-all"
+    if args.matrix == "hotspot":
+        return traffic.hotspot(graph, seed=args.seed), "hotspot"
+    if args.matrix == "gravity":
+        return traffic.gravity(graph, seed=args.seed), "gravity"
+    return traffic.permutation(graph, seed=args.seed), "permutation"
+
+
+def _cmd_traffic(args) -> int:
+    from . import traffic
+
+    graph = _load_graph(args.graph)
+    try:
+        demands, matrix_name = _build_matrix(graph, args)
+    except ValueError as error:  # e.g. --destination not a node of the graph
+        print(f"cannot build matrix: {error}", file=sys.stderr)
+        return 2
+    try:
+        sizes = [int(token) for token in args.sizes.split(",")] if args.sizes else None
+    except ValueError:
+        print(
+            f"invalid --sizes {args.sizes!r}: expected comma-separated integers",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithm == "all":
+        try:
+            result = traffic.compare_congestion(
+                graph,
+                demands,
+                sizes=sizes,
+                samples=args.samples,
+                seed=args.seed,
+                graph_name=args.graph,
+                matrix_name=matrix_name,
+            )
+        except ValueError as error:  # bad sizes/samples for this topology
+            print(f"cannot sweep: {error}", file=sys.stderr)
+            return 2
+        curves = result.curves
+        for name, reason in result.skipped:
+            print(f"[skipped] {name}: {reason}", file=sys.stderr)
+    else:
+        algorithm = _TRAFFIC_ALGORITHMS[args.algorithm]()
+        try:
+            grid = traffic.sample_failure_grid(
+                graph, sizes or traffic.default_sizes(graph), args.samples, args.seed
+            )
+        except ValueError as error:
+            print(f"cannot sweep: {error}", file=sys.stderr)
+            return 2
+        engine = traffic.TrafficEngine(graph, algorithm)
+        try:
+            # pre-flight only: build every pattern once; a failure here is
+            # an expected topology precondition, anything later is a bug
+            engine.load(demands)
+        except Exception as error:  # noqa: BLE001 - precondition failures vary by algorithm
+            print(f"{algorithm.name} cannot run on this topology: {error}", file=sys.stderr)
+            return 2
+        curves = [
+            traffic.congestion_vs_failures(
+                graph,
+                algorithm,
+                demands,
+                samples=args.samples,
+                graph_name=args.graph,
+                matrix_name=matrix_name,
+                failure_grid=grid,
+                engine=engine,
+            )
+        ]
+    print(f"congestion sweep: {args.graph}, matrix {matrix_name}, {len(demands)} demands")
+    print(traffic.congestion_table(curves))
+    if args.attack:
+        if args.algorithm != "all":
+            algorithm = _TRAFFIC_ALGORITHMS[args.algorithm]()
+        else:
+            # attack the first competitor that actually ran on this
+            # topology (preference order = _TRAFFIC_ALGORITHMS order)
+            survivors = {curve.algorithm for curve in curves}
+            algorithm = next(
+                (
+                    factory()
+                    for factory in _TRAFFIC_ALGORITHMS.values()
+                    if factory.name in survivors  # name is a class attribute
+                ),
+                None,
+            )
+            if algorithm is None:
+                print("no supported algorithm to attack", file=sys.stderr)
+                return 1
+        attack = traffic.greedy_congestion_attack(graph, algorithm, demands, args.attack)
+        print(
+            f"worst-case load attack on {algorithm.name}: |F| = {attack.size}, "
+            f"max load {attack.baseline_max_load} -> {attack.max_load} "
+            f"({attack.amplification:.2f}x)"
+        )
+        for link in sorted(attack.failures, key=repr):
+            print(f"  fail {link[0]}-{link[1]}")
+    return 0 if curves else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +330,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2022)
     p.add_argument("--budget", type=int, default=2_000)
     p.set_defaults(func=_cmd_zoo)
+
+    p = sub.add_parser("traffic", help="congestion sweep: route a traffic matrix under failures")
+    p.add_argument("graph", help=f"family ({', '.join(_FAMILIES)}) or edge-list file")
+    p.add_argument(
+        "--matrix",
+        choices=["permutation", "all-to-one", "all-to-all", "hotspot", "gravity"],
+        default="permutation",
+    )
+    p.add_argument("--destination", default=None, help="sink for --matrix all-to-one")
+    p.add_argument(
+        "--algorithm",
+        choices=["all", *_TRAFFIC_ALGORITHMS],
+        default="all",
+        help="one algorithm, or 'all' for the comparison harness",
+    )
+    p.add_argument("--sizes", default=None, help="failure-set sizes, e.g. 0,1,2,4")
+    p.add_argument("--samples", type=int, default=10, help="failure sets per size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--attack", type=int, default=0, metavar="K",
+        help="also run a greedy worst-case load attack with up to K failures",
+    )
+    p.set_defaults(func=_cmd_traffic)
     return parser
 
 

@@ -12,6 +12,14 @@ comparing the out-port it would use for the returning packet with the
 out-port it used at start.  On outerplanar graphs (Cor 6) the detection
 is sound and complete: every node of the source's surviving component is
 informed before the source declares the broadcast finished.
+
+Runs on the fast engine by default: one :class:`~repro.core.engine.sweep.
+EngineState` and one memoized decision table are cached per graph, so
+sweeping a broadcast over many failure sets pays for network indexing
+and pattern construction once.  ``use_engine=False`` selects the naive
+hop-by-hop reference walk (identical results, kept for differential
+testing); failure sets naming links outside the graph fall back to it
+automatically.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ import networkx as nx
 
 from ...graphs.connectivity import component_of
 from ...graphs.edges import FailureSet, Node
+from ..engine.memo import MemoizedPattern
+from ..engine.sweep import EngineState
 from ..model import ForwardingPattern, TouringAlgorithm
 from ..simulator import Network
 
@@ -44,6 +54,42 @@ class TouringBroadcast:
 
     def __init__(self, algorithm: TouringAlgorithm):
         self._algorithm = algorithm
+        self._graph: nx.Graph | None = None
+        self._fingerprint: tuple | None = None
+        self._state: EngineState | None = None
+        self._memo: MemoizedPattern | None = None
+        self._pattern: ForwardingPattern | None = None
+
+    def _prepared(self, graph: nx.Graph) -> tuple[EngineState, MemoizedPattern]:
+        """Engine state + decision table, cached per graph.
+
+        Keyed by object identity *and* the exact node/edge sets, so a
+        graph mutated in place between calls — including same-size
+        rewirings — is re-indexed instead of silently served from the
+        stale cache.  The O(n + m) fingerprint check is negligible next
+        to the O(m) broadcast walk it guards.
+        """
+        fingerprint = (
+            frozenset(graph.nodes),
+            frozenset(frozenset(link) for link in graph.edges),
+        )
+        if (
+            self._state is None
+            or self._graph is not graph
+            or self._fingerprint != fingerprint
+        ):
+            # build everything before touching the cache: a failing
+            # pattern build must not leave a half-updated cache behind
+            state = EngineState(graph)
+            pattern = self._algorithm.build(graph)
+            memo = MemoizedPattern(state.network, pattern)
+            self._graph = graph
+            self._fingerprint = fingerprint
+            self._state = state
+            self._pattern = pattern
+            self._memo = memo
+        assert self._memo is not None
+        return self._state, self._memo
 
     def run(
         self,
@@ -51,6 +97,7 @@ class TouringBroadcast:
         source: Node,
         failures: FailureSet = frozenset(),
         max_hops: int | None = None,
+        use_engine: bool = True,
     ) -> BroadcastResult:
         """Walk the touring packet until the source detects completion.
 
@@ -59,10 +106,80 @@ class TouringBroadcast:
         with the out-port it prescribed at ``⊥``; equality means the tour
         has wrapped around.
         """
-        network = Network(graph)
-        pattern = self._algorithm.build(graph)
         limit = max_hops if max_hops is not None else 4 * graph.number_of_edges() + 4
+        if use_engine:
+            state, memo = self._prepared(graph)
+            fmask = state.network.mask_of(failures)
+            if fmask is not None and source in state.network.index:
+                return self._run_indexed(state, memo, source, fmask, limit)
+            pattern = self._pattern
+            assert pattern is not None
+            network: Network = state.naive_network
+        else:
+            pattern = self._algorithm.build(graph)
+            network = Network(graph)
+        return self._run_naive(network, pattern, source, failures, limit)
 
+    def _run_indexed(
+        self,
+        state: EngineState,
+        memo: MemoizedPattern,
+        source: Node,
+        fmask: int,
+        limit: int,
+    ) -> BroadcastResult:
+        """Mask-based twin of :meth:`_run_naive` — identical results."""
+        network = state.network
+        labels = network.labels
+        index = network.index
+        incident = network.incident_mask
+        pattern = memo.pattern
+        src = index[source]
+        # ⊥ step: query the pattern directly (the naive walk does not
+        # check aliveness of the very first port, so neither do we)
+        first_port = pattern.forward(network.view(src, -1, fmask))
+        if first_port is None:
+            return BroadcastResult(frozenset({source}), True, 0, [source])
+        first_idx = index.get(first_port)
+        informed = {source, first_port}
+        walk = [source, first_port]
+        hops = 1
+        if first_idx is None:  # pattern named a non-node: naive semantics
+            return self._run_naive(
+                state.naive_network, pattern, source, network.failures_of(fmask), limit
+            )
+        current, inport = first_idx, src
+        next_hop = memo.next_hop
+        while hops < limit:
+            decision = next_hop(current, inport, fmask & incident[current])
+            if decision < 0:  # dropped, or forwarded over a failed link
+                return BroadcastResult(frozenset(informed), False, hops, walk)
+            hops += 1
+            informed.add(labels[decision])
+            walk.append(labels[decision])
+            current, inport = decision, current
+            if current == src:
+                returning = next_hop(src, inport, fmask & incident[src])
+                if returning >= 0:
+                    wrapped = labels[returning] == first_port
+                else:
+                    # the naive check compares the raw pattern answer,
+                    # alive or not — ask the pattern directly here
+                    wrapped = (
+                        pattern.forward(network.view(src, inport, fmask)) == first_port
+                    )
+                if wrapped:
+                    return BroadcastResult(frozenset(informed), True, hops, walk)
+        return BroadcastResult(frozenset(informed), False, hops, walk)
+
+    def _run_naive(
+        self,
+        network: Network,
+        pattern: ForwardingPattern,
+        source: Node,
+        failures: FailureSet,
+        limit: int,
+    ) -> BroadcastResult:
         start_view = network.view(source, None, failures)
         first_port = pattern.forward(start_view)
         if first_port is None:
@@ -86,7 +203,13 @@ class TouringBroadcast:
                     return BroadcastResult(frozenset(informed), True, hops, walk)
         return BroadcastResult(frozenset(informed), False, hops, walk)
 
-    def verify(self, graph: nx.Graph, source: Node, failures: FailureSet = frozenset()) -> bool:
+    def verify(
+        self,
+        graph: nx.Graph,
+        source: Node,
+        failures: FailureSet = frozenset(),
+        use_engine: bool = True,
+    ) -> bool:
         """Did the broadcast inform the whole surviving component of the source?"""
-        result = self.run(graph, source, failures)
+        result = self.run(graph, source, failures, use_engine=use_engine)
         return result.completed and result.covers(component_of(graph, source, failures))

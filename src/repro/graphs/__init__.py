@@ -21,9 +21,11 @@ from .construct import (
     complete_graph,
     cycle_graph,
     fan_graph,
+    fat_tree,
     fig2_two_rail,
     fig6_netrail,
     grid_graph,
+    hypercube,
     k_bipartite_minus,
     k_minus,
     maximal_outerplanar,
@@ -32,6 +34,7 @@ from .construct import (
     petersen_graph,
     star_graph,
     theta_graph,
+    torus,
     wheel_graph,
 )
 from .edges import (

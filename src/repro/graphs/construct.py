@@ -246,6 +246,81 @@ def petersen_graph() -> nx.Graph:
     return nx.petersen_graph()
 
 
+# ---------------------------------------------------------------------------
+# Datacenter topologies (the congestion line of work: Bankhamer, Elsässer,
+# Schmid 2020/2021 study local rerouting load on exactly these fabrics).
+# ---------------------------------------------------------------------------
+
+
+def fat_tree(k: int) -> nx.Graph:
+    """The k-ary fat-tree switch fabric (Al-Fares et al.), switches only.
+
+    ``k`` must be even.  ``(k/2)^2`` core switches; ``k`` pods, each with
+    ``k/2`` aggregation and ``k/2`` edge switches.  Every edge switch
+    connects to every aggregation switch of its pod; aggregation switch
+    ``a`` of each pod connects to the ``k/2`` cores in group ``a``.
+    Nodes are labelled ``("core", i)``, ``("agg", pod, i)`` and
+    ``("edge", pod, i)`` so that tier and pod stay readable in traces.
+
+    Totals: ``5k^2/4`` switches and ``k^3/2`` links; ``fat_tree(4)`` is
+    the classic 20-switch, 32-link instance.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat tree needs an even k >= 2")
+    half = k // 2
+    graph = nx.Graph()
+    cores = [("core", i) for i in range(half * half)]
+    graph.add_nodes_from(cores)
+    for pod in range(k):
+        aggs = [("agg", pod, i) for i in range(half)]
+        edges_ = [("edge", pod, i) for i in range(half)]
+        for agg in aggs:
+            for edge_switch in edges_:
+                graph.add_edge(agg, edge_switch)
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                graph.add_edge(agg, cores[i * half + j])
+    return graph
+
+
+def hypercube(d: int) -> nx.Graph:
+    """The d-dimensional hypercube: ``2^d`` nodes, labelled ``0..2^d - 1``.
+
+    Nodes are adjacent iff their labels differ in exactly one bit — the
+    canonical d-regular datacenter/interconnect topology of the 2021
+    randomized-rerouting paper.
+    """
+    if d < 1:
+        raise ValueError("hypercube needs d >= 1")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(1 << d))
+    for node in range(1 << d):
+        for bit in range(d):
+            neighbor = node ^ (1 << bit)
+            if neighbor > node:
+                graph.add_edge(node, neighbor)
+    return graph
+
+
+def torus(rows: int, cols: int) -> nx.Graph:
+    """A 2-D torus: ``rows x cols`` grid with wraparound links.
+
+    4-regular for ``rows, cols >= 3`` (the standard HPC/datacenter mesh
+    with wrap links); node labels are flattened integers ``r * cols + c``
+    in row-major order.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows, cols >= 3 (smaller wraps collapse links)")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            graph.add_edge(node, r * cols + (c + 1) % cols)
+            graph.add_edge(node, ((r + 1) % rows) * cols + c)
+    return graph
+
+
 def bipartition(graph: nx.Graph) -> tuple[set[Node], set[Node]]:
     """Return the two colour classes of a bipartite graph.
 

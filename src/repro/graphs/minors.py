@@ -154,15 +154,27 @@ class _BudgetExceeded(Exception):
     pass
 
 
+#: hosts this small get a budget-free exhaustive search when the budgeted
+#: pipeline is inconclusive — the branch tree is bounded by ~2^links, so
+#: the limits below keep the worst case comfortably sub-second while
+#: making every small-host verdict deterministic (no more UNKNOWN flakes)
+EXHAUSTIVE_FALLBACK_NODES = 10
+EXHAUSTIVE_FALLBACK_LINKS = 20
+
+
 def _exact_search(
     host: nx.Graph,
     pattern: nx.Graph,
-    budget: int,
+    budget: int | None,
     stats: MinorSearchStats,
 ) -> bool:
-    """Exact minor test by branching on contract/delete of one link."""
+    """Exact minor test by branching on contract/delete of one link.
+
+    ``budget=None`` disables the recursion cap (exhaustive mode, used
+    only for small hosts where termination is fast).
+    """
     stats.recursion_nodes += 1
-    if stats.recursion_nodes > budget:
+    if budget is not None and stats.recursion_nodes > budget:
         raise _BudgetExceeded
     host = reduce_host(host, pattern)
     n_h, m_h = host.number_of_nodes(), host.number_of_edges()
@@ -234,7 +246,16 @@ def has_minor(
             if _exact_search(piece, pattern, budget, stats):
                 return MinorOutcome.YES
         except _BudgetExceeded:
-            unknown = True
+            if (
+                piece.number_of_nodes() <= EXHAUSTIVE_FALLBACK_NODES
+                and piece.number_of_edges() <= EXHAUSTIVE_FALLBACK_LINKS
+            ):
+                # small host: finish the search exhaustively — the answer
+                # is then exact and deterministic, never UNKNOWN
+                if _exact_search(piece, pattern, None, stats):
+                    return MinorOutcome.YES
+            else:
+                unknown = True
     return MinorOutcome.UNKNOWN if unknown else MinorOutcome.NO
 
 

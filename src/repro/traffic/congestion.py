@@ -1,0 +1,354 @@
+"""Congestion sweeps: load-vs-failures curves, adversarial load search,
+and an algorithm comparison harness.
+
+Mirrors :func:`repro.core.engine.sweep.sweep_resilience` one layer up:
+instead of asking "does every packet arrive?", each scenario routes a
+whole traffic matrix through :class:`~repro.traffic.load.TrafficEngine`
+and records what the rerouted flows do to link loads — the "price of
+locality" measured in congestion rather than resilience (Bankhamer,
+Elsässer, Schmid 2020/2021).
+
+Three drivers:
+
+* :func:`congestion_vs_failures` — congestion curve over failure-set
+  sizes, sampled on a deterministic seeded grid;
+* :func:`greedy_congestion_attack` — worst-case failure search for load,
+  greedy link-by-link with a pruning pass, following the verified-witness
+  scaffolding of :mod:`repro.core.adversary.search` (every returned
+  witness is re-simulated, never trusted from the search);
+* :func:`compare_congestion` — the repo's algorithms (arborescence,
+  distance-2/3, outerplanar touring, naive) on the **same** scenario
+  grid, skipping algorithms a topology cannot support.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..core.engine.sweep import EngineState
+from ..graphs.connectivity import surviving_graph
+from ..graphs.edges import FailureSet, edge, edge_sort_key
+from .load import LoadReport, RoutingAlgorithm, TrafficEngine
+from .matrices import TrafficMatrix
+
+
+@dataclass
+class CongestionPoint:
+    """Aggregate load statistics at one failure-set size."""
+
+    failures: int
+    scenarios: int
+    mean_max_load: float
+    worst_max_load: int
+    mean_p99_load: float
+    delivered_fraction: float
+    looped_fraction: float
+    dropped_fraction: float
+    mean_stretch: float
+
+
+@dataclass
+class CongestionCurve:
+    """Congestion-vs-#failures curve for one algorithm on one matrix."""
+
+    algorithm: str
+    graph: str
+    matrix: str
+    samples_per_size: int
+    points: list[CongestionPoint] = field(default_factory=list)
+
+    def at(self, size: int) -> CongestionPoint:
+        for point in self.points:
+            if point.failures == size:
+                return point
+        raise KeyError(f"no point at |F| = {size}")
+
+
+def sample_failure_grid(
+    graph: nx.Graph,
+    sizes: list[int],
+    samples: int,
+    seed: int = 0,
+) -> dict[int, list[FailureSet]]:
+    """A deterministic failure-set grid: ``samples`` sets per size.
+
+    Shared across algorithms by :func:`compare_congestion` so that every
+    competitor faces identical scenarios.  Size 0 contributes the single
+    empty set; other sizes draw uniform link subsets without replacement
+    within a sample.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
+    rng = random.Random(seed)
+    grid: dict[int, list[FailureSet]] = {}
+    for size in sizes:
+        if size < 0 or size > len(links):
+            raise ValueError(f"failure size {size} out of range [0, {len(links)}]")
+        if size == 0:
+            grid[size] = [frozenset()]
+            continue
+        seen: set[FailureSet] = set()
+        sets: list[FailureSet] = []
+        for _ in range(samples):
+            candidate = frozenset(rng.sample(links, size))
+            if candidate in seen:
+                continue  # duplicates add no information on tiny graphs
+            seen.add(candidate)
+            sets.append(candidate)
+        grid[size] = sets
+    return grid
+
+
+def default_sizes(graph: nx.Graph) -> list[int]:
+    """A sensible size ladder: 0, 1, 2, 4, ... up to half the links."""
+    limit = max(1, graph.number_of_edges() // 2)
+    sizes = [0]
+    step = 1
+    while step <= limit:
+        sizes.append(step)
+        step *= 2
+    return sizes
+
+
+def congestion_vs_failures(
+    graph: nx.Graph | EngineState,
+    algorithm: RoutingAlgorithm,
+    demands: TrafficMatrix,
+    sizes: list[int] | None = None,
+    samples: int = 20,
+    seed: int = 0,
+    graph_name: str = "",
+    matrix_name: str = "",
+    failure_grid: dict[int, list[FailureSet]] | None = None,
+    engine: TrafficEngine | None = None,
+) -> CongestionCurve:
+    """Load statistics per failure-set size for one algorithm.
+
+    One :class:`TrafficEngine` serves the whole sweep, so patterns and
+    decision tables are built once (pass a prebuilt ``engine`` to reuse
+    them across calls).  Pass ``failure_grid`` to pin the exact
+    scenarios (the comparison harness does).
+    """
+    if engine is None:
+        engine = TrafficEngine(graph, algorithm)
+    if failure_grid is None:
+        if sizes is None:
+            sizes = default_sizes(engine.graph)
+        failure_grid = sample_failure_grid(engine.graph, sizes, samples, seed)
+    curve = CongestionCurve(
+        algorithm=algorithm.name,
+        graph=graph_name or f"n={engine.graph.number_of_nodes()}",
+        matrix=matrix_name or f"{len(demands)} demands",
+        samples_per_size=samples,
+    )
+    for size in sorted(failure_grid):
+        reports = [engine.load(demands, failures) for failures in failure_grid[size]]
+        if reports:  # an explicitly passed grid may carry empty buckets
+            curve.points.append(_aggregate(size, reports))
+    return curve
+
+
+def _aggregate(size: int, reports: list[LoadReport]) -> CongestionPoint:
+    count = len(reports)
+    total = sum(report.total_volume for report in reports)
+    delivered = sum(report.delivered_volume for report in reports)
+    return CongestionPoint(
+        failures=size,
+        scenarios=count,
+        mean_max_load=sum(report.max_load for report in reports) / count,
+        worst_max_load=max(report.max_load for report in reports),
+        mean_p99_load=sum(report.p99_load for report in reports) / count,
+        delivered_fraction=delivered / total if total else 0.0,
+        looped_fraction=sum(r.looped_volume for r in reports) / total if total else 0.0,
+        dropped_fraction=sum(r.dropped_volume for r in reports) / total if total else 0.0,
+        mean_stretch=(
+            sum(report.stretch_volume for report in reports) / delivered if delivered else 0.0
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worst-case (adversarial) load search.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CongestionAttack:
+    """A verified worst-case-load witness (cf. ``adversary.search.AttackResult``)."""
+
+    failures: FailureSet
+    max_load: int
+    baseline_max_load: int
+    method: str
+
+    @property
+    def size(self) -> int:
+        return len(self.failures)
+
+    @property
+    def amplification(self) -> float:
+        """How much the failures inflate the failure-free max link load."""
+        if self.baseline_max_load == 0:
+            return float(self.max_load)
+        return self.max_load / self.baseline_max_load
+
+
+def greedy_congestion_attack(
+    graph: nx.Graph | EngineState,
+    algorithm: RoutingAlgorithm,
+    demands: TrafficMatrix,
+    max_failures: int,
+    keep_connected: bool = True,
+) -> CongestionAttack:
+    """Greedily fail the link that maximizes the resulting max link load.
+
+    Follows the :mod:`repro.core.adversary.search` scaffolding: candidates
+    are evaluated by full simulation on a shared engine (one decision
+    table across all candidates), the final witness is pruned link by
+    link (drop any failure whose removal does not lower the achieved
+    load), and the reported load is re-verified on the pruned set.
+    ``keep_connected`` restricts the adversary to failures that keep the
+    surviving graph connected — the promise of the congestion papers.
+    """
+    engine = TrafficEngine(graph, algorithm)
+    links = sorted((edge(u, v) for u, v in engine.graph.edges), key=edge_sort_key)
+    baseline = engine.load(demands).max_load
+    chosen: set = set()
+    best_load = baseline
+    for _ in range(max_failures):
+        round_best = None
+        for link in links:
+            if link in chosen:
+                continue
+            candidate = frozenset(chosen | {link})
+            if keep_connected and not nx.is_connected(surviving_graph(engine.graph, candidate)):
+                continue
+            load = engine.load(demands, candidate).max_load
+            if round_best is None or load > round_best[0]:
+                round_best = (load, link)
+        if round_best is None:
+            break  # every remaining link would disconnect the graph
+        best_load, link = round_best[0], round_best[1]
+        chosen.add(link)
+    # pruning pass: drop failures that are not pulling their weight
+    for link in sorted(chosen, key=edge_sort_key):
+        candidate = frozenset(chosen - {link})
+        if engine.load(demands, candidate).max_load >= best_load:
+            chosen.discard(link)
+    witness = frozenset(chosen)
+    verified = engine.load(demands, witness).max_load
+    return CongestionAttack(
+        failures=witness,
+        max_load=verified,
+        baseline_max_load=baseline,
+        method="greedy",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Comparison harness.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ComparisonResult:
+    """Curves for every supported algorithm plus the skip list."""
+
+    curves: list[CongestionCurve]
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+
+def default_competitors() -> list[RoutingAlgorithm]:
+    """The repo's standard line-up for congestion comparisons."""
+    from ..core.algorithms import (
+        ArborescenceRouting,
+        Distance2Algorithm,
+        Distance3BipartiteAlgorithm,
+        GreedyLowestNeighbor,
+        TourToDestination,
+    )
+
+    return [
+        ArborescenceRouting(),
+        Distance2Algorithm(),
+        Distance3BipartiteAlgorithm(),
+        TourToDestination(),
+        GreedyLowestNeighbor(),
+    ]
+
+
+def compare_congestion(
+    graph: nx.Graph,
+    demands: TrafficMatrix,
+    algorithms: list[RoutingAlgorithm] | None = None,
+    sizes: list[int] | None = None,
+    samples: int = 20,
+    seed: int = 0,
+    graph_name: str = "",
+    matrix_name: str = "",
+) -> ComparisonResult:
+    """Congestion curves for several algorithms on one shared scenario grid.
+
+    Algorithms whose preconditions the topology violates (bipartite-only
+    distance-3, outerplanar-only touring, ...) are skipped and reported
+    rather than crashing the sweep; every surviving competitor sees the
+    exact same failure sets.
+    """
+    if algorithms is None:
+        algorithms = default_competitors()
+    if sizes is None:
+        sizes = default_sizes(graph)
+    grid = sample_failure_grid(graph, sizes, samples, seed)
+    state = EngineState(graph)
+    result = ComparisonResult(curves=[])
+    for algorithm in algorithms:
+        engine = TrafficEngine(state, algorithm)
+        try:
+            # pre-flight: building the failure-free report exercises every
+            # pattern constructor the sweep will need
+            engine.load(demands)
+        except Exception as error:  # noqa: BLE001 - precondition failures vary by algorithm
+            result.skipped.append((algorithm.name, str(error) or type(error).__name__))
+            continue
+        result.curves.append(
+            congestion_vs_failures(
+                state,
+                algorithm,
+                demands,
+                samples=samples,
+                seed=seed,
+                graph_name=graph_name,
+                matrix_name=matrix_name,
+                failure_grid=grid,
+                engine=engine,  # patterns built by the pre-flight are reused
+            )
+        )
+    return result
+
+
+def congestion_table(curves: list[CongestionCurve]) -> str:
+    """Fixed-width text table of congestion curves (CLI / examples)."""
+    from ..analysis.reporting import simple_table
+
+    rows = []
+    for curve in curves:
+        for point in curve.points:
+            rows.append(
+                [
+                    curve.algorithm,
+                    point.failures,
+                    point.scenarios,
+                    f"{point.mean_max_load:.1f}",
+                    point.worst_max_load,
+                    f"{100 * point.delivered_fraction:.1f}%",
+                    f"{point.mean_stretch:.2f}",
+                ]
+            )
+    return simple_table(
+        ["algorithm", "|F|", "scenarios", "mean max load", "worst", "delivered", "stretch"],
+        rows,
+    )

@@ -1,0 +1,154 @@
+"""Traffic-matrix generators: demand iterables for the load router.
+
+A traffic matrix is simply a list of :class:`Demand` entries — (source,
+destination, integer volume) — routed *simultaneously* through a static
+forwarding pattern by :mod:`repro.traffic.load`.  The generators here
+cover the standard shapes of the congestion literature (Bankhamer,
+Elsässer, Schmid 2020/2021): all-to-one incast, uniform all-to-all,
+random permutations, hotspot skew, and a degree-weighted gravity model.
+
+All generators are deterministic: random ones take an explicit ``seed``
+and node order is the engine's sorted label order, so a matrix is
+reproducible across runs and across the batched/naive router pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..graphs.edges import Node, sorted_nodes
+
+
+@dataclass(frozen=True)
+class Demand:
+    """One entry of a traffic matrix: ``volume`` units from ``source`` to
+    ``destination``.  Volumes are integers (think: packet or flow counts)
+    so per-link load counters stay exact."""
+
+    source: Node
+    destination: Node
+    volume: int = 1
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError(f"demand from {self.source!r} to itself")
+        if self.volume < 1:
+            raise ValueError(f"demand volume must be >= 1, got {self.volume}")
+
+
+TrafficMatrix = list[Demand]
+
+
+def all_to_one(graph: nx.Graph, destination: Node, volume: int = 1) -> TrafficMatrix:
+    """Incast: every other node sends ``volume`` units to ``destination``."""
+    if destination not in graph:
+        raise ValueError(f"destination {destination!r} not in graph")
+    return [
+        Demand(source, destination, volume)
+        for source in sorted_nodes(graph.nodes)
+        if source != destination
+    ]
+
+
+def all_to_all(graph: nx.Graph, volume: int = 1) -> TrafficMatrix:
+    """Uniform all-to-all: every ordered pair exchanges ``volume`` units."""
+    nodes = sorted_nodes(graph.nodes)
+    return [
+        Demand(source, destination, volume)
+        for destination in nodes
+        for source in nodes
+        if source != destination
+    ]
+
+
+def permutation(graph: nx.Graph, seed: int = 0, volume: int = 1) -> TrafficMatrix:
+    """A random permutation matrix: each node sends to one distinct target.
+
+    Fixed points are rerolled away (a node never sends to itself), so on
+    ``n >= 2`` nodes the matrix always has exactly ``n`` demands.
+    """
+    nodes = sorted_nodes(graph.nodes)
+    if len(nodes) < 2:
+        raise ValueError("permutation matrix needs >= 2 nodes")
+    rng = random.Random(seed)
+    targets = list(nodes)
+    while any(s == t for s, t in zip(nodes, targets)):
+        rng.shuffle(targets)
+    return [Demand(source, target, volume) for source, target in zip(nodes, targets)]
+
+
+def hotspot(
+    graph: nx.Graph,
+    hotspots: int = 1,
+    seed: int = 0,
+    hot_volume: int = 4,
+    background_volume: int = 1,
+) -> TrafficMatrix:
+    """Skewed incast: a few random hot destinations drawing heavy volume.
+
+    Every node sends ``hot_volume`` to each of the ``hotspots`` randomly
+    chosen hot destinations, plus ``background_volume`` to one random
+    background target — the elephant/mice mix of datacenter traces.
+    """
+    nodes = sorted_nodes(graph.nodes)
+    if hotspots < 1 or hotspots >= len(nodes):
+        raise ValueError("hotspots must be in [1, n)")
+    rng = random.Random(seed)
+    hot = rng.sample(nodes, hotspots)
+    demands: TrafficMatrix = []
+    for source in nodes:
+        for target in hot:
+            if source != target:
+                demands.append(Demand(source, target, hot_volume))
+        background = rng.choice(nodes)
+        while background == source:
+            background = rng.choice(nodes)
+        demands.append(Demand(source, background, background_volume))
+    return demands
+
+
+def gravity(graph: nx.Graph, total_volume: int = 1000, seed: int = 0) -> TrafficMatrix:
+    """Degree-weighted gravity model: volume(s, t) ∝ deg(s) · deg(t).
+
+    The classic WAN traffic model, integerized: each pair's share of
+    ``total_volume`` is rounded down, pairs with zero share are dropped,
+    and ties are broken deterministically by node order.  ``seed`` jitters
+    the weights slightly so distinct seeds give distinct (but still
+    degree-shaped) matrices.
+    """
+    nodes = sorted_nodes(graph.nodes)
+    if len(nodes) < 2:
+        raise ValueError("gravity matrix needs >= 2 nodes")
+    rng = random.Random(seed)
+    weight = {node: graph.degree(node) + rng.random() * 0.5 for node in nodes}
+    mass = sum(
+        weight[s] * weight[t] for t in nodes for s in nodes if s != t
+    )
+    demands: TrafficMatrix = []
+    for destination in nodes:
+        for source in nodes:
+            if source == destination:
+                continue
+            volume = int(total_volume * weight[source] * weight[destination] / mass)
+            if volume >= 1:
+                demands.append(Demand(source, destination, volume))
+    if not demands:
+        raise ValueError("total_volume too small: every pair rounded to zero")
+    return demands
+
+
+MATRICES = {
+    "all-to-one": all_to_one,
+    "all-to-all": all_to_all,
+    "permutation": permutation,
+    "hotspot": hotspot,
+    "gravity": gravity,
+}
+
+
+def total_volume(matrix: TrafficMatrix) -> int:
+    """Total demand volume of a matrix."""
+    return sum(demand.volume for demand in matrix)

@@ -8,6 +8,7 @@ from repro.analysis import (
     compare_curves,
     delivery_curve,
     measure_stretch,
+    measured_table_space,
     table_space,
     table_space_report,
 )
@@ -16,6 +17,7 @@ from repro.core.algorithms import (
     Distance2Algorithm,
     GreedyLowestNeighbor,
     K5SourceRouting,
+    RightHandTouring,
     TourToDestination,
 )
 from repro.graphs import construct
@@ -43,6 +45,45 @@ class TestTableSpace:
             {"C4": construct.cycle_graph(4), "K4": construct.complete_graph(4)}
         )
         assert [entry.name for entry in report] == ["C4", "K4"]
+
+
+class TestMeasuredTableSpace:
+    def test_touring_still_needs_least_rules_measured(self):
+        graph = construct.fan_graph(6)
+        space = measured_table_space(
+            graph,
+            destination_algorithm=ArborescenceRouting(),
+            source_destination_algorithm=Distance2Algorithm(),
+            touring_algorithm=RightHandTouring(),
+            name="fan6",
+        )
+        assert 0 < space.touring_rules < space.destination_rules
+        assert space.destination_rules < space.source_destination_rules
+        assert space.touring_saving > 1.0
+
+    def test_models_without_algorithm_report_zero(self):
+        graph = construct.cycle_graph(4)
+        space = measured_table_space(graph, touring_algorithm=RightHandTouring())
+        assert space.destination_rules == 0
+        assert space.source_destination_rules == 0
+        assert space.touring_rules > 0
+
+    def test_measured_is_deterministic(self):
+        graph = construct.cycle_graph(5)
+        runs = [
+            measured_table_space(graph, destination_algorithm=ArborescenceRouting())
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_rejects_failures_outside_graph(self):
+        graph = construct.cycle_graph(4)
+        with pytest.raises(ValueError):
+            measured_table_space(
+                graph,
+                touring_algorithm=RightHandTouring(),
+                failure_sets=[frozenset({("v1", "nope")})],
+            )
 
 
 class TestDeliveryCurves:

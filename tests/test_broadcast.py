@@ -69,3 +69,48 @@ class TestCompletionDetection:
         assert result.walk[0] == 0
         for u, v in zip(result.walk, result.walk[1:]):
             assert graph.has_edge(u, v)
+
+
+class TestEngineNaiveParity:
+    """The engine-backed broadcast walk must equal the naive reference."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: construct.cycle_graph(6),
+            lambda: construct.fan_graph(6),
+            lambda: construct.maximal_outerplanar(8, seed=11),
+        ],
+    )
+    def test_all_failure_sets_match(self, builder):
+        graph = builder()
+        broadcast = TouringBroadcast(RightHandTouring())
+        for failures in all_failure_sets(graph, max_failures=2):
+            for source in graph.nodes:
+                fast = broadcast.run(graph, source, failures, use_engine=True)
+                slow = broadcast.run(graph, source, failures, use_engine=False)
+                assert fast == slow, (source, sorted(failures))
+
+    def test_hamiltonian_parity_on_k5(self):
+        graph = construct.complete_graph(5)
+        broadcast = TouringBroadcast(HamiltonianTouring())
+        for failures in all_failure_sets(graph, max_failures=2):
+            fast = broadcast.run(graph, 0, failures, use_engine=True)
+            slow = broadcast.run(graph, 0, failures, use_engine=False)
+            assert fast == slow, sorted(failures)
+
+    def test_exotic_failure_entries_fall_back(self):
+        graph = construct.cycle_graph(5)
+        broadcast = TouringBroadcast(RightHandTouring())
+        failures = frozenset({("v1", "nowhere")})
+        fast = broadcast.run(graph, 0, failures, use_engine=True)
+        slow = broadcast.run(graph, 0, failures, use_engine=False)
+        assert fast == slow
+
+    def test_verify_matches_across_paths(self):
+        graph = construct.fan_graph(7)
+        broadcast = TouringBroadcast(RightHandTouring())
+        for failures in all_failure_sets(graph, max_failures=1):
+            assert broadcast.verify(graph, 1, failures, use_engine=True) == broadcast.verify(
+                graph, 1, failures, use_engine=False
+            )

@@ -80,3 +80,34 @@ def test_module_entry_point():
     )
     assert completed.returncode == 0
     assert "possible" in completed.stdout
+
+
+class TestTraffic:
+    def test_fat_tree_sweep_end_to_end(self, capsys):
+        assert run_cli("traffic", "fattree", "--sizes", "0,2", "--samples", "3") == 0
+        out = capsys.readouterr().out
+        assert "congestion sweep" in out
+        assert "arborescence" in out
+        assert "mean max load" in out
+
+    def test_single_algorithm_with_attack(self, capsys):
+        code = run_cli(
+            "traffic", "ring", "--matrix", "all-to-one", "--algorithm", "greedy",
+            "--sizes", "0,1", "--samples", "2", "--attack", "1",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst-case load attack" in out
+
+    def test_unsupported_algorithm_reports(self, capsys):
+        # fat-tree is not outerplanar, so the Cor-5 tour cannot build
+        assert run_cli("traffic", "fattree", "--algorithm", "tour", "--samples", "2") == 2
+        assert "cannot run" in capsys.readouterr().err
+
+    def test_matrix_choices(self, capsys):
+        for matrix in ("hotspot", "gravity", "all-to-all"):
+            assert run_cli(
+                "traffic", "hypercube", "--matrix", matrix, "--algorithm", "arborescence",
+                "--sizes", "0,1", "--samples", "2",
+            ) == 0
+            assert "congestion sweep" in capsys.readouterr().out

@@ -133,3 +133,54 @@ class TestBipartition:
         g = nx.Graph([(0, 1), (2, 3)])
         left, right = construct.bipartition(g)
         assert left | right == {0, 1, 2, 3}
+
+
+class TestDatacenterTopologies:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_fat_tree_counts(self, k):
+        g = construct.fat_tree(k)
+        assert g.number_of_nodes() == 5 * k * k // 4
+        assert g.number_of_edges() == k**3 // 2
+        assert nx.is_connected(g)
+
+    def test_fat_tree_tier_degrees(self):
+        g = construct.fat_tree(4)
+        expected = {"core": 4, "agg": 4, "edge": 2}  # core: one agg per pod;
+        # agg: k/2 edge + k/2 core; edge: k/2 agg (no hosts modelled)
+        for node in g.nodes:
+            assert g.degree(node) == expected[node[0]], node
+
+    def test_fat_tree_core_reaches_every_pod(self):
+        g = construct.fat_tree(4)
+        for core in (n for n in g.nodes if n[0] == "core"):
+            pods = {neighbor[1] for neighbor in g.neighbors(core)}
+            assert pods == set(range(4))
+
+    def test_fat_tree_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            construct.fat_tree(3)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    def test_hypercube_counts_and_regularity(self, d):
+        g = construct.hypercube(d)
+        assert g.number_of_nodes() == 2**d
+        assert g.number_of_edges() == d * 2 ** (d - 1)
+        assert all(degree == d for _, degree in g.degree)
+        assert nx.is_connected(g)
+
+    def test_hypercube_adjacency_is_bit_flips(self):
+        g = construct.hypercube(3)
+        for u, v in g.edges:
+            assert bin(u ^ v).count("1") == 1
+
+    @pytest.mark.parametrize("rows,cols", [(3, 3), (3, 5), (4, 4)])
+    def test_torus_counts_and_regularity(self, rows, cols):
+        g = construct.torus(rows, cols)
+        assert g.number_of_nodes() == rows * cols
+        assert g.number_of_edges() == 2 * rows * cols
+        assert all(degree == 4 for _, degree in g.degree)
+        assert nx.is_connected(g)
+
+    def test_torus_rejects_degenerate_wrap(self):
+        with pytest.raises(ValueError):
+            construct.torus(2, 5)

@@ -170,10 +170,10 @@ def test_right_hand_touring_covers_component(seed, n, failure_seed):
 # --------------------------------------------------------------------------
 
 
-# derandomized: the budgeted minorminer-style heuristic can miss a true
-# embedding for rare random examples (see ROADMAP open items); a fixed
-# example stream keeps the tier-1 gate deterministic until that is fixed
-@settings(max_examples=30, deadline=None, derandomize=True)
+# hosts this small hit the exhaustive small-host fallback in has_minor
+# whenever the budgeted heuristic pipeline is inconclusive, so the
+# verdict is exact for every randomly drawn example
+@settings(max_examples=30, deadline=None)
 @given(data=small_graphs(max_nodes=6, connected=True), pick=st.integers(min_value=0, max_value=100))
 def test_contraction_preserves_minor(data, pick):
     graph = data
