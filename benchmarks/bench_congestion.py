@@ -20,11 +20,10 @@ from __future__ import annotations
 import os
 import time
 
-from bench_engine_speedup import BENCH_JSON, merge_bench_json
+from bench_engine_speedup import BENCH_JSON, bench_store
 
 from repro.analysis import simple_table
-from repro.core.algorithms import ArborescenceRouting
-from repro.graphs.construct import fat_tree
+from repro.experiments import ExperimentRecord, FailureModel, scheme, topology
 from repro.traffic import (
     TrafficEngine,
     all_to_one,
@@ -38,7 +37,8 @@ MIN_SPEEDUP = 1.0
 
 
 def run_benchmark(quick: bool = False) -> dict:
-    graph = fat_tree(4)
+    # resolved via the topology registry — no private family switch here
+    graph = topology("fattree").build(4)
     sink = ("core", 0)
     matrices = {
         "all-to-one(core0)": all_to_one(graph, sink),
@@ -49,7 +49,7 @@ def run_benchmark(quick: bool = False) -> dict:
     grid = sample_failure_grid(graph, sizes, samples, seed=0)
     scenario_sets = [failures for size in sorted(grid) for failures in grid[size]]
 
-    algorithm = ArborescenceRouting()
+    algorithm = scheme("arborescence").instantiate()
     workloads = {}
     for name, demands in matrices.items():
         engine = TrafficEngine(graph, algorithm)
@@ -76,14 +76,36 @@ def run_benchmark(quick: bool = False) -> dict:
         }
     results = {
         "benchmark": "congestion",
-        "graph": "fat_tree(4)",
+        "graph": "fattree(4)",
         "algorithm": algorithm.name,
         "cpu_count": os.cpu_count(),
         "thresholds": {"min_speedup": MIN_SPEEDUP},
         "workloads": workloads,
     }
     if not quick:
-        merge_bench_json({"congestion": results})
+        store = bench_store()
+        store.merge_raw({"congestion": results})
+        store.merge(
+            [
+                ExperimentRecord(
+                    experiment="bench_congestion",
+                    topology="fattree(4)",
+                    scheme="arborescence",
+                    # shared label source: merge identity must match grid records
+                    failure_model=FailureModel(sizes=tuple(sizes), samples=samples, seed=0).label,
+                    metrics={
+                        "speedup": data["speedup"],
+                        "per_packet_seconds": data["per_packet_seconds"],
+                        "batched_seconds": data["batched_seconds"],
+                        "flows_routed": data["flows_routed"],
+                        "worst_max_load": data["worst_max_load"],
+                    },
+                    params={"matrix": name},
+                    runtime_seconds=data["per_packet_seconds"] + data["batched_seconds"],
+                )
+                for name, data in workloads.items()
+            ]
+        )
     return results
 
 

@@ -19,18 +19,21 @@ tracked across PRs.  Runnable standalone too::
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import time
 
 from repro.analysis import simple_table
-from repro.core.algorithms import TourToDestination
-from repro.core.algorithms.outerplanar import RightHandTouring
 from repro.core.model import touring_as_destination
 from repro.core.resilience import check_pattern_resilience, check_perfect_resilience_destination
-from repro.graphs.construct import maximal_outerplanar
-from repro.graphs.zoo import generate_zoo
+from repro.experiments import (
+    ExperimentRecord,
+    ExperimentSession,
+    ResultStore,
+    naive_session,
+    scheme,
+    topology,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
@@ -49,7 +52,7 @@ def sixteen_link_gadget(n: int = 10):
     of stopping at an early counterexample.  The default ``n=10`` yields
     the benchmark's 16-link instance; ``--quick`` shrinks it.
     """
-    graph = maximal_outerplanar(n, seed=1)  # 2n - 3 links; drop one chord
+    graph = topology("maximal-outerplanar").build(n, 1)  # 2n - 3 links; drop one chord
     for u, v in sorted(graph.edges):
         if abs(u - v) not in (1, n - 1):
             graph.remove_edge(u, v)
@@ -60,13 +63,15 @@ def sixteen_link_gadget(n: int = 10):
 
 def bench_gadget(n: int = 10) -> dict:
     graph = sixteen_link_gadget(n)
-    algorithm = touring_as_destination(RightHandTouring())
+    algorithm = touring_as_destination(scheme("right-hand").instantiate())
     start = time.perf_counter()
-    fast = check_perfect_resilience_destination(graph, algorithm, destinations=[0])
+    fast = check_perfect_resilience_destination(
+        graph, algorithm, destinations=[0], session=ExperimentSession()
+    )
     engine_seconds = time.perf_counter() - start
     start = time.perf_counter()
     slow = check_perfect_resilience_destination(
-        graph, algorithm, destinations=[0], use_engine=False
+        graph, algorithm, destinations=[0], session=naive_session()
     )
     naive_seconds = time.perf_counter() - start
     assert fast.resilient and slow.resilient
@@ -85,23 +90,26 @@ def bench_gadget(n: int = 10) -> dict:
 
 def bench_zoo(cap: int = ZOO_TOPOLOGY_CAP) -> dict:
     """Exhaustive Cor-5 pattern verification on small zoo topologies."""
-    router = TourToDestination()
+    from repro.graphs.zoo import generate_zoo
+
+    router = scheme("tour").instantiate()
     jobs = []
-    for topology in generate_zoo(seed=2022):
-        graph = topology.graph
+    for zoo_member in generate_zoo(seed=2022):
+        graph = zoo_member.graph
         if graph.number_of_edges() > 16 or graph.number_of_edges() < 6:
             continue
         destinations = [t for t in sorted(graph.nodes) if router.supports(graph, t)]
         if destinations:
-            jobs.append((topology.name, graph, destinations[:2]))
+            jobs.append((zoo_member.name, graph, destinations[:2]))
         if len(jobs) >= cap:
             break
     scenarios = 0
+    engine_session = ExperimentSession()
     start = time.perf_counter()
     for _, graph, destinations in jobs:
         for destination in destinations:
             pattern = router.build(graph, destination)
-            verdict = check_pattern_resilience(graph, pattern, destination)
+            verdict = check_pattern_resilience(graph, pattern, destination, session=engine_session)
             assert verdict.resilient
             scenarios += verdict.scenarios_checked
     engine_seconds = time.perf_counter() - start
@@ -109,7 +117,9 @@ def bench_zoo(cap: int = ZOO_TOPOLOGY_CAP) -> dict:
     for _, graph, destinations in jobs:
         for destination in destinations:
             pattern = router.build(graph, destination)
-            verdict = check_pattern_resilience(graph, pattern, destination, use_engine=False)
+            verdict = check_pattern_resilience(
+                graph, pattern, destination, session=naive_session()
+            )
             assert verdict.resilient
     naive_seconds = time.perf_counter() - start
     return {
@@ -122,18 +132,9 @@ def bench_zoo(cap: int = ZOO_TOPOLOGY_CAP) -> dict:
     }
 
 
-def merge_bench_json(update: dict) -> dict:
-    """Merge keys into ``BENCH_engine.json`` without dropping other
-    benchmarks' entries (the congestion bench shares the file)."""
-    results: dict = {}
-    if BENCH_JSON.exists():
-        try:
-            results = json.loads(BENCH_JSON.read_text())
-        except json.JSONDecodeError:
-            results = {}
-    results.update(update)
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
-    return results
+def bench_store() -> ResultStore:
+    """The shared cross-PR performance record (both benches merge here)."""
+    return ResultStore(BENCH_JSON)
 
 
 def run_benchmark(quick: bool = False) -> dict:
@@ -148,8 +149,41 @@ def run_benchmark(quick: bool = False) -> dict:
     }
     if not quick:
         # --quick is a CI smoke on a smaller workload: never let its
-        # numbers masquerade as the tracked full-benchmark record
-        merge_bench_json(results)
+        # numbers masquerade as the tracked full-benchmark record.
+        # The store merges: top-level sections by key, records by
+        # (experiment, topology, scheme, failure model) identity.
+        store = bench_store()
+        store.merge_raw(results)
+        store.merge(
+            [
+                ExperimentRecord(
+                    experiment="bench_engine_speedup",
+                    topology=gadget["graph"],
+                    scheme="tour (as destination)",
+                    failure_model="exhaustive",
+                    metrics={
+                        "speedup": gadget["speedup"],
+                        "naive_seconds": gadget["naive_seconds"],
+                        "engine_seconds": gadget["engine_seconds"],
+                        "scenarios": gadget["scenarios"],
+                    },
+                    runtime_seconds=gadget["naive_seconds"] + gadget["engine_seconds"],
+                ),
+                ExperimentRecord(
+                    experiment="bench_engine_speedup",
+                    topology="zoo-small-slice",
+                    scheme="tour",
+                    failure_model="exhaustive",
+                    metrics={
+                        "speedup": zoo["speedup"],
+                        "naive_seconds": zoo["naive_seconds"],
+                        "engine_seconds": zoo["engine_seconds"],
+                        "scenarios": zoo["scenarios"],
+                    },
+                    runtime_seconds=zoo["naive_seconds"] + zoo["engine_seconds"],
+                ),
+            ]
+        )
     return results
 
 

@@ -20,8 +20,7 @@ that setting on the 2021 paper's fabric of choice:
 Run:  python examples/congestion_study.py
 """
 
-from repro.core.algorithms import ArborescenceRouting
-from repro.graphs import fat_tree, hypercube
+from repro.experiments import resolve_topology, scheme
 from repro.traffic import (
     all_to_one,
     compare_congestion,
@@ -32,7 +31,10 @@ from repro.traffic import (
 
 
 def main() -> None:
-    fabric = fat_tree(4)
+    # topologies and schemes are resolved by registry name — the same
+    # names the CLI and `repro.experiments.run_grid` use
+    fabric = resolve_topology("fattree(4)")
+    arborescence = scheme("arborescence")
     print(
         f"fat_tree(4): {fabric.number_of_nodes()} switches, "
         f"{fabric.number_of_edges()} links"
@@ -60,7 +62,7 @@ def main() -> None:
     result = compare_congestion(
         fabric,
         incast,
-        algorithms=[ArborescenceRouting()],
+        algorithms=[arborescence.instantiate()],
         sizes=[0, 2, 4, 8],
         samples=5,
         seed=0,
@@ -71,7 +73,7 @@ def main() -> None:
     print(congestion_table(result.curves))
 
     # --- 3. adversarial: which failures hurt the most? ------------------
-    attack = greedy_congestion_attack(fabric, ArborescenceRouting(), incast, max_failures=4)
+    attack = greedy_congestion_attack(fabric, arborescence.instantiate(), incast, max_failures=4)
     print(
         f"\ngreedy worst-case load attack (connectivity preserved): "
         f"|F| = {attack.size} inflates max link load "
@@ -81,7 +83,7 @@ def main() -> None:
         print(f"  fail {u}-{v}")
 
     # --- 4. the same story on a hypercube ------------------------------
-    cube = hypercube(3)
+    cube = resolve_topology("hypercube(3)")
     result = compare_congestion(
         cube,
         permutation(cube, seed=1),

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from ..core.engine.sweep import EngineState
 from ..core.model import DestinationAlgorithm, SourceDestinationAlgorithm
 from ..graphs.edges import edge, edge_sort_key
 
@@ -47,8 +46,18 @@ def delivery_curve(
     samples: int = 200,
     seed: int = 0,
     graph_name: str = "",
+    session=None,
 ) -> DeliveryCurve:
-    """Estimate P[delivered | s, t connected] per random failure count."""
+    """Estimate P[delivered | s, t connected] per random failure count.
+
+    Engine-only: a ``backend="naive"`` session is rejected rather than
+    silently measured on the engine.
+    """
+    from ..experiments.session import resolve_session
+
+    session = resolve_session(session)
+    if not session.use_engine:
+        raise ValueError("delivery_curve runs on the engine backend only")
     if sizes is None:
         sizes = list(range(graph.number_of_edges()))
     links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
@@ -56,9 +65,9 @@ def delivery_curve(
         pattern = algorithm.build(graph, source, destination)
     else:
         pattern = algorithm.build(graph, destination)
-    # engine state shared across every size and sample: mask-cached
-    # connectivity plus one memoized decision table for the pattern
-    state = EngineState(graph)
+    # session-owned engine state, shared across every size and sample:
+    # mask-cached connectivity plus one memoized table for the pattern
+    state = session.state(graph)
     memo = state.memoized(pattern)
     rng = random.Random(seed)
     probabilities = []

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from ..core.engine.sweep import EngineState
 from ..core.model import DestinationAlgorithm, SourceDestinationAlgorithm
 from ..graphs.connectivity import surviving_graph
 from ..graphs.edges import edge, edge_sort_key
@@ -43,14 +42,28 @@ def measure_stretch(
     max_failures: int,
     samples: int = 300,
     seed: int = 0,
+    session=None,
 ) -> StretchSummary:
-    """Mean/max stretch over random promise-respecting failure scenarios."""
+    """Mean/max stretch over random promise-respecting failure scenarios.
+
+    Engine state comes from ``session`` (default: the shared
+    :func:`~repro.experiments.session.default_session`), so repeated
+    measurements on one graph reuse its index maps and caches.  This
+    surface is engine-only — a ``backend="naive"`` session is rejected
+    rather than silently measured on the engine (the per-packet stretch
+    reference lives in the load router's differential tests).
+    """
+    from ..experiments.session import resolve_session
+
+    session = resolve_session(session)
+    if not session.use_engine:
+        raise ValueError("measure_stretch runs on the engine backend only")
     links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
     if isinstance(algorithm, SourceDestinationAlgorithm):
         pattern = algorithm.build(graph, source, destination)
     else:
         pattern = algorithm.build(graph, destination)
-    state = EngineState(graph)
+    state = session.state(graph)
     memo = state.memoized(pattern)
     rng = random.Random(seed)
     stretches: list[float] = []

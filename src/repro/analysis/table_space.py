@@ -86,6 +86,7 @@ def measured_table_space(
     touring_algorithm=None,
     failure_sets: Iterable[FailureSet] | None = None,
     name: str = "",
+    session=None,
 ) -> TableSpace:
     """Rules the given algorithms *actually* install, measured by sweeping.
 
@@ -98,10 +99,15 @@ def measured_table_space(
     :func:`table_space` (measured ≤ analytic bound × failure conditions).
     """
     from ..core.engine.memo import MemoizedPattern, route_indexed, tour_indexed
-    from ..core.engine.sweep import EngineState
     from ..core.resilience import default_failure_sets
+    from ..experiments.session import resolve_session
 
-    state = EngineState(graph)
+    session = resolve_session(session)
+    if not session.use_engine:
+        # the measurement IS the engine's decision tables — there is no
+        # naive twin to fall back to
+        raise ValueError("measured_table_space runs on the engine backend only")
+    state = session.state(graph)
     network = state.network
     if failure_sets is None:
         failure_sets, _ = default_failure_sets(graph)

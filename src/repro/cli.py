@@ -11,7 +11,13 @@ Commands:
   table for a slice of it;
 * ``traffic`` — route a whole traffic matrix under sampled failure sets
   and print congestion curves (and, optionally, a greedy worst-case
-  load attack).
+  load attack);
+* ``experiments`` — the unified grid runner: topologies × schemes ×
+  failure models, resolved by registry name, emitting typed
+  ``ExperimentRecord`` rows (JSON/CSV).
+
+Schemes and topologies are resolved through
+:mod:`repro.experiments.registry` — the CLI holds no private lists.
 """
 
 from __future__ import annotations
@@ -21,45 +27,27 @@ import sys
 
 import networkx as nx
 
-from . import graphs as G
 from .analysis import fig7_table, run_case_study
 from .core import Network, route as simulate_route, tour as simulate_tour
 from .core.adversary import attack_k44, attack_k7, attack_r_tolerance
-from .core.algorithms import (
-    ArborescenceRouting,
-    Distance2Algorithm,
-    Distance3BipartiteAlgorithm,
-    GreedyLowestNeighbor,
-    HamiltonianTouring,
-    K5SourceRouting,
-    K33SourceRouting,
-    RandomCyclicPermutations,
-    RightHandTouring,
-    TourToDestination,
-)
 from .core.classification import classify
+from .experiments import (
+    known_family,
+    resolve_topology,
+    scheme,
+    scheme_names,
+    topology_names,
+)
+from .graphs import generate_zoo
 from .graphs.edges import edges
-
-_FAMILIES = {
-    "k5": lambda: G.complete_graph(5),
-    "k7": lambda: G.complete_graph(7),
-    "k33": lambda: G.complete_bipartite(3, 3),
-    "k44": lambda: G.complete_bipartite(4, 4),
-    "netrail": G.fig6_netrail,
-    "petersen": G.petersen_graph,
-    "wheel": lambda: G.wheel_graph(6),
-    "grid": lambda: G.grid_graph(4, 4),
-    "ring": lambda: G.cycle_graph(8),
-    "fan": lambda: G.fan_graph(8),
-    "fattree": lambda: G.fat_tree(4),
-    "hypercube": lambda: G.hypercube(4),
-    "torus": lambda: G.torus(4, 4),
-}
 
 
 def _load_graph(spec: str) -> nx.Graph:
-    if spec in _FAMILIES:
-        return _FAMILIES[spec]()
+    if known_family(spec):
+        # errors from inside a registered builder (bad zoo family, bad
+        # size) propagate with their context instead of being mistaken
+        # for a missing edge-list file
+        return resolve_topology(spec)
     graph = nx.Graph()
     with open(spec) as handle:
         for line in handle:
@@ -102,16 +90,20 @@ def _cmd_route(args) -> int:
     source = _maybe_int(args.source)
     destination = _maybe_int(args.destination)
     failures = _parse_failures(args.fail)
-    for algorithm in (K5SourceRouting(), K33SourceRouting(), None):
-        if algorithm is None:
-            tour_router = TourToDestination()
+    # preference order: exact small-graph tables, then tours, then the
+    # distance-2 fallback — all resolved from the scheme registry
+    for name in ("k5-source", "k33-source", None):
+        if name is None:
+            tour_router = scheme("tour").instantiate()
             if tour_router.supports(graph, destination):
                 pattern = tour_router.build(graph, destination)
                 chosen = tour_router.name
                 break
-            pattern = Distance2Algorithm().build(graph, source, destination)
-            chosen = Distance2Algorithm.name
+            fallback = scheme("distance2").instantiate()
+            pattern = fallback.build(graph, source, destination)
+            chosen = fallback.name
             break
+        algorithm = scheme(name).instantiate()
         try:
             pattern = algorithm.build(graph, source, destination)
             chosen = algorithm.name
@@ -130,7 +122,9 @@ def _cmd_attack(args) -> int:
     nodes = sorted(graph.nodes, key=repr)
     source, destination = nodes[0], nodes[-1]
     algorithm = (
-        Distance2Algorithm() if args.pattern == "distance2" else RandomCyclicPermutations(seed=args.seed)
+        scheme("distance2").instantiate()
+        if args.pattern == "distance2"
+        else scheme("random-sd").instantiate(seed=args.seed)
     )
     try:
         if args.kind == "rtolerance":
@@ -155,11 +149,12 @@ def _cmd_tour(args) -> int:
     graph = _load_graph(args.graph)
     failures = _parse_failures(args.fail)
     try:
-        pattern = RightHandTouring().build(graph)
-        name = RightHandTouring.name
+        router = scheme("right-hand").instantiate()
+        pattern = router.build(graph)
     except Exception:
-        pattern = HamiltonianTouring().build(graph)
-        name = HamiltonianTouring.name
+        router = scheme("hamiltonian").instantiate()
+        pattern = router.build(graph)
+    name = router.name
     start = sorted(graph.nodes, key=repr)[0]
     result = simulate_tour(Network(graph), pattern, start, failures)
     print(f"algorithm: {name}")
@@ -168,35 +163,19 @@ def _cmd_tour(args) -> int:
 
 
 def _cmd_zoo(args) -> int:
-    suite = G.generate_zoo(seed=args.seed)[:: args.stride]
+    suite = generate_zoo(seed=args.seed)[:: args.stride]
     result = run_case_study(suite=suite, minor_budget=args.budget)
     print(fig7_table(result))
     return 0
 
 
-_TRAFFIC_ALGORITHMS = {
-    "arborescence": ArborescenceRouting,
-    "distance2": Distance2Algorithm,
-    "distance3": Distance3BipartiteAlgorithm,
-    "tour": TourToDestination,
-    "greedy": GreedyLowestNeighbor,
-}
-
-
 def _build_matrix(graph, args):
-    from . import traffic
+    # same dispatch (and same default all-to-one sink) as run_grid, so a
+    # workload name labels the same matrix on every surface
+    from .traffic.matrices import build_named_matrix
 
-    nodes = sorted(graph.nodes, key=repr)
-    if args.matrix == "all-to-one":
-        destination = _maybe_int(args.destination) if args.destination else nodes[-1]
-        return traffic.all_to_one(graph, destination), f"all-to-one({destination})"
-    if args.matrix == "all-to-all":
-        return traffic.all_to_all(graph), "all-to-all"
-    if args.matrix == "hotspot":
-        return traffic.hotspot(graph, seed=args.seed), "hotspot"
-    if args.matrix == "gravity":
-        return traffic.gravity(graph, seed=args.seed), "gravity"
-    return traffic.permutation(graph, seed=args.seed), "permutation"
+    destination = _maybe_int(args.destination) if args.destination else None
+    return build_named_matrix(graph, args.matrix, seed=args.seed, destination=destination)
 
 
 def _cmd_traffic(args) -> int:
@@ -234,7 +213,7 @@ def _cmd_traffic(args) -> int:
         for name, reason in result.skipped:
             print(f"[skipped] {name}: {reason}", file=sys.stderr)
     else:
-        algorithm = _TRAFFIC_ALGORITHMS[args.algorithm]()
+        algorithm = scheme(args.algorithm).instantiate()
         try:
             grid = traffic.sample_failure_grid(
                 graph, sizes or traffic.default_sizes(graph), args.samples, args.seed
@@ -242,40 +221,36 @@ def _cmd_traffic(args) -> int:
         except ValueError as error:
             print(f"cannot sweep: {error}", file=sys.stderr)
             return 2
-        engine = traffic.TrafficEngine(graph, algorithm)
-        try:
-            # pre-flight only: build every pattern once; a failure here is
-            # an expected topology precondition, anything later is a bug
-            engine.load(demands)
-        except Exception as error:  # noqa: BLE001 - precondition failures vary by algorithm
-            print(f"{algorithm.name} cannot run on this topology: {error}", file=sys.stderr)
+        curve, reason = traffic.preflight_congestion_curve(
+            traffic.TrafficEngine(graph, algorithm),
+            algorithm,
+            demands,
+            grid,
+            samples=args.samples,
+            graph_name=args.graph,
+            matrix_name=matrix_name,
+        )
+        if curve is None:
+            print(f"{algorithm.name} cannot run on this topology: {reason}", file=sys.stderr)
             return 2
-        curves = [
-            traffic.congestion_vs_failures(
-                graph,
-                algorithm,
-                demands,
-                samples=args.samples,
-                graph_name=args.graph,
-                matrix_name=matrix_name,
-                failure_grid=grid,
-                engine=engine,
-            )
-        ]
+        curves = [curve]
     print(f"congestion sweep: {args.graph}, matrix {matrix_name}, {len(demands)} demands")
     print(traffic.congestion_table(curves))
     if args.attack:
         if args.algorithm != "all":
-            algorithm = _TRAFFIC_ALGORITHMS[args.algorithm]()
+            algorithm = scheme(args.algorithm).instantiate()
         else:
             # attack the first competitor that actually ran on this
-            # topology (preference order = _TRAFFIC_ALGORITHMS order)
+            # topology (preference order = the registry's
+            # congestion-default line-up)
+            from .experiments import list_schemes
+
             survivors = {curve.algorithm for curve in curves}
             algorithm = next(
                 (
-                    factory()
-                    for factory in _TRAFFIC_ALGORITHMS.values()
-                    if factory.name in survivors  # name is a class attribute
+                    spec.instantiate()
+                    for spec in list_schemes(tag="congestion-default")
+                    if spec.factory.name in survivors  # name is a class attribute
                 ),
                 None,
             )
@@ -293,6 +268,134 @@ def _cmd_traffic(args) -> int:
     return 0 if curves else 1
 
 
+def _split_names(raw: str) -> list[str]:
+    """Split a comma-separated name list, not splitting inside parens.
+
+    ``"ring(12),torus(3,5)"`` -> ``["ring(12)", "torus(3,5)"]``.
+    """
+    names: list[str] = []
+    depth = 0
+    current = ""
+    for char in raw:
+        if char == "," and depth == 0:
+            if current.strip():
+                names.append(current.strip())
+            current = ""
+            continue
+        depth += char == "("
+        depth -= char == ")"
+        current += char
+    if current.strip():
+        names.append(current.strip())
+    return names
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import (
+        FailureModel,
+        ResultStore,
+        list_schemes,
+        list_topologies,
+        records_round_trip,
+        run_grid,
+        write_records_csv,
+    )
+
+    if args.list:
+        from .analysis import simple_table
+
+        print("registered schemes:")
+        print(
+            simple_table(
+                ["name", "arity", "theorem", "requires"],
+                [[s.name, s.arity, s.theorem, s.requires] for s in list_schemes()],
+            )
+        )
+        print("\nregistered topologies:")
+        print(
+            simple_table(
+                ["name", "signature", "source", "description"],
+                [[t.name, t.signature, t.source, t.description] for t in list_topologies()],
+            )
+        )
+        return 0
+
+    if args.quick:
+        # CI smoke: a tiny fixed 2-topology x 3-scheme grid, every
+        # metric, permutation matrix, seed 0 — nothing overridable
+        from .experiments import METRICS
+
+        overridden = [
+            flag
+            for flag, given in (
+                ("--topologies", args.topologies != "ring,fattree"),
+                ("--schemes", args.schemes is not None),
+                ("--sizes", args.sizes is not None),
+                ("--samples", args.samples != 5),
+                ("--metrics", args.metrics != "resilience,congestion,stretch,table_space"),
+                ("--matrix", args.matrix != "permutation"),
+                ("--seed", args.seed != 0),
+            )
+            if given
+        ]
+        if overridden:
+            print(
+                f"[--quick] ignoring {', '.join(overridden)}: the smoke grid is fixed",
+                file=sys.stderr,
+            )
+        topologies = ["ring", "grid"]
+        schemes = ["arborescence", "distance2", "greedy"]
+        model = FailureModel(sizes=(0, 1), samples=2, seed=0)
+        metrics = list(METRICS)
+        matrix = "permutation"
+        seed = 0
+    else:
+        topologies = _split_names(args.topologies)
+        schemes = _split_names(args.schemes) if args.schemes else None
+        try:
+            sizes = (
+                tuple(int(token) for token in args.sizes.split(",")) if args.sizes else None
+            )
+        except ValueError:
+            print(f"invalid --sizes {args.sizes!r}", file=sys.stderr)
+            return 2
+        model = FailureModel(sizes=sizes, samples=args.samples, seed=args.seed)
+        metrics = [token for token in args.metrics.split(",") if token]
+        matrix = args.matrix
+        seed = args.seed
+    store = ResultStore(args.out) if args.out else None
+    try:
+        result = run_grid(
+            topologies,
+            schemes,
+            failure_models=[model],
+            metrics=metrics,
+            matrix=matrix,
+            matrix_seed=seed,
+            store=store,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"cannot run grid: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"experiment grid: {len(topologies)} topologies x "
+        f"{'all' if schemes is None else len(schemes)} schemes, {model.label}"
+    )
+    print(result.table())
+    for topology_name, scheme_name, reason in result.skipped:
+        print(f"[skipped] {scheme_name} on {topology_name}: {reason}", file=sys.stderr)
+    if not records_round_trip(result.records):
+        print("records failed the JSON round-trip", file=sys.stderr)
+        return 1
+    print(f"{len(result.records)} records (JSON round-trip ok)")
+    if store is not None:
+        print(f"merged into {store.path}")
+    if args.csv:
+        rows = write_records_csv(result.records, args.csv)
+        print(f"wrote {rows} CSV rows to {args.csv}")
+    return 0 if result.records else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -300,8 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    families = ", ".join(topology_names())
     p = sub.add_parser("classify", help="classify a topology (§VIII)")
-    p.add_argument("graph", help=f"family ({', '.join(_FAMILIES)}) or edge-list file")
+    p.add_argument("graph", help=f"family ({families}) or edge-list file")
     p.add_argument("--budget", type=int, default=20_000, help="minor-search budget")
     p.set_defaults(func=_cmd_classify)
 
@@ -332,7 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_zoo)
 
     p = sub.add_parser("traffic", help="congestion sweep: route a traffic matrix under failures")
-    p.add_argument("graph", help=f"family ({', '.join(_FAMILIES)}) or edge-list file")
+    p.add_argument("graph", help=f"family ({families}) or edge-list file")
     p.add_argument(
         "--matrix",
         choices=["permutation", "all-to-one", "all-to-all", "hotspot", "gravity"],
@@ -341,9 +445,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--destination", default=None, help="sink for --matrix all-to-one")
     p.add_argument(
         "--algorithm",
-        choices=["all", *_TRAFFIC_ALGORITHMS],
+        choices=["all", *scheme_names()],
         default="all",
-        help="one algorithm, or 'all' for the comparison harness",
+        help="one registered scheme, or 'all' for the comparison harness",
     )
     p.add_argument("--sizes", default=None, help="failure-set sizes, e.g. 0,1,2,4")
     p.add_argument("--samples", type=int, default=10, help="failure sets per size")
@@ -353,6 +457,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run a greedy worst-case load attack with up to K failures",
     )
     p.set_defaults(func=_cmd_traffic)
+
+    p = sub.add_parser(
+        "experiments",
+        help="run a topologies x schemes x failure-models grid from the registries",
+    )
+    p.add_argument(
+        "--topologies",
+        default="ring,fattree",
+        help="comma-separated registry names; size notation allowed, e.g. ring(12)",
+    )
+    p.add_argument(
+        "--schemes",
+        default=None,
+        help="comma-separated scheme names (default: every registered scheme)",
+    )
+    p.add_argument("--metrics", default="resilience,congestion,stretch,table_space")
+    p.add_argument("--matrix", default="permutation")
+    p.add_argument("--sizes", default=None, help="failure-set sizes, e.g. 0,1,2,4")
+    p.add_argument("--samples", type=int, default=5, help="failure sets per size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="merge records into this JSON result store")
+    p.add_argument("--csv", default=None, help="also write the records as CSV")
+    p.add_argument("--list", action="store_true", help="list registered schemes/topologies")
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 2 topologies x 3 schemes, JSON round-trip validated",
+    )
+    p.set_defaults(func=_cmd_experiments)
     return parser
 
 

@@ -16,9 +16,12 @@ informed before the source declares the broadcast finished.
 Runs on the fast engine by default: one :class:`~repro.core.engine.sweep.
 EngineState` and one memoized decision table are cached per graph, so
 sweeping a broadcast over many failure sets pays for network indexing
-and pattern construction once.  ``use_engine=False`` selects the naive
+and pattern construction once.  Pass ``session=`` (an
+:class:`~repro.experiments.session.ExperimentSession`) to source engine
+state from a shared session; a ``backend="naive"`` session selects the
 hop-by-hop reference walk (identical results, kept for differential
-testing); failure sets naming links outside the graph fall back to it
+testing), as does the deprecated ``use_engine=False`` keyword.  Failure
+sets naming links outside the graph fall back to the naive walk
 automatically.
 """
 
@@ -52,15 +55,16 @@ class BroadcastResult:
 class TouringBroadcast:
     """Broadcast a message by touring; detect completion at the source."""
 
-    def __init__(self, algorithm: TouringAlgorithm):
+    def __init__(self, algorithm: TouringAlgorithm, session=None):
         self._algorithm = algorithm
+        self._session = session
         self._graph: nx.Graph | None = None
         self._fingerprint: tuple | None = None
         self._state: EngineState | None = None
         self._memo: MemoizedPattern | None = None
         self._pattern: ForwardingPattern | None = None
 
-    def _prepared(self, graph: nx.Graph) -> tuple[EngineState, MemoizedPattern]:
+    def _prepared(self, graph: nx.Graph, session) -> tuple[EngineState, MemoizedPattern]:
         """Engine state + decision table, cached per graph.
 
         Keyed by object identity *and* the exact node/edge sets, so a
@@ -80,7 +84,7 @@ class TouringBroadcast:
         ):
             # build everything before touching the cache: a failing
             # pattern build must not leave a half-updated cache behind
-            state = EngineState(graph)
+            state = session.state(graph)
             pattern = self._algorithm.build(graph)
             memo = MemoizedPattern(state.network, pattern)
             self._graph = graph
@@ -97,7 +101,8 @@ class TouringBroadcast:
         source: Node,
         failures: FailureSet = frozenset(),
         max_hops: int | None = None,
-        use_engine: bool = True,
+        use_engine: bool | None = None,
+        session=None,
     ) -> BroadcastResult:
         """Walk the touring packet until the source detects completion.
 
@@ -106,9 +111,16 @@ class TouringBroadcast:
         with the out-port it prescribed at ``⊥``; equality means the tour
         has wrapped around.
         """
+        from ...experiments.session import resolve_session
+
+        if session is None and use_engine is None:
+            # the constructor-level session is only the default; an
+            # explicit use_engine= (deprecated) still overrides it
+            session = self._session
+        session = resolve_session(session, use_engine, caller="TouringBroadcast.run")
         limit = max_hops if max_hops is not None else 4 * graph.number_of_edges() + 4
-        if use_engine:
-            state, memo = self._prepared(graph)
+        if session.use_engine:
+            state, memo = self._prepared(graph, session)
             fmask = state.network.mask_of(failures)
             if fmask is not None and source in state.network.index:
                 return self._run_indexed(state, memo, source, fmask, limit)
@@ -208,8 +220,9 @@ class TouringBroadcast:
         graph: nx.Graph,
         source: Node,
         failures: FailureSet = frozenset(),
-        use_engine: bool = True,
+        use_engine: bool | None = None,
+        session=None,
     ) -> bool:
         """Did the broadcast inform the whole surviving component of the source?"""
-        result = self.run(graph, source, failures, use_engine=use_engine)
+        result = self.run(graph, source, failures, use_engine=use_engine, session=session)
         return result.completed and result.covers(component_of(graph, source, failures))

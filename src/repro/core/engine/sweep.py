@@ -330,21 +330,26 @@ def sweep_resilience(
     algorithm: DestinationAlgorithm | SourceDestinationAlgorithm | TouringAlgorithm,
     scenarios: ScenarioGrid | None = None,
     processes: int = 1,
+    state: EngineState | None = None,
 ) -> SweepResult:
     """Evaluate a whole scenario grid for one algorithm, batched.
 
     Dispatches on the algorithm's routing model.  ``processes > 1``
     fans independent grid units (destinations / pair chunks) out across
     forked workers; the touring model has a single network-wide pattern
-    and always runs serially.
+    and always runs serially.  ``state`` injects a prebuilt (usually
+    session-owned) :class:`EngineState` so serial sweeps reuse its
+    caches; forked workers always build their own per chunk.
     """
     grid = scenarios if scenarios is not None else ScenarioGrid()
+    if state is not None and state.graph is not graph:
+        raise ValueError("the injected EngineState indexes a different graph")
     if isinstance(algorithm, TouringAlgorithm):
-        return _sweep_touring(graph, algorithm, grid)
+        return _sweep_touring(graph, algorithm, grid, state)
     if isinstance(algorithm, SourceDestinationAlgorithm):
-        return _sweep_source_destination(graph, algorithm, grid, processes)
+        return _sweep_source_destination(graph, algorithm, grid, processes, state)
     if isinstance(algorithm, DestinationAlgorithm):
-        return _sweep_destination(graph, algorithm, grid, processes)
+        return _sweep_destination(graph, algorithm, grid, processes, state)
     raise TypeError(f"not a routing algorithm: {algorithm!r}")
 
 
@@ -353,6 +358,7 @@ def _sweep_destination(
     algorithm: DestinationAlgorithm,
     grid: ScenarioGrid,
     processes: int,
+    shared_state: EngineState | None = None,
 ) -> SweepResult:
     from ..resilience import Verdict
 
@@ -400,7 +406,7 @@ def _sweep_destination(
             for pair in zip(chunk, verdicts)
         )
     else:
-        state = EngineState(graph)
+        state = shared_state if shared_state is not None else EngineState(graph)
         ordered = ((d, check_one(d, state)) for d in destinations)
     for destination, verdict in ordered:
         units.append((destination, verdict))
@@ -419,6 +425,7 @@ def _sweep_source_destination(
     algorithm: SourceDestinationAlgorithm,
     grid: ScenarioGrid,
     processes: int,
+    shared_state: EngineState | None = None,
 ) -> SweepResult:
     from ..resilience import Verdict
 
@@ -432,8 +439,11 @@ def _sweep_source_destination(
         pairs = [(s, t) for t in destinations for s in sources if s != t]
     materialized, factory, default_exhaustive = grid.resolved_failures(graph)
 
-    def check_chunk(chunk: Sequence[tuple[Node, Node]]) -> list[Any]:
-        state = EngineState(graph)
+    def check_chunk(
+        chunk: Sequence[tuple[Node, Node]], state: EngineState | None = None
+    ) -> list[Any]:
+        if state is None:  # parallel workers index their own copy
+            state = EngineState(graph)
         verdicts = []
         for source, destination in chunk:
             pattern = algorithm.build(graph, source, destination)
@@ -464,7 +474,7 @@ def _sweep_source_destination(
         for chunk, verdicts in zip(chunks, verdict_lists):
             flattened.extend(zip(chunk, verdicts))
     else:
-        flattened = list(zip(pairs, check_chunk(pairs)))
+        flattened = list(zip(pairs, check_chunk(pairs, shared_state)))
     units: list[tuple[Any, Any]] = []
     total = 0
     exhaustive = True
@@ -484,10 +494,11 @@ def _sweep_touring(
     graph: nx.Graph,
     algorithm: TouringAlgorithm,
     grid: ScenarioGrid,
+    shared_state: EngineState | None = None,
 ) -> SweepResult:
     from ..resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict
 
-    state = EngineState(graph)
+    state = shared_state if shared_state is not None else EngineState(graph)
     network = state.network
     tracker = state.tracker
     use_tracker = network.m <= EXHAUSTIVE_LINK_LIMIT

@@ -13,10 +13,16 @@ failure sets that break the respective promise.
 Checkers run on the fast engine (:mod:`repro.core.engine`) by default:
 integer-indexed networks, memoized ``(node, inport, local mask)``
 forwarding decisions, and a component cache shared across the whole
-destination × failure-set grid.  ``use_engine=False`` selects the naive
-reference path (same verdicts, hop-by-hop simulation) — kept for
-differential testing and the speedup benchmarks.  ``processes`` fans
-independent destinations/pairs out across forked workers.
+destination × failure-set grid.  Engine state is owned by an
+:class:`~repro.experiments.session.ExperimentSession` — pass ``session=``
+to share index maps and caches across calls; the default is the shared
+:func:`~repro.experiments.session.default_session`.  A session with
+``backend="naive"`` selects the hop-by-hop reference path (same
+verdicts) — kept for differential testing and the speedup benchmarks;
+the legacy ``use_engine=`` keyword is still accepted and resolves to
+the matching session backend with a :class:`DeprecationWarning`.
+``processes`` fans independent destinations/pairs out across forked
+workers.
 """
 
 from __future__ import annotations
@@ -127,18 +133,22 @@ def check_pattern_resilience(
     destination: Node,
     sources: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
-    use_engine: bool = True,
+    use_engine: bool | None = None,
+    session=None,
 ) -> Verdict:
     """Check one concrete pattern: every connected source must be served.
 
     This is the §II definition specialized to a fixed destination (and
     optionally a fixed source, for the source-destination model).
     """
-    if use_engine:
-        from .engine.sweep import EngineState, sweep_pattern_resilience
+    from ..experiments.session import resolve_session
+
+    session = resolve_session(session, use_engine, caller="check_pattern_resilience")
+    if session.use_engine:
+        from .engine.sweep import sweep_pattern_resilience
 
         return sweep_pattern_resilience(
-            EngineState(graph), pattern, destination, sources=sources, failure_sets=failure_sets
+            session.state(graph), pattern, destination, sources=sources, failure_sets=failure_sets
         )
     network = Network(graph)
     failure_iter, exhaustive = (
@@ -169,15 +179,27 @@ def check_perfect_resilience_source_destination(
     algorithm: SourceDestinationAlgorithm,
     pairs: Iterable[tuple[Node, Node]] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
-    use_engine: bool = True,
-    processes: int = 1,
+    use_engine: bool | None = None,
+    processes: int | None = None,
+    session=None,
 ) -> Verdict:
     """Is the algorithm perfectly resilient on ``graph`` in the π^{s,t} model?"""
-    if use_engine:
+    from ..experiments.session import resolve_session
+
+    session = resolve_session(
+        session, use_engine, caller="check_perfect_resilience_source_destination"
+    )
+    if session.use_engine:
         from .engine.sweep import ScenarioGrid, sweep_resilience
 
         grid = ScenarioGrid(pairs=pairs, failure_sets=failure_sets)
-        return sweep_resilience(graph, algorithm, grid, processes=processes).verdict
+        return sweep_resilience(
+            graph,
+            algorithm,
+            grid,
+            processes=_effective_processes(processes, session),
+            state=session.state(graph),
+        ).verdict
     nodes = list(graph.nodes)
     if pairs is None:
         pairs = [(s, t) for t in nodes for s in nodes if s != t]
@@ -188,7 +210,7 @@ def check_perfect_resilience_source_destination(
         pattern = algorithm.build(graph, source, destination)
         verdict = check_pattern_resilience(
             graph, pattern, destination, sources=[source], failure_sets=materialized,
-            use_engine=False,
+            session=session,
         )
         total += verdict.scenarios_checked
         exhaustive = exhaustive and (verdict.exhaustive or materialized is not None)
@@ -203,19 +225,29 @@ def check_perfect_resilience_destination(
     algorithm: DestinationAlgorithm,
     destinations: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
-    use_engine: bool = True,
-    processes: int = 1,
+    use_engine: bool | None = None,
+    processes: int | None = None,
+    session=None,
 ) -> Verdict:
     """Is the algorithm perfectly resilient on ``graph`` in the π^t model?
 
     Every node of the destination's surviving component must be served,
     whatever the source (§II).
     """
-    if use_engine:
+    from ..experiments.session import resolve_session
+
+    session = resolve_session(session, use_engine, caller="check_perfect_resilience_destination")
+    if session.use_engine:
         from .engine.sweep import ScenarioGrid, sweep_resilience
 
         grid = ScenarioGrid(destinations=destinations, failure_sets=failure_sets)
-        return sweep_resilience(graph, algorithm, grid, processes=processes).verdict
+        return sweep_resilience(
+            graph,
+            algorithm,
+            grid,
+            processes=_effective_processes(processes, session),
+            state=session.state(graph),
+        ).verdict
     nodes = list(destinations) if destinations is not None else list(graph.nodes)
     total = 0
     exhaustive = True
@@ -223,7 +255,7 @@ def check_perfect_resilience_destination(
     for destination in nodes:
         pattern = algorithm.build(graph, destination)
         verdict = check_pattern_resilience(
-            graph, pattern, destination, failure_sets=materialized, use_engine=False
+            graph, pattern, destination, failure_sets=materialized, session=session
         )
         total += verdict.scenarios_checked
         exhaustive = exhaustive and verdict.exhaustive
@@ -245,21 +277,23 @@ def check_r_tolerance(
     destination: Node,
     r: int,
     failure_sets: Iterable[FailureSet] | None = None,
-    use_engine: bool = True,
+    use_engine: bool | None = None,
+    session=None,
 ) -> Verdict:
     """Is the pattern r-tolerant for (source, destination) on ``graph``?
 
     Only failure sets under which s and t remain r-connected count
     (Definition 1); everything else is vacuously fine.
     """
+    from ..experiments.session import resolve_session
+
+    session = resolve_session(session, use_engine, caller="check_r_tolerance")
     pattern = algorithm.build(graph, source, destination)
     failure_iter, exhaustive = (
         (failure_sets, False) if failure_sets is not None else default_failure_sets(graph)
     )
-    if use_engine:
-        from .engine.sweep import EngineState
-
-        state = EngineState(graph)
+    if session.use_engine:
+        state = session.state(graph)
         memo = state.memoized(pattern)
         simulate = lambda failures: state.route(memo, source, destination, failures)  # noqa: E731
     else:
@@ -293,14 +327,18 @@ def check_perfect_touring(
     algorithm: TouringAlgorithm,
     starts: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
-    use_engine: bool = True,
+    use_engine: bool | None = None,
+    session=None,
 ) -> Verdict:
     """Does the π^∀ pattern tour every component under every failure set?"""
-    if use_engine:
+    from ..experiments.session import resolve_session
+
+    session = resolve_session(session, use_engine, caller="check_perfect_touring")
+    if session.use_engine:
         from .engine.sweep import ScenarioGrid, sweep_resilience
 
         grid = ScenarioGrid(sources=starts, failure_sets=failure_sets)
-        return sweep_resilience(graph, algorithm, grid).verdict
+        return sweep_resilience(graph, algorithm, grid, state=session.state(graph)).verdict
     network = Network(graph)
     pattern = algorithm.build(graph)
     failure_iter, exhaustive = (
@@ -326,7 +364,8 @@ def check_ideal_resilience(
     algorithm: DestinationAlgorithm,
     destinations: Iterable[Node] | None = None,
     k: int | None = None,
-    use_engine: bool = True,
+    use_engine: bool | None = None,
+    session=None,
 ) -> Verdict:
     """Ideal resilience (§I.B.1, Chiesa et al.): survive k-1 failures.
 
@@ -335,18 +374,20 @@ def check_ideal_resilience(
     disconnect the graph).  Weaker than perfect resilience: a perfectly
     resilient pattern is ideally resilient, not vice versa.
     """
+    from ..experiments.session import resolve_session
     from ..graphs.connectivity import global_edge_connectivity
 
+    session = resolve_session(session, use_engine, caller="check_ideal_resilience")
     if k is None:
         k = global_edge_connectivity(graph)
     if k < 1:
         raise ValueError("ideal resilience needs a connected graph")
     nodes = list(destinations) if destinations is not None else list(graph.nodes)
     state = None
-    if use_engine:
-        from .engine.sweep import EngineState, sweep_pattern_resilience
+    if session.use_engine:
+        from .engine.sweep import sweep_pattern_resilience
 
-        state = EngineState(graph)
+        state = session.state(graph)
     total = 0
     for destination in nodes:
         pattern = algorithm.build(graph, destination)
@@ -361,7 +402,7 @@ def check_ideal_resilience(
                 pattern,
                 destination,
                 failure_sets=all_failure_sets(graph, max_failures=k - 1),
-                use_engine=False,
+                session=session,
             )
         total += verdict.scenarios_checked
         if not verdict.resilient:
@@ -376,7 +417,8 @@ def check_k_resilient_touring(
     max_failures: int,
     starts: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
-    use_engine: bool = True,
+    use_engine: bool | None = None,
+    session=None,
 ) -> Verdict:
     """k-resilient touring: tours must survive every |F| <= max_failures."""
     if failure_sets is None:
@@ -387,7 +429,12 @@ def check_k_resilient_touring(
         else:
             failure_sets = sampled_failure_sets(graph, samples=500, max_failures=max_failures)
     return check_perfect_touring(
-        graph, algorithm, starts=starts, failure_sets=failure_sets, use_engine=use_engine
+        graph,
+        algorithm,
+        starts=starts,
+        failure_sets=failure_sets,
+        use_engine=use_engine,
+        session=session,
     )
 
 
@@ -395,3 +442,8 @@ def _binomial_prefix(n: int, k: int) -> int:
     from math import comb
 
     return sum(comb(n, size) for size in range(min(k, n) + 1))
+
+
+def _effective_processes(processes: int | None, session) -> int:
+    """Explicit ``processes`` wins; the ``None`` default defers to the session."""
+    return session.processes if processes is None else processes

@@ -1,0 +1,700 @@
+"""Scheme and topology registries: the experiment API's name space.
+
+The paper's core contribution is a *comparison* — how much resilience,
+stretch, table space and congestion each static local rerouting scheme
+sacrifices for locality — and a comparison needs a stable way to say
+*which* schemes on *which* topologies.  This module provides exactly
+that:
+
+* :class:`SchemeSpec` wraps every routing algorithm of
+  :mod:`repro.core.algorithms` with a stable registry name, its builder
+  arity (per-source-destination / per-destination / per-graph, derived
+  from the §II routing model), an applicability predicate (planarity,
+  outerplanarity, bipartiteness, size caps, Hamiltonian
+  decomposability), and paper metadata (theorem, resilience class);
+* :class:`TopologySpec` unifies the graph families of
+  :mod:`repro.graphs.construct` (classics, paper gadgets, the fat-tree /
+  hypercube / torus datacenter fabrics) and the synthetic Topology Zoo
+  of :mod:`repro.graphs.zoo` behind one parameterized-by-size builder
+  interface.
+
+Every consumer — the CLI, the congestion comparison harness, the grid
+runner — resolves schemes and topologies **by name** through
+:func:`scheme` / :func:`topology`, so adding an entry here (for example
+the randomized schemes of Bankhamer–Elsässer–Schmid, arXiv:2108.02136)
+plugs it into every experiment surface at once.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..core.model import (
+    DestinationAlgorithm,
+    RoutingModel,
+    SourceDestinationAlgorithm,
+    TouringAlgorithm,
+)
+
+
+class SchemeNotApplicable(ValueError):
+    """Raised when a scheme's applicability predicate rejects a graph."""
+
+
+class UnknownSchemeError(KeyError):
+    """Raised when a scheme name is not registered."""
+
+
+class UnknownTopologyError(KeyError):
+    """Raised when a topology name is not registered."""
+
+
+RoutingAlgorithm = DestinationAlgorithm | SourceDestinationAlgorithm | TouringAlgorithm
+
+#: routing model -> builder arity (how many header fields ``build`` takes)
+ARITY = {
+    RoutingModel.SOURCE_DESTINATION: "per-source-destination",
+    RoutingModel.DESTINATION: "per-destination",
+    RoutingModel.PORT: "per-graph",
+}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One registered rerouting scheme: name, builder, predicate, metadata.
+
+    ``predicate`` answers "can this scheme be *built for every unit* of
+    the standard experiment grid on this graph" (all destinations for
+    per-destination schemes, all ordered pairs for per-source-destination
+    ones, the graph itself for touring).  ``requires`` is the
+    human-readable form of the same condition; ``theorem`` cites the
+    paper result the scheme implements and ``resilience`` its proven
+    resilience class on graphs satisfying the predicate.
+    """
+
+    name: str
+    factory: Callable[..., RoutingAlgorithm]
+    model: RoutingModel
+    requires: str
+    theorem: str
+    resilience: str
+    predicate: Callable[[nx.Graph], bool] = field(default=lambda graph: True)
+    tags: frozenset[str] = frozenset()
+
+    @property
+    def arity(self) -> str:
+        return ARITY[self.model]
+
+    def instantiate(self, **kwargs) -> RoutingAlgorithm:
+        """A fresh algorithm instance (seeded schemes accept ``seed=``)."""
+        return self.factory(**kwargs)
+
+    def applicable(self, graph: nx.Graph) -> bool:
+        """Does the applicability predicate hold on ``graph``?"""
+        return self.predicate(graph)
+
+    def check(self, graph: nx.Graph) -> None:
+        """Raise :class:`SchemeNotApplicable` when the predicate fails."""
+        if not self.applicable(graph):
+            raise SchemeNotApplicable(
+                f"scheme {self.name!r} ({self.theorem}) requires {self.requires}; "
+                f"the given graph (n={graph.number_of_nodes()}, "
+                f"m={graph.number_of_edges()}) does not qualify"
+            )
+
+    def build_for(self, graph: nx.Graph, **kwargs) -> RoutingAlgorithm:
+        """Predicate-checked instantiation: check first, then build."""
+        self.check(graph)
+        return self.instantiate(**kwargs)
+
+
+_SCHEMES: dict[str, SchemeSpec] = {}
+
+
+def register_scheme(spec: SchemeSpec) -> SchemeSpec:
+    if spec.name in _SCHEMES:
+        raise ValueError(f"scheme {spec.name!r} already registered")
+    _SCHEMES[spec.name] = spec
+    return spec
+
+
+def scheme(name: str) -> SchemeSpec:
+    """Look a scheme up by registry name."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise UnknownSchemeError(
+            f"unknown scheme {name!r}; registered: {', '.join(sorted(_SCHEMES))}"
+        ) from None
+
+
+def list_schemes(tag: str | None = None) -> list[SchemeSpec]:
+    """All registered schemes, in registration order; optionally by tag."""
+    specs = list(_SCHEMES.values())
+    if tag is not None:
+        specs = [spec for spec in specs if tag in spec.tags]
+    return specs
+
+
+def scheme_names(tag: str | None = None) -> list[str]:
+    return [spec.name for spec in list_schemes(tag)]
+
+
+# ---------------------------------------------------------------------------
+# Applicability predicates.
+# ---------------------------------------------------------------------------
+
+
+def _connected(graph: nx.Graph) -> bool:
+    return graph.number_of_nodes() >= 2 and nx.is_connected(graph)
+
+
+def _bipartite(graph: nx.Graph) -> bool:
+    return _connected(graph) and nx.is_bipartite(graph)
+
+
+def _outerplanar(graph: nx.Graph) -> bool:
+    from ..graphs.planarity import is_outerplanar
+
+    return _connected(graph) and is_outerplanar(graph)
+
+
+def _hamiltonian_decomposable(graph: nx.Graph) -> bool:
+    from ..graphs.hamiltonian import hamiltonian_decomposition
+
+    if not _connected(graph):
+        return False
+    try:
+        hamiltonian_decomposition(graph)
+    except ValueError:
+        return False
+    return True
+
+
+def _every_destination(supports: Callable[[nx.Graph, object], bool], cap: int):
+    def predicate(graph: nx.Graph) -> bool:
+        if not _connected(graph) or graph.number_of_nodes() > cap:
+            return False
+        return all(supports(graph, destination) for destination in graph.nodes)
+
+    return predicate
+
+
+def _every_pair(supports: Callable[[nx.Graph, object, object], bool], cap: int):
+    def predicate(graph: nx.Graph) -> bool:
+        if not _connected(graph) or graph.number_of_nodes() > cap:
+            return False
+        return all(
+            supports(graph, source, destination)
+            for destination in graph.nodes
+            for source in graph.nodes
+            if source != destination
+        )
+
+    return predicate
+
+
+def _tour_to_destination_everywhere(graph: nx.Graph) -> bool:
+    from ..core.algorithms import TourToDestination
+
+    router = TourToDestination()
+    return _connected(graph) and all(
+        router.supports(graph, destination) for destination in graph.nodes
+    )
+
+
+# ---------------------------------------------------------------------------
+# The scheme registry.  Registration order matters twice: it is the
+# enumeration order of ``list_schemes`` and, filtered by the
+# ``congestion-default`` tag, the line-up (and attack preference order)
+# of the congestion comparison harness.
+# ---------------------------------------------------------------------------
+
+
+def _register_all_schemes() -> None:
+    from ..core import algorithms as A
+
+    register_scheme(
+        SchemeSpec(
+            name="arborescence",
+            factory=A.ArborescenceRouting,
+            model=RoutingModel.DESTINATION,
+            requires="a connected graph (arc-disjoint in-arborescence packing)",
+            theorem="Chiesa et al. baseline (§I.B.1)",
+            resilience="ideal (k-1 failures on k-connected graphs)",
+            predicate=_connected,
+            tags=frozenset({"congestion-default", "baseline"}),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="distance2",
+            factory=A.Distance2Algorithm,
+            model=RoutingModel.SOURCE_DESTINATION,
+            requires="any connected graph (delivers whenever dist(s,t) <= 2 survives)",
+            theorem="Theorem 3",
+            resilience="perfect for dist <= 2",
+            predicate=_connected,
+            tags=frozenset({"congestion-default"}),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="distance3",
+            factory=A.Distance3BipartiteAlgorithm,
+            model=RoutingModel.SOURCE_DESTINATION,
+            requires="a connected bipartite graph",
+            theorem="Theorem 4",
+            resilience="perfect for dist <= 3 (bipartite)",
+            predicate=_bipartite,
+            tags=frozenset({"congestion-default"}),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="tour",
+            factory=A.TourToDestination,
+            model=RoutingModel.DESTINATION,
+            requires="G - t outerplanar for every destination t",
+            theorem="Corollary 5",
+            resilience="perfect",
+            predicate=_tour_to_destination_everywhere,
+            tags=frozenset({"congestion-default"}),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="greedy",
+            factory=A.GreedyLowestNeighbor,
+            model=RoutingModel.DESTINATION,
+            requires="any connected graph (no resilience guarantee)",
+            theorem="naive strawman (§III)",
+            resilience="none",
+            predicate=_connected,
+            tags=frozenset({"congestion-default", "baseline"}),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="right-hand",
+            factory=A.RightHandTouring,
+            model=RoutingModel.PORT,
+            requires="an outerplanar graph",
+            theorem="Corollary 6",
+            resilience="perfect (touring)",
+            predicate=_outerplanar,
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="hamiltonian",
+            factory=A.HamiltonianTouring,
+            model=RoutingModel.PORT,
+            requires="K_n (odd n) or K_{n,n} (even n): a Hamiltonian-decomposable graph",
+            theorem="Theorem 17",
+            resilience="k-resilient touring (k-1 failures)",
+            predicate=_hamiltonian_decomposable,
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="two-stage-tour",
+            factory=A.TwoStageTour,
+            model=RoutingModel.DESTINATION,
+            requires="every destination of degree 1 with G - t - w outerplanar",
+            theorem="Theorem 13 (relay case)",
+            resilience="perfect",
+            predicate=_every_destination(A.TwoStageTour().supports, cap=512),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="k5-source",
+            factory=A.K5SourceRouting,
+            model=RoutingModel.SOURCE_DESTINATION,
+            requires="at most five nodes",
+            theorem="Theorem 8 (Algorithm 1)",
+            resilience="perfect",
+            predicate=_every_pair(A.K5SourceRouting().supports, cap=5),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="k33-source",
+            factory=A.K33SourceRouting,
+            model=RoutingModel.SOURCE_DESTINATION,
+            requires="a bipartite subgraph of K3,3 (embeddable for every pair)",
+            theorem="Theorem 9",
+            resilience="perfect",
+            predicate=_every_pair(A.K33SourceRouting().supports, cap=6),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="k5-minus2",
+            factory=A.K5Minus2Routing,
+            model=RoutingModel.DESTINATION,
+            requires="a minor of K5^-2 (for every destination)",
+            theorem="Theorem 12",
+            resilience="perfect",
+            predicate=_every_destination(A.K5Minus2Routing().supports, cap=5),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="k33-minus2",
+            factory=A.K33Minus2Routing,
+            model=RoutingModel.DESTINATION,
+            requires="a minor of K3,3^-2 (for every destination)",
+            theorem="Theorem 13",
+            resilience="perfect",
+            predicate=_every_destination(A.K33Minus2Routing().supports, cap=6),
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="random-sd",
+            factory=A.RandomCyclicPermutations,
+            model=RoutingModel.SOURCE_DESTINATION,
+            requires="any connected graph (seeded; the adversaries' target)",
+            theorem="generic scheme defeated by Thm 1 / Thm 6",
+            resilience="none",
+            predicate=_connected,
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="random-dest",
+            factory=A.RandomCyclicDestinationOnly,
+            model=RoutingModel.DESTINATION,
+            requires="any connected graph (seeded)",
+            theorem="generic scheme defeated by Thm 6 / Thm 7",
+            resilience="none",
+            predicate=_connected,
+        )
+    )
+    register_scheme(
+        SchemeSpec(
+            name="random-port",
+            factory=A.RandomPortCycles,
+            model=RoutingModel.PORT,
+            requires="any connected graph (seeded; Lemma 1 shape)",
+            theorem="Lemmas 1, 3, 4 (touring strawman)",
+            resilience="none",
+            predicate=_connected,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Topologies.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One registered graph family, parameterized by size.
+
+    ``params`` is the ordered tuple of parameter names ``builder``
+    accepts; ``defaults`` supplies every parameter, so ``build()`` with
+    no arguments always works (the CLI's bare family names resolve that
+    way).  ``source`` records which substrate the family comes from
+    (``construct`` / ``gadget`` / ``datacenter`` / ``zoo``).
+    """
+
+    name: str
+    builder: Callable[..., nx.Graph]
+    description: str
+    source: str = "construct"
+    params: tuple[str, ...] = ()
+    defaults: dict[str, object] = field(default_factory=dict)
+
+    def build(self, *args, **kwargs) -> nx.Graph:
+        """Build the graph; positional args follow ``params`` order."""
+        if len(args) > len(self.params):
+            raise ValueError(
+                f"topology {self.name!r} takes at most {len(self.params)} "
+                f"parameters {self.params}, got {len(args)}"
+            )
+        resolved: dict[str, object] = dict(self.defaults)
+        resolved.update(zip(self.params, args))
+        for key in kwargs:
+            if key not in self.params:
+                raise ValueError(f"topology {self.name!r} has no parameter {key!r}")
+        resolved.update(kwargs)
+        return self.builder(**resolved)
+
+    @property
+    def signature(self) -> str:
+        if not self.params:
+            return self.name
+        rendered = ", ".join(f"{p}={self.defaults[p]!r}" for p in self.params)
+        return f"{self.name}({rendered})"
+
+
+_TOPOLOGIES: dict[str, TopologySpec] = {}
+
+
+def register_topology(spec: TopologySpec) -> TopologySpec:
+    if spec.name in _TOPOLOGIES:
+        raise ValueError(f"topology {spec.name!r} already registered")
+    _TOPOLOGIES[spec.name] = spec
+    return spec
+
+
+def topology(name: str) -> TopologySpec:
+    """Look a topology family up by registry name."""
+    try:
+        return _TOPOLOGIES[name]
+    except KeyError:
+        raise UnknownTopologyError(
+            f"unknown topology {name!r}; registered: {', '.join(sorted(_TOPOLOGIES))}"
+        ) from None
+
+
+def list_topologies(source: str | None = None) -> list[TopologySpec]:
+    specs = list(_TOPOLOGIES.values())
+    if source is not None:
+        specs = [spec for spec in specs if spec.source == source]
+    return specs
+
+
+def topology_names(source: str | None = None) -> list[str]:
+    return [spec.name for spec in list_topologies(source)]
+
+
+_SPEC_PATTERN = re.compile(r"^(?P<name>[\w-]+)\((?P<args>[^()]*)\)$")
+
+
+def resolve_topology(spec: str) -> nx.Graph:
+    """Build a graph from ``"name"`` or ``"name(arg, ...)"`` notation.
+
+    Bare names build the family's registered default instance
+    (``"ring"`` -> the 8-cycle); parenthesized integer arguments follow
+    the family's parameter order (``"ring(12)"``, ``"torus(3, 5)"``).
+    """
+    match = _SPEC_PATTERN.match(spec.strip())
+    if match is None:
+        return topology(spec.strip()).build()
+    name = match.group("name")
+    raw = match.group("args").strip()
+    args = [_coerce(token) for token in raw.split(",")] if raw else []
+    return topology(name).build(*args)
+
+
+def _coerce(token: str):
+    token = token.strip().strip("'\"")
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def known_family(spec: str) -> bool:
+    """Is the family part of a ``"name"`` / ``"name(args)"`` spec registered?
+
+    Lets callers (the CLI's graph loader) distinguish "not a registered
+    family, try something else" from errors raised *inside* a registered
+    builder — the latter should propagate with their context intact.
+    """
+    match = _SPEC_PATTERN.match(spec.strip())
+    name = match.group("name") if match else spec.strip()
+    return name in _TOPOLOGIES
+
+
+def _zoo_topology(family: str = "wheel", instance: int = 0, seed: int = 2022) -> nx.Graph:
+    """One synthetic-Zoo member, built directly from its family generator.
+
+    Identical to ``generate_zoo(seed)``'s member for the same (family,
+    instance) — each member is seeded independently — without paying for
+    the other 259 topologies.
+    """
+    import random
+
+    from ..graphs import zoo
+
+    try:
+        builder = zoo._BUILDERS[family]
+    except KeyError:
+        raise UnknownTopologyError(
+            f"unknown zoo family {family!r}; known: {', '.join(sorted(zoo._BUILDERS))}"
+        ) from None
+    rng = random.Random(f"{seed}/{family}/{instance}")
+    graph = builder(rng, instance)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def _two_rings(n: int = 4) -> nx.Graph:
+    """Two disjoint ``n``-cycles: the registry's disconnected negative
+    control (every scheme's applicability predicate requires a connected
+    graph, so every scheme must refuse this one)."""
+    return nx.disjoint_union(nx.cycle_graph(n), nx.cycle_graph(n))
+
+
+def _register_all_topologies() -> None:
+    from ..graphs import construct as C
+
+    classics: list[TopologySpec] = [
+        TopologySpec("k5", C.complete_graph, "complete graph K5", params=("n",), defaults={"n": 5}),
+        TopologySpec("k7", C.complete_graph, "complete graph K7", params=("n",), defaults={"n": 7}),
+        TopologySpec(
+            "k33",
+            C.complete_bipartite,
+            "complete bipartite K3,3",
+            params=("a", "b"),
+            defaults={"a": 3, "b": 3},
+        ),
+        TopologySpec(
+            "k44",
+            C.complete_bipartite,
+            "complete bipartite K4,4",
+            params=("a", "b"),
+            defaults={"a": 4, "b": 4},
+        ),
+        TopologySpec(
+            "complete", C.complete_graph, "complete graph K_n", params=("n",), defaults={"n": 5}
+        ),
+        TopologySpec(
+            "complete-bipartite",
+            C.complete_bipartite,
+            "complete bipartite K_{a,b}",
+            params=("a", "b"),
+            defaults={"a": 3, "b": 3},
+        ),
+        TopologySpec(
+            "ring", C.cycle_graph, "cycle (outerplanar)", params=("n",), defaults={"n": 8}
+        ),
+        TopologySpec(
+            "path", C.path_graph, "path (outerplanar tree)", params=("n",), defaults={"n": 8}
+        ),
+        TopologySpec(
+            "star",
+            C.star_graph,
+            "hub-and-spokes star",
+            params=("leaves",),
+            defaults={"leaves": 6},
+        ),
+        TopologySpec(
+            "fan",
+            C.fan_graph,
+            "maximal outerplanar fan (Cor 6 frontier)",
+            params=("n",),
+            defaults={"n": 8},
+        ),
+        TopologySpec(
+            "wheel",
+            C.wheel_graph,
+            "hub + rim cycle (planar, not outerplanar)",
+            params=("rim",),
+            defaults={"rim": 6},
+        ),
+        TopologySpec(
+            "grid",
+            C.grid_graph,
+            "planar grid",
+            params=("rows", "cols"),
+            defaults={"rows": 4, "cols": 4},
+        ),
+        TopologySpec(
+            "maximal-outerplanar",
+            C.maximal_outerplanar,
+            "random triangulated polygon",
+            params=("n", "seed"),
+            defaults={"n": 10, "seed": 1},
+        ),
+        TopologySpec("petersen", C.petersen_graph, "the Petersen graph (non-planar)"),
+    ]
+    gadgets = [
+        TopologySpec(
+            "netrail",
+            C.fig6_netrail,
+            "the Fig. 6 Netrail 'sometimes' topology",
+            source="gadget",
+        ),
+        TopologySpec(
+            "two-rail",
+            C.fig2_two_rail,
+            "the Fig. 2 two-rail impossibility gadget",
+            source="gadget",
+            params=("rungs",),
+            defaults={"rungs": 3},
+        ),
+        TopologySpec(
+            "theta",
+            C.theta_graph,
+            "two terminals joined by disjoint paths (smallest K2,3 minor)",
+            source="gadget",
+            params=("spokes", "length"),
+            defaults={"spokes": 3, "length": 2},
+        ),
+        TopologySpec(
+            "k-minus",
+            C.k_minus,
+            "K_n minus a deterministic matching of c links",
+            source="gadget",
+            params=("n", "c"),
+            defaults={"n": 5, "c": 2},
+        ),
+        TopologySpec(
+            "k-bipartite-minus",
+            C.k_bipartite_minus,
+            "K_{a,b} minus a deterministic matching of c links",
+            source="gadget",
+            params=("a", "b", "c"),
+            defaults={"a": 3, "b": 3, "c": 2},
+        ),
+        TopologySpec(
+            "two-rings",
+            _two_rings,
+            "two disjoint rings (disconnected negative control)",
+            source="gadget",
+            params=("n",),
+            defaults={"n": 4},
+        ),
+    ]
+    datacenter = [
+        TopologySpec(
+            "fattree",
+            C.fat_tree,
+            "k-ary fat-tree switch fabric (Al-Fares et al.)",
+            source="datacenter",
+            params=("k",),
+            defaults={"k": 4},
+        ),
+        TopologySpec(
+            "hypercube",
+            C.hypercube,
+            "d-dimensional hypercube",
+            source="datacenter",
+            params=("d",),
+            defaults={"d": 4},
+        ),
+        TopologySpec(
+            "torus",
+            C.torus,
+            "2-D torus with wraparound links",
+            source="datacenter",
+            params=("rows", "cols"),
+            defaults={"rows": 4, "cols": 4},
+        ),
+    ]
+    zoo = [
+        TopologySpec(
+            "zoo",
+            _zoo_topology,
+            "one synthetic Topology-Zoo member (family, instance, seed)",
+            source="zoo",
+            params=("family", "instance", "seed"),
+            defaults={"family": "wheel", "instance": 0, "seed": 2022},
+        ),
+    ]
+    for spec in [*classics, *gadgets, *datacenter, *zoo]:
+        register_topology(spec)
+
+
+_register_all_schemes()
+_register_all_topologies()

@@ -1,0 +1,239 @@
+"""Typed experiment records and a merge-don't-overwrite result store.
+
+Every experiment surface — the grid runner, the congestion benches, the
+engine-speedup bench — emits the same record type so that artifacts like
+``BENCH_engine.json`` fall out of one machinery instead of bespoke
+merge code per script.
+
+* :class:`ExperimentRecord` — one (experiment, topology, scheme,
+  failure model) measurement: scalar ``metrics``, an optional per-point
+  ``series`` (e.g. a congestion curve), free-form ``params`` and the
+  wall-clock ``runtime_seconds``.  JSON round-trips losslessly.
+* :class:`ResultStore` — a JSON file holding a ``records`` list plus
+  arbitrary top-level sections.  :meth:`ResultStore.merge` replaces
+  records with the same identity key and keeps everything else;
+  :meth:`ResultStore.merge_raw` does the same for top-level sections
+  (the engine/congestion benches' legacy keys).  :meth:`ResultStore.
+  write_csv` flattens records for spreadsheet use.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+
+#: schema version stamped into every serialized record
+RECORD_VERSION = 1
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+@dataclass
+class ExperimentRecord:
+    """One measurement of one scheme on one topology under one failure model.
+
+    ``experiment`` names the metric family (``"resilience"``,
+    ``"congestion"``, ``"stretch"``, ``"table_space"``, ``"bench"``,
+    ...); ``status`` is ``"ok"`` or ``"skipped"`` (with the reason in
+    ``note`` — e.g. an inapplicable scheme).  ``metrics`` holds scalar
+    results, ``series`` ordered per-point dicts (a curve), ``params``
+    whatever identifies the workload (matrix, sizes, seed, ...).
+    """
+
+    experiment: str
+    topology: str
+    scheme: str
+    failure_model: str = ""
+    status: str = "ok"
+    metrics: dict = field(default_factory=dict)
+    series: list = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    note: str = ""
+    version: int = RECORD_VERSION
+
+    def __post_init__(self) -> None:
+        for name, value in self.metrics.items():
+            if not isinstance(value, _SCALARS):
+                raise TypeError(
+                    f"metric {name!r} must be a JSON scalar, got {type(value).__name__}"
+                )
+
+    def key(self) -> tuple[str, str, str, str, str]:
+        """The merge identity: same key means 'same measurement, newer run'.
+
+        The workload matrix (``params["matrix"]``, when present) is part
+        of the identity — the same scheme on the same grid under incast
+        and under permutation traffic are different measurements.
+        """
+        return (
+            self.experiment,
+            self.topology,
+            self.scheme,
+            self.failure_model,
+            str(self.params.get("matrix", "")),
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentRecord":
+        known = {name for name in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown record fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        return cls.from_dict(json.loads(text))
+
+
+def records_round_trip(records: list[ExperimentRecord]) -> bool:
+    """Do the records survive JSON serialization losslessly?"""
+    return all(ExperimentRecord.from_json(record.to_json()) == record for record in records)
+
+
+class ResultStore:
+    """A JSON-file-backed store that merges instead of overwriting.
+
+    The document is a JSON object.  Records live under the ``"records"``
+    key (a list of :class:`ExperimentRecord` dicts); any other top-level
+    key is a free-form section owned by whoever wrote it (the benches'
+    ``"gadget"`` / ``"zoo"`` / ``"congestion"`` entries).  Both merge
+    operations preserve everything they do not explicitly replace, so
+    independent writers can share one artifact.
+    """
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+
+    # -- raw document ------------------------------------------------------
+
+    def load_document(self) -> dict:
+        if not self.path.exists():
+            return {}
+        try:
+            document = json.loads(self.path.read_text())
+        except json.JSONDecodeError:
+            return {}
+        return document if isinstance(document, dict) else {}
+
+    def _write_document(self, document: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+
+    def merge_raw(self, sections: dict) -> dict:
+        """Merge top-level sections, keeping every other key intact."""
+        document = self.load_document()
+        document.update(sections)
+        self._write_document(document)
+        return document
+
+    # -- records -----------------------------------------------------------
+
+    def load_records(self) -> list[ExperimentRecord]:
+        raw = self.load_document().get("records", [])
+        return [ExperimentRecord.from_dict(entry) for entry in raw]
+
+    def merge(self, records: list[ExperimentRecord]) -> list[ExperimentRecord]:
+        """Merge records by identity key: same-key records are replaced
+        (newest wins), all others are kept.  Returns the merged list."""
+        document = self.load_document()
+        merged: dict[tuple, ExperimentRecord] = {
+            record.key(): record
+            for record in (
+                ExperimentRecord.from_dict(entry) for entry in document.get("records", [])
+            )
+        }
+        for record in records:
+            merged[record.key()] = record
+        ordered = list(merged.values())
+        document["records"] = [record.to_dict() for record in ordered]
+        self._write_document(document)
+        return ordered
+
+    # -- CSV export --------------------------------------------------------
+
+    def write_csv(self, path: str | pathlib.Path) -> int:
+        """Flatten the stored records to CSV (one row per record).
+
+        Scalar metrics become ``metric:<name>`` columns; params become
+        ``param:<name>`` columns; series are summarized by their length
+        (the JSON store remains the lossless artifact).  Returns the
+        number of rows written.
+        """
+        return write_records_csv(self.load_records(), path)
+
+
+def write_records_csv(records: list[ExperimentRecord], path: str | pathlib.Path) -> int:
+    metric_names = sorted({name for record in records for name in record.metrics})
+    param_names = sorted({name for record in records for name in record.params})
+    header = [
+        "experiment",
+        "topology",
+        "scheme",
+        "failure_model",
+        "status",
+        "runtime_seconds",
+        "series_points",
+        "note",
+        *[f"metric:{name}" for name in metric_names],
+        *[f"param:{name}" for name in param_names],
+    ]
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for record in records:
+            writer.writerow(
+                [
+                    record.experiment,
+                    record.topology,
+                    record.scheme,
+                    record.failure_model,
+                    record.status,
+                    f"{record.runtime_seconds:.6f}",
+                    len(record.series),
+                    record.note,
+                    *[record.metrics.get(name, "") for name in metric_names],
+                    *[record.params.get(name, "") for name in param_names],
+                ]
+            )
+    return len(records)
+
+
+def records_table(records: list[ExperimentRecord]) -> str:
+    """Fixed-width text table of records (CLI / examples)."""
+    from ..analysis.reporting import simple_table
+
+    rows = []
+    for record in records:
+        if record.status != "ok":
+            summary = f"skipped: {record.note}" if record.note else "skipped"
+        else:
+            shown = list(record.metrics.items())[:3]
+            summary = "  ".join(
+                f"{name}={value:.3g}" if isinstance(value, float) else f"{name}={value}"
+                for name, value in shown
+            )
+        rows.append(
+            [
+                record.experiment,
+                record.topology,
+                record.scheme,
+                record.failure_model or "-",
+                summary,
+                f"{record.runtime_seconds:.2f}s",
+            ]
+        )
+    return simple_table(
+        ["experiment", "topology", "scheme", "failures", "result", "runtime"], rows
+    )

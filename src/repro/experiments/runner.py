@@ -1,0 +1,405 @@
+"""``run_grid``: topologies × schemes × failure models × metrics.
+
+The grid runner is the repo's one surface for the paper's comparison:
+resolve topologies and schemes *by registry name*, share one seeded
+failure grid across every scheme (so competitors face identical
+scenarios, exactly like :func:`repro.traffic.congestion.
+compare_congestion` — the congestion numbers are differentially equal),
+and emit typed :class:`~repro.experiments.results.ExperimentRecord`
+rows that serialize to JSON/CSV and merge into a
+:class:`~repro.experiments.results.ResultStore`.
+
+Metrics:
+
+* ``resilience`` — does the scheme deliver on every grid scenario that
+  keeps source and destination connected (§II, per routing model);
+* ``congestion`` — the load curve over failure-set sizes
+  (max/mean/p99 link load, delivered fraction) for a traffic matrix;
+* ``stretch`` — volume-weighted hop stretch of the delivered traffic,
+  from the same load runs;
+* ``table_space`` — the §VII analytic rule count of the scheme's
+  routing model on the topology.
+
+Schemes whose applicability predicate rejects a topology produce
+``status="skipped"`` records instead of crashing the grid.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from .registry import (
+    SchemeSpec,
+    TopologySpec,
+    list_schemes,
+    resolve_topology,
+    scheme as scheme_by_name,
+)
+from .results import ExperimentRecord, ResultStore, records_table
+from .session import ExperimentSession, resolve_session
+
+METRICS = ("resilience", "congestion", "stretch", "table_space")
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """A seeded random failure grid: ``samples`` link sets per size.
+
+    ``sizes=None`` uses each topology's default ladder (0, 1, 2, 4, ...
+    up to half the links).  The grid is deterministic in ``seed`` and
+    shared across every scheme of the same ``run_grid`` call.
+    """
+
+    sizes: tuple[int, ...] | None = None
+    samples: int = 10
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        sizes = "auto" if self.sizes is None else "/".join(map(str, self.sizes))
+        return f"random(sizes={sizes},samples={self.samples},seed={self.seed})"
+
+    def grid(self, graph: nx.Graph) -> dict[int, list[frozenset]]:
+        from ..traffic.congestion import default_sizes, sample_failure_grid
+
+        sizes = list(self.sizes) if self.sizes is not None else default_sizes(graph)
+        return sample_failure_grid(graph, sizes, self.samples, self.seed)
+
+
+@dataclass
+class GridResult:
+    """Everything one ``run_grid`` call produced."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+    skipped: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def table(self) -> str:
+        return records_table(self.records)
+
+    def select(self, experiment: str) -> list[ExperimentRecord]:
+        return [record for record in self.records if record.experiment == experiment]
+
+
+def _resolve_topologies(
+    topologies: Iterable,
+) -> list[tuple[str, nx.Graph]]:
+    resolved: list[tuple[str, nx.Graph]] = []
+    for item in topologies:
+        if isinstance(item, str):
+            resolved.append((item, resolve_topology(item)))
+        elif isinstance(item, TopologySpec):
+            resolved.append((item.name, item.build()))
+        elif isinstance(item, tuple) and len(item) == 2:
+            resolved.append(item)
+        elif isinstance(item, nx.Graph):
+            resolved.append((f"graph(n={item.number_of_nodes()})", item))
+        else:
+            raise TypeError(f"not a topology name, spec, (name, graph) pair or graph: {item!r}")
+    return resolved
+
+
+def _resolve_schemes(schemes: Iterable | None) -> list[SchemeSpec]:
+    if schemes is None:
+        return list_schemes()
+    resolved: list[SchemeSpec] = []
+    for item in schemes:
+        if isinstance(item, str):
+            resolved.append(scheme_by_name(item))
+        elif isinstance(item, SchemeSpec):
+            resolved.append(item)
+        else:
+            raise TypeError(f"not a scheme name or SchemeSpec: {item!r}")
+    return resolved
+
+
+
+
+def run_grid(
+    topologies: Iterable,
+    schemes: Iterable | None = None,
+    failure_models: Sequence[FailureModel] | None = None,
+    metrics: Sequence[str] = METRICS,
+    matrix: str = "permutation",
+    matrix_seed: int = 0,
+    session: ExperimentSession | None = None,
+    store: ResultStore | None = None,
+) -> GridResult:
+    """Evaluate every (topology × scheme × failure model) cell.
+
+    ``topologies`` and ``schemes`` are registry names (topologies also
+    accept ``"name(args)"`` size notation, prebuilt graphs, or specs);
+    ``schemes=None`` runs every registered scheme, skipping those whose
+    applicability predicate rejects a topology.  Pass ``store`` to merge
+    the records into a persistent :class:`ResultStore` on the way out.
+    """
+    unknown = set(metrics) - set(METRICS)
+    if unknown:
+        raise ValueError(f"unknown metrics {sorted(unknown)}; known: {METRICS}")
+    session = resolve_session(session)
+    failure_models = list(failure_models) if failure_models is not None else [FailureModel()]
+    resolved_schemes = _resolve_schemes(schemes)
+    result = GridResult()
+    needs_matrix = "congestion" in metrics or "stretch" in metrics
+    for topology_name, graph in _resolve_topologies(topologies):
+        # one seeded grid per (topology, failure model) and one demand
+        # matrix per topology, shared by every scheme — identical
+        # scenarios across competitors, no per-cell rebuilds
+        grids = {model: model.grid(graph) for model in failure_models}
+        demands = None
+        matrix_name = ""
+        if needs_matrix:
+            from ..traffic.matrices import build_named_matrix
+
+            demands, matrix_name = build_named_matrix(graph, matrix, seed=matrix_seed)
+        for spec in resolved_schemes:
+            if not spec.applicable(graph):
+                reason = f"requires {spec.requires}"
+                result.skipped.append((topology_name, spec.name, reason))
+                for model in failure_models:
+                    result.records.append(
+                        ExperimentRecord(
+                            experiment="applicability",
+                            topology=topology_name,
+                            scheme=spec.name,
+                            failure_model=model.label,
+                            status="skipped",
+                            note=reason,
+                        )
+                    )
+                continue
+            algorithm = spec.instantiate()
+            for index, model in enumerate(failure_models):
+                result.records.extend(
+                    _run_cell(
+                        session,
+                        topology_name,
+                        graph,
+                        spec,
+                        algorithm,
+                        model,
+                        grids[model],
+                        metrics,
+                        demands,
+                        matrix_name,
+                        include_static=index == 0,
+                    )
+                )
+    if store is not None:
+        store.merge(result.records)
+    return result
+
+
+def _run_cell(
+    session: ExperimentSession,
+    topology_name: str,
+    graph: nx.Graph,
+    spec: SchemeSpec,
+    algorithm,
+    model: FailureModel,
+    grid: dict,
+    metrics: Sequence[str],
+    demands,
+    matrix_name: str,
+    include_static: bool = True,
+) -> list[ExperimentRecord]:
+    records: list[ExperimentRecord] = []
+    base = dict(topology=topology_name, scheme=spec.name, failure_model=model.label)
+
+    if "resilience" in metrics:
+        start = time.perf_counter()
+        verdict = _check_resilience(session, graph, algorithm, grid)
+        records.append(
+            ExperimentRecord(
+                experiment="resilience",
+                metrics={
+                    "resilient": bool(verdict.resilient),
+                    "scenarios_checked": verdict.scenarios_checked,
+                    "exhaustive": bool(verdict.exhaustive),
+                },
+                params={"model": spec.arity},
+                runtime_seconds=time.perf_counter() - start,
+                note=str(verdict.counterexample) if verdict.counterexample else "",
+                **base,
+            )
+        )
+
+    needs_curve = "congestion" in metrics or "stretch" in metrics
+    if needs_curve:
+        start = time.perf_counter()
+        curve, error = _congestion_curve(
+            session, graph, algorithm, grid, model, topology_name, demands, matrix_name
+        )
+        elapsed = time.perf_counter() - start
+        if curve is None:
+            for experiment in ("congestion", "stretch"):
+                if experiment in metrics:
+                    records.append(
+                        ExperimentRecord(
+                            experiment=experiment,
+                            status="skipped",
+                            note=error or "pattern construction failed",
+                            # same merge identity as the ok record would
+                            # have: a later ok run replaces this skip
+                            params={"matrix": matrix_name},
+                            runtime_seconds=elapsed,
+                            **base,
+                        )
+                    )
+        else:
+            series = [
+                {
+                    "failures": point.failures,
+                    "scenarios": point.scenarios,
+                    "mean_max_load": point.mean_max_load,
+                    "worst_max_load": point.worst_max_load,
+                    "mean_p99_load": point.mean_p99_load,
+                    "delivered_fraction": point.delivered_fraction,
+                    "mean_stretch": point.mean_stretch,
+                }
+                for point in curve.points
+            ]
+            last = curve.points[-1]
+            if "congestion" in metrics:
+                records.append(
+                    ExperimentRecord(
+                        experiment="congestion",
+                        metrics={
+                            "worst_max_load": max(p.worst_max_load for p in curve.points),
+                            "mean_max_load_at_max_failures": last.mean_max_load,
+                            "delivered_fraction_at_max_failures": last.delivered_fraction,
+                        },
+                        series=series,
+                        params={"matrix": curve.matrix, "samples": model.samples},
+                        runtime_seconds=elapsed,
+                        **base,
+                    )
+                )
+            if "stretch" in metrics:
+                records.append(
+                    ExperimentRecord(
+                        experiment="stretch",
+                        metrics={
+                            "mean_stretch_at_max_failures": last.mean_stretch,
+                            "max_mean_stretch": max(p.mean_stretch for p in curve.points),
+                        },
+                        series=[
+                            {"failures": p["failures"], "mean_stretch": p["mean_stretch"]}
+                            for p in series
+                        ],
+                        params={"matrix": curve.matrix},
+                        # the curve is computed once; attribute its cost to
+                        # the congestion record when both metrics ride it,
+                        # so summed runtimes do not double-count
+                        runtime_seconds=0.0 if "congestion" in metrics else elapsed,
+                        **base,
+                    )
+                )
+
+    if "table_space" in metrics and include_static:
+        # failure-model independent: emitted once per (topology, scheme)
+        from ..analysis.table_space import table_space
+        from ..core.model import RoutingModel
+
+        start = time.perf_counter()
+        space = table_space(graph, name=topology_name)
+        rules = {
+            RoutingModel.SOURCE_DESTINATION: space.source_destination_rules,
+            RoutingModel.DESTINATION: space.destination_rules,
+            RoutingModel.PORT: space.touring_rules,
+        }[spec.model]
+        records.append(
+            ExperimentRecord(
+                experiment="table_space",
+                metrics={
+                    "rules": rules,
+                    "touring_rules": space.touring_rules,
+                    # blow-up factor: how many times MORE rules than touring
+                    "rules_vs_touring": rules / space.touring_rules if space.touring_rules else 0.0,
+                },
+                params={"model": spec.arity, "analytic": True},
+                runtime_seconds=time.perf_counter() - start,
+                **dict(base, failure_model=""),  # not a failure-model metric
+            )
+        )
+    return records
+
+
+def _check_resilience(session: ExperimentSession, graph: nx.Graph, algorithm, grid):
+    """Grid-scenario resilience for one scheme, per routing model."""
+    from ..core.model import (
+        DestinationAlgorithm,
+        SourceDestinationAlgorithm,
+        TouringAlgorithm,
+    )
+    from ..core.resilience import (
+        check_perfect_resilience_destination,
+        check_perfect_resilience_source_destination,
+        check_perfect_touring,
+    )
+
+    failure_sets = [failures for size in sorted(grid) for failures in grid[size]]
+    if isinstance(algorithm, TouringAlgorithm):
+        return check_perfect_touring(graph, algorithm, failure_sets=failure_sets, session=session)
+    if isinstance(algorithm, SourceDestinationAlgorithm):
+        return check_perfect_resilience_source_destination(
+            graph, algorithm, failure_sets=failure_sets, session=session
+        )
+    if isinstance(algorithm, DestinationAlgorithm):
+        return check_perfect_resilience_destination(
+            graph, algorithm, failure_sets=failure_sets, session=session
+        )
+    raise TypeError(f"not a routing algorithm: {algorithm!r}")
+
+
+def _congestion_curve(
+    session: ExperimentSession,
+    graph: nx.Graph,
+    algorithm,
+    grid,
+    model: FailureModel,
+    topology_name: str,
+    demands,
+    matrix_name: str,
+):
+    """The scheme's congestion curve on the shared grid, or a skip reason.
+
+    On the engine backend this mirrors :func:`repro.traffic.congestion.
+    compare_congestion` exactly — same pre-flight, same per-scenario
+    loads — so grid records are differentially equal to the comparison
+    harness.  On a ``backend="naive"`` session the loads come from
+    :func:`repro.traffic.load.per_packet_loads` (one simulated walk per
+    demand): the reference surface differential tests compare against.
+    """
+    from ..traffic.congestion import CongestionCurve, _aggregate, preflight_congestion_curve
+    from ..traffic.load import per_packet_loads
+
+    if not session.use_engine:
+        try:
+            per_packet_loads(graph, algorithm, demands)  # pre-flight
+        except Exception as error:  # noqa: BLE001 - precondition failures vary by algorithm
+            return None, str(error) or type(error).__name__
+        curve = CongestionCurve(
+            algorithm=algorithm.name,
+            graph=topology_name,
+            matrix=matrix_name,
+            samples_per_size=model.samples,
+        )
+        for size in sorted(grid):
+            reports = [per_packet_loads(graph, algorithm, demands, f) for f in grid[size]]
+            if reports:
+                curve.points.append(_aggregate(size, reports))
+        return curve, None
+
+    return preflight_congestion_curve(
+        session.traffic_engine(graph, algorithm),
+        algorithm,
+        demands,
+        grid,
+        samples=model.samples,
+        graph_name=topology_name,
+        matrix_name=matrix_name,
+    )

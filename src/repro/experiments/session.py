@@ -1,0 +1,176 @@
+"""The :class:`ExperimentSession`: one owner for all engine state.
+
+Before this module, every entry point threaded engine state by hand:
+checkers took ``use_engine=`` flags and built a throwaway
+:class:`~repro.core.engine.sweep.EngineState` per call, the congestion
+harness built its own, ``measure_stretch`` another, broadcast cached one
+privately.  A session centralizes that: it owns a bounded cache of
+per-graph engine states (index maps, component caches, memoized decision
+tables) plus per-(graph, scheme) traffic engines, and it decides the
+*backend* — ``"engine"`` (the fast indexed path) or ``"naive"`` (the
+hop-by-hop reference simulator, kept for differential testing).
+
+Consumers accept ``session=``; the legacy ``use_engine=`` keyword is
+still accepted everywhere it existed, but it now merely resolves to a
+session (with a :class:`DeprecationWarning`) via
+:func:`resolve_session`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import OrderedDict
+
+import networkx as nx
+
+from ..core.engine.sweep import EngineState
+
+#: cached engine states / traffic engines per session (FIFO eviction)
+STATE_CACHE_LIMIT = 16
+
+_BACKENDS = ("engine", "naive")
+
+
+def _fingerprint(graph: nx.Graph) -> tuple:
+    """Node/edge identity of a graph — catches in-place mutation.
+
+    The O(n + m) hash is negligible next to any sweep it guards, and it
+    means a session never serves stale index maps for a graph that was
+    rewired between calls (same discipline as ``TouringBroadcast``).
+    """
+    return (
+        frozenset(graph.nodes),
+        frozenset(frozenset(link) for link in graph.edges),
+    )
+
+
+class ExperimentSession:
+    """Owns engine state for a series of experiments.
+
+    ``backend="engine"`` routes every consumer through the fast indexed
+    engine with caches shared across calls; ``backend="naive"`` selects
+    the reference hop-by-hop paths (identical verdicts, no caching) —
+    the surface the differential tests compare against.  ``processes``
+    is the default fan-out for grid sweeps that support it.
+    """
+
+    def __init__(self, backend: str = "engine", processes: int = 1):
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self.processes = processes
+        self._states: OrderedDict[int, tuple[tuple, EngineState]] = OrderedDict()
+        self._traffic: OrderedDict[tuple, object] = OrderedDict()
+
+    @property
+    def use_engine(self) -> bool:
+        """Does this session run on the fast engine backend?"""
+        return self.backend == "engine"
+
+    # -- state ownership ---------------------------------------------------
+
+    def state(self, graph: nx.Graph) -> EngineState:
+        """The session's engine state for ``graph`` (built once, cached).
+
+        Keyed by graph object identity *and* its node/edge fingerprint;
+        a mutated graph is re-indexed, and a bounded FIFO keeps sessions
+        that sweep many graphs from pinning every index ever built.
+        """
+        key = id(graph)
+        fingerprint = _fingerprint(graph)
+        cached = self._states.get(key)
+        if cached is not None and cached[0] == fingerprint and cached[1].graph is graph:
+            return cached[1]
+        state = EngineState(graph)
+        while len(self._states) >= STATE_CACHE_LIMIT:
+            self._states.popitem(last=False)
+        self._states[key] = (fingerprint, state)
+        return state
+
+    def traffic_engine(self, graph: nx.Graph, algorithm) -> object:
+        """A :class:`~repro.traffic.load.TrafficEngine` on session state.
+
+        Cached per (graph, algorithm instance): repeated sweeps over the
+        same pair reuse built patterns and decision tables.
+        """
+        from ..traffic.load import TrafficEngine
+
+        # self.state() re-indexes a mutated graph; comparing the cached
+        # engine's state to the current one inherits that staleness check
+        state = self.state(graph)
+        key = (id(graph), id(algorithm))
+        cached = self._traffic.get(key)
+        if cached is not None and cached.state is state and cached.algorithm is algorithm:
+            return cached
+        engine = TrafficEngine(state, algorithm)
+        while len(self._traffic) >= STATE_CACHE_LIMIT:
+            self._traffic.popitem(last=False)
+        self._traffic[key] = engine
+        return engine
+
+    def clear(self) -> None:
+        """Drop every cached state and traffic engine."""
+        self._states.clear()
+        self._traffic.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExperimentSession(backend={self.backend!r}, processes={self.processes}, "
+            f"states={len(self._states)})"
+        )
+
+
+_DEFAULT_SESSION: ExperimentSession | None = None
+_NAIVE_SESSION: ExperimentSession | None = None
+
+
+def default_session() -> ExperimentSession:
+    """The process-wide engine-backend session.
+
+    Entry points called without an explicit session share this one, so
+    back-to-back checks on the same graph reuse its index maps and
+    component caches instead of rebuilding them per call.  The cost of
+    that reuse is retention: up to :data:`STATE_CACHE_LIMIT` graphs'
+    engine states (and their mask-partition caches) stay alive for the
+    process lifetime.  Long-lived processes sweeping many large graphs
+    should use a scoped ``ExperimentSession()`` instead — or call
+    ``default_session().clear()`` to release everything at once.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = ExperimentSession(backend="engine")
+    return _DEFAULT_SESSION
+
+
+def naive_session() -> ExperimentSession:
+    """The shared naive-backend session (reference paths, no caching)."""
+    global _NAIVE_SESSION
+    if _NAIVE_SESSION is None:
+        _NAIVE_SESSION = ExperimentSession(backend="naive")
+    return _NAIVE_SESSION
+
+
+def resolve_session(
+    session: ExperimentSession | None = None,
+    use_engine: bool | None = None,
+    caller: str = "this function",
+) -> ExperimentSession:
+    """Back-compat shim: turn the legacy ``use_engine=`` flag into a session.
+
+    * both ``None`` — the shared engine-backend :func:`default_session`;
+    * ``session`` given — used as-is (``use_engine`` must then be absent);
+    * ``use_engine`` given — emits a :class:`DeprecationWarning` and
+      resolves to the shared session of the matching backend, so old
+      call sites keep their exact semantics.
+    """
+    if use_engine is None:
+        return session if session is not None else default_session()
+    warnings.warn(
+        f"{caller}: the use_engine= keyword is deprecated; pass "
+        f'session=ExperimentSession(backend="engine"/"naive") instead',
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if session is not None:
+        raise ValueError("pass either session= or the deprecated use_engine=, not both")
+    return default_session() if use_engine else naive_session()

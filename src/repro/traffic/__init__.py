@@ -32,6 +32,7 @@ from .congestion import (
     default_competitors,
     default_sizes,
     greedy_congestion_attack,
+    preflight_congestion_curve,
     sample_failure_grid,
 )
 from .load import LoadReport, TrafficEngine, per_packet_loads, route_matrix
@@ -69,6 +70,7 @@ __all__ = [
     "hotspot",
     "per_packet_loads",
     "permutation",
+    "preflight_congestion_curve",
     "route_matrix",
     "sample_failure_grid",
     "total_volume",

@@ -125,16 +125,18 @@ def congestion_vs_failures(
     matrix_name: str = "",
     failure_grid: dict[int, list[FailureSet]] | None = None,
     engine: TrafficEngine | None = None,
+    session=None,
 ) -> CongestionCurve:
     """Load statistics per failure-set size for one algorithm.
 
     One :class:`TrafficEngine` serves the whole sweep, so patterns and
-    decision tables are built once (pass a prebuilt ``engine`` to reuse
-    them across calls).  Pass ``failure_grid`` to pin the exact
-    scenarios (the comparison harness does).
+    decision tables are built once (pass a prebuilt ``engine``, or a
+    ``session`` that owns the engine state, to reuse them across
+    calls).  Pass ``failure_grid`` to pin the exact scenarios (the
+    comparison harness does).
     """
     if engine is None:
-        engine = TrafficEngine(graph, algorithm)
+        engine = TrafficEngine(graph, algorithm, session=session)
     if failure_grid is None:
         if sizes is None:
             sizes = default_sizes(engine.graph)
@@ -203,6 +205,7 @@ def greedy_congestion_attack(
     demands: TrafficMatrix,
     max_failures: int,
     keep_connected: bool = True,
+    session=None,
 ) -> CongestionAttack:
     """Greedily fail the link that maximizes the resulting max link load.
 
@@ -214,11 +217,15 @@ def greedy_congestion_attack(
     ``keep_connected`` restricts the adversary to failures that keep the
     surviving graph connected — the promise of the congestion papers.
     """
-    engine = TrafficEngine(graph, algorithm)
+    engine = TrafficEngine(graph, algorithm, session=session)
     links = sorted((edge(u, v) for u, v in engine.graph.edges), key=edge_sort_key)
     baseline = engine.load(demands).max_load
     chosen: set = set()
+    # the greedy trajectory is not monotone (a failure can *lower* max
+    # load by disconnecting heavy flows), so remember the best prefix
+    # seen across rounds rather than trusting the final set
     best_load = baseline
+    best_prefix: frozenset = frozenset()
     for _ in range(max_failures):
         round_best = None
         for link in links:
@@ -232,9 +239,12 @@ def greedy_congestion_attack(
                 round_best = (load, link)
         if round_best is None:
             break  # every remaining link would disconnect the graph
-        best_load, link = round_best[0], round_best[1]
-        chosen.add(link)
+        chosen.add(round_best[1])
+        if round_best[0] >= best_load:
+            best_load = round_best[0]
+            best_prefix = frozenset(chosen)
     # pruning pass: drop failures that are not pulling their weight
+    chosen = set(best_prefix)
     for link in sorted(chosen, key=edge_sort_key):
         candidate = frozenset(chosen - {link})
         if engine.load(demands, candidate).max_load >= best_load:
@@ -263,22 +273,51 @@ class ComparisonResult:
 
 
 def default_competitors() -> list[RoutingAlgorithm]:
-    """The repo's standard line-up for congestion comparisons."""
-    from ..core.algorithms import (
-        ArborescenceRouting,
-        Distance2Algorithm,
-        Distance3BipartiteAlgorithm,
-        GreedyLowestNeighbor,
-        TourToDestination,
-    )
+    """The repo's standard line-up for congestion comparisons.
 
-    return [
-        ArborescenceRouting(),
-        Distance2Algorithm(),
-        Distance3BipartiteAlgorithm(),
-        TourToDestination(),
-        GreedyLowestNeighbor(),
-    ]
+    Resolved from the scheme registry (the ``congestion-default`` tag,
+    in registration order) — there is no private scheme list here;
+    registering a new tagged scheme adds it to every comparison.
+    """
+    from ..experiments.registry import list_schemes
+
+    return [spec.instantiate() for spec in list_schemes(tag="congestion-default")]
+
+
+def preflight_congestion_curve(
+    engine: TrafficEngine,
+    algorithm: RoutingAlgorithm,
+    demands: TrafficMatrix,
+    failure_grid: dict[int, list[FailureSet]],
+    samples: int = 20,
+    graph_name: str = "",
+    matrix_name: str = "",
+) -> tuple[CongestionCurve | None, str | None]:
+    """Pre-flight the patterns, then sweep the pinned grid.
+
+    The one implementation of "try to build every pattern once, skip
+    the scheme with a reason on failure, otherwise sweep the shared
+    grid" — used by :func:`compare_congestion`, the experiments grid
+    runner, and the CLI so their skip semantics and load numbers cannot
+    drift apart.  Returns ``(curve, None)`` or ``(None, skip reason)``.
+    """
+    try:
+        # pre-flight: building the failure-free report exercises every
+        # pattern constructor the sweep will need
+        engine.load(demands)
+    except Exception as error:  # noqa: BLE001 - precondition failures vary by algorithm
+        return None, str(error) or type(error).__name__
+    curve = congestion_vs_failures(
+        engine.state,
+        algorithm,
+        demands,
+        samples=samples,
+        graph_name=graph_name,
+        matrix_name=matrix_name,
+        failure_grid=failure_grid,
+        engine=engine,  # patterns built by the pre-flight are reused
+    )
+    return curve, None
 
 
 def compare_congestion(
@@ -290,43 +329,44 @@ def compare_congestion(
     seed: int = 0,
     graph_name: str = "",
     matrix_name: str = "",
+    session=None,
 ) -> ComparisonResult:
     """Congestion curves for several algorithms on one shared scenario grid.
 
     Algorithms whose preconditions the topology violates (bipartite-only
     distance-3, outerplanar-only touring, ...) are skipped and reported
     rather than crashing the sweep; every surviving competitor sees the
-    exact same failure sets.
+    exact same failure sets.  The default ``algorithms`` line-up comes
+    from the scheme registry; engine state comes from ``session``
+    (default: the shared session).  The loads always come from the
+    batched router (differentially equal to per-packet simulation); for
+    the per-packet reference surface itself, run the grid through
+    :func:`repro.experiments.run_grid` with a ``backend="naive"``
+    session.
     """
+    from ..experiments.session import resolve_session
+
     if algorithms is None:
         algorithms = default_competitors()
     if sizes is None:
         sizes = default_sizes(graph)
     grid = sample_failure_grid(graph, sizes, samples, seed)
-    state = EngineState(graph)
+    state = resolve_session(session).state(graph)
     result = ComparisonResult(curves=[])
     for algorithm in algorithms:
-        engine = TrafficEngine(state, algorithm)
-        try:
-            # pre-flight: building the failure-free report exercises every
-            # pattern constructor the sweep will need
-            engine.load(demands)
-        except Exception as error:  # noqa: BLE001 - precondition failures vary by algorithm
-            result.skipped.append((algorithm.name, str(error) or type(error).__name__))
-            continue
-        result.curves.append(
-            congestion_vs_failures(
-                state,
-                algorithm,
-                demands,
-                samples=samples,
-                seed=seed,
-                graph_name=graph_name,
-                matrix_name=matrix_name,
-                failure_grid=grid,
-                engine=engine,  # patterns built by the pre-flight are reused
-            )
+        curve, reason = preflight_congestion_curve(
+            TrafficEngine(state, algorithm),
+            algorithm,
+            demands,
+            grid,
+            samples=samples,
+            graph_name=graph_name,
+            matrix_name=matrix_name,
         )
+        if curve is None:
+            result.skipped.append((algorithm.name, reason))
+        else:
+            result.curves.append(curve)
     return result
 
 

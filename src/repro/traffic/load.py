@@ -301,8 +301,15 @@ class TrafficEngine:
     semantics, exactly like the resilience checkers).
     """
 
-    def __init__(self, graph: nx.Graph | EngineState, algorithm: RoutingAlgorithm):
-        self.state = graph if isinstance(graph, EngineState) else EngineState(graph)
+    def __init__(
+        self, graph: nx.Graph | EngineState, algorithm: RoutingAlgorithm, session=None
+    ):
+        if isinstance(graph, EngineState):
+            self.state = graph
+        elif session is not None:  # session-owned (and cached) engine state
+            self.state = session.state(graph)
+        else:
+            self.state = EngineState(graph)
         self.graph = self.state.graph
         self.algorithm = algorithm
         network = self.state.network

@@ -149,6 +149,30 @@ MATRICES = {
 }
 
 
+def build_named_matrix(
+    graph: nx.Graph,
+    name: str,
+    seed: int = 0,
+    destination: Node | None = None,
+) -> tuple[TrafficMatrix, str]:
+    """Build a matrix by generator name; returns ``(matrix, label)``.
+
+    The single dispatch shared by the CLI and the grid runner, so the
+    same workload name means the same matrix on every surface.  The
+    default ``all-to-one`` sink is the last node in the engine's
+    canonical :func:`~repro.graphs.edges.sorted_nodes` order.
+    """
+    if name == "all-to-one":
+        sink = destination if destination is not None else sorted_nodes(graph.nodes)[-1]
+        return all_to_one(graph, sink), f"all-to-one({sink})"
+    if name == "all-to-all":
+        return all_to_all(graph), "all-to-all"
+    generator = MATRICES.get(name)
+    if generator is None:
+        raise ValueError(f"unknown matrix {name!r}; known: {', '.join(sorted(MATRICES))}")
+    return generator(graph, seed=seed), name
+
+
 def total_volume(matrix: TrafficMatrix) -> int:
     """Total demand volume of a matrix."""
     return sum(demand.volume for demand in matrix)

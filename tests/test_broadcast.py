@@ -5,6 +5,7 @@ import pytest
 from repro.core.applications import TouringBroadcast
 from repro.core.algorithms import HamiltonianTouring, RightHandTouring
 from repro.core.resilience import all_failure_sets
+from repro.experiments import default_session as engine_session, naive_session
 from repro.graphs import construct
 from repro.graphs.connectivity import component_of
 from repro.graphs.edges import failure_set
@@ -87,30 +88,30 @@ class TestEngineNaiveParity:
         broadcast = TouringBroadcast(RightHandTouring())
         for failures in all_failure_sets(graph, max_failures=2):
             for source in graph.nodes:
-                fast = broadcast.run(graph, source, failures, use_engine=True)
-                slow = broadcast.run(graph, source, failures, use_engine=False)
+                fast = broadcast.run(graph, source, failures, session=engine_session())
+                slow = broadcast.run(graph, source, failures, session=naive_session())
                 assert fast == slow, (source, sorted(failures))
 
     def test_hamiltonian_parity_on_k5(self):
         graph = construct.complete_graph(5)
         broadcast = TouringBroadcast(HamiltonianTouring())
         for failures in all_failure_sets(graph, max_failures=2):
-            fast = broadcast.run(graph, 0, failures, use_engine=True)
-            slow = broadcast.run(graph, 0, failures, use_engine=False)
+            fast = broadcast.run(graph, 0, failures, session=engine_session())
+            slow = broadcast.run(graph, 0, failures, session=naive_session())
             assert fast == slow, sorted(failures)
 
     def test_exotic_failure_entries_fall_back(self):
         graph = construct.cycle_graph(5)
         broadcast = TouringBroadcast(RightHandTouring())
         failures = frozenset({("v1", "nowhere")})
-        fast = broadcast.run(graph, 0, failures, use_engine=True)
-        slow = broadcast.run(graph, 0, failures, use_engine=False)
+        fast = broadcast.run(graph, 0, failures, session=engine_session())
+        slow = broadcast.run(graph, 0, failures, session=naive_session())
         assert fast == slow
 
     def test_verify_matches_across_paths(self):
         graph = construct.fan_graph(7)
         broadcast = TouringBroadcast(RightHandTouring())
         for failures in all_failure_sets(graph, max_failures=1):
-            assert broadcast.verify(graph, 1, failures, use_engine=True) == broadcast.verify(
-                graph, 1, failures, use_engine=False
+            assert broadcast.verify(graph, 1, failures, session=engine_session()) == broadcast.verify(
+                graph, 1, failures, session=naive_session()
             )

@@ -31,6 +31,7 @@ from repro.core.resilience import (
     check_r_tolerance,
 )
 from repro.core.simulator import Network, route, tour
+from repro.experiments import default_session as engine_session, naive_session
 from repro.graphs.construct import complete_bipartite, complete_graph, fig6_netrail
 from repro.graphs.edges import edge, edge_sort_key
 
@@ -140,7 +141,7 @@ class TestCheckerEquivalenceRandomGraphs:
         graph = random_graph(3_000 + index)
         algorithm = GreedyLowestNeighbor()
         fast = check_perfect_resilience_destination(graph, algorithm)
-        slow = check_perfect_resilience_destination(graph, algorithm, use_engine=False)
+        slow = check_perfect_resilience_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
@@ -148,7 +149,7 @@ class TestCheckerEquivalenceRandomGraphs:
         graph = random_graph(4_000 + index)
         algorithm = RandomCyclicPermutations(seed=index)
         fast = check_perfect_resilience_source_destination(graph, algorithm)
-        slow = check_perfect_resilience_source_destination(graph, algorithm, use_engine=False)
+        slow = check_perfect_resilience_source_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
@@ -156,7 +157,7 @@ class TestCheckerEquivalenceRandomGraphs:
         graph = random_graph(5_000 + index)
         algorithm = RandomPortCycles(seed=index)
         fast = check_perfect_touring(graph, algorithm)
-        slow = check_perfect_touring(graph, algorithm, use_engine=False)
+        slow = check_perfect_touring(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 10))
@@ -165,7 +166,7 @@ class TestCheckerEquivalenceRandomGraphs:
         nodes = sorted(graph.nodes)
         algorithm = RandomCyclicPermutations(seed=index)
         fast = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2)
-        slow = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2, use_engine=False)
+        slow = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
 
@@ -181,7 +182,7 @@ class TestPaperGadgets:
         algorithm = GreedyLowestNeighbor()
         fast = check_perfect_resilience_destination(graph, algorithm, failure_sets=failure_sets)
         slow = check_perfect_resilience_destination(
-            graph, algorithm, failure_sets=failure_sets, use_engine=False
+            graph, algorithm, failure_sets=failure_sets, session=naive_session()
         )
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
@@ -202,7 +203,7 @@ class TestPaperGadgets:
         graph = fig6_netrail()
         algorithm = RandomCyclicDestinationOnly(seed=7)
         fast = check_perfect_resilience_destination(graph, algorithm)
-        slow = check_perfect_resilience_destination(graph, algorithm, use_engine=False)
+        slow = check_perfect_resilience_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     def test_parallel_fanout_matches_serial(self):
@@ -225,7 +226,7 @@ class TestSampledLargeGraphs:
         algorithm = GreedyLowestNeighbor()
         fast = check_perfect_resilience_destination(graph, algorithm, destinations=destinations)
         slow = check_perfect_resilience_destination(
-            graph, algorithm, destinations=destinations, use_engine=False
+            graph, algorithm, destinations=destinations, session=naive_session()
         )
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
@@ -235,7 +236,7 @@ class TestSampledLargeGraphs:
         algorithm = RandomPortCycles(seed=5)
         starts = sorted(graph.nodes)[:3]
         fast = check_perfect_touring(graph, algorithm, starts=starts)
-        slow = check_perfect_touring(graph, algorithm, starts=starts, use_engine=False)
+        slow = check_perfect_touring(graph, algorithm, starts=starts, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
 
@@ -245,7 +246,7 @@ class TestPatternLevel:
         destination = sorted(graph.nodes)[0]
         pattern = GreedyLowestNeighbor().build(graph, destination)
         fast = check_pattern_resilience(graph, pattern, destination)
-        slow = check_pattern_resilience(graph, pattern, destination, use_engine=False)
+        slow = check_pattern_resilience(graph, pattern, destination, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     def test_mixed_label_graph_matches_naive_ordering(self):
@@ -256,7 +257,7 @@ class TestPatternLevel:
         graph.add_edges_from([(1, 2), (2, 10), (10, 1), (1, "x"), ("x", 2)])
         algorithm = GreedyLowestNeighbor()
         fast = check_perfect_resilience_destination(graph, algorithm)
-        slow = check_perfect_resilience_destination(graph, algorithm, use_engine=False)
+        slow = check_perfect_resilience_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
         destination = 1
         pattern = RandomCyclicDestinationOnly(seed=3).build(graph, destination)
@@ -275,7 +276,7 @@ class TestPatternLevel:
         weird = [frozenset({(0, 99)}), frozenset({(1, 2), ("x", "y")})]
         fast = check_pattern_resilience(graph, pattern, destination, failure_sets=weird)
         slow = check_pattern_resilience(
-            graph, pattern, destination, failure_sets=weird, use_engine=False
+            graph, pattern, destination, failure_sets=weird, session=naive_session()
         )
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
@@ -289,7 +290,7 @@ class TestPatternLevel:
         reversed_links = [frozenset({(1, 0)}), frozenset({(2, 1), (3, 0)})]
         fast = check_pattern_resilience(graph, pattern, destination, failure_sets=reversed_links)
         slow = check_pattern_resilience(
-            graph, pattern, destination, failure_sets=reversed_links, use_engine=False
+            graph, pattern, destination, failure_sets=reversed_links, session=naive_session()
         )
         assert verdict_tuple(fast) == verdict_tuple(slow)
         # and at the route level (the reviewer's reproduction)

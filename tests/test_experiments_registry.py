@@ -1,0 +1,186 @@
+"""The scheme/topology registries: names, predicates, applicability."""
+
+import networkx as nx
+import pytest
+
+from repro.core.model import (
+    DestinationAlgorithm,
+    SourceDestinationAlgorithm,
+    TouringAlgorithm,
+)
+from repro.experiments import (
+    SchemeNotApplicable,
+    UnknownSchemeError,
+    UnknownTopologyError,
+    list_schemes,
+    list_topologies,
+    resolve_topology,
+    scheme,
+    topology,
+)
+from repro.graphs.edges import sorted_nodes
+
+#: scheme -> a registered topology spec (string notation) where the
+#: applicability predicate holds
+APPLICABLE_ON = {
+    "arborescence": "ring",
+    "distance2": "ring",
+    "distance3": "grid",
+    "tour": "ring",
+    "greedy": "ring",
+    "right-hand": "fan",
+    "hamiltonian": "k5",
+    "two-stage-tour": "path(2)",
+    "k5-source": "k5",
+    "k33-source": "k33",
+    "k5-minus2": "k-minus(5, 2)",
+    "k33-minus2": "k-bipartite-minus(3, 3, 2)",
+    "random-sd": "ring",
+    "random-dest": "ring",
+    "random-port": "ring",
+}
+
+#: scheme -> a registered topology where the predicate must refuse.
+#: "two-rings" (disconnected) works for every scheme; schemes with a
+#: sharper precondition also get a connected refusal case.
+NOT_APPLICABLE_ON = {
+    "arborescence": "two-rings",
+    "distance2": "two-rings",
+    "distance3": "k5",  # odd cycle: not bipartite
+    "tour": "petersen",  # G - t never outerplanar
+    "greedy": "two-rings",
+    "right-hand": "wheel",  # K4 minor: planar but not outerplanar
+    "hamiltonian": "grid",  # no Hamiltonian decomposition
+    "two-stage-tour": "ring",  # no degree-1 destination
+    "k5-source": "k7",  # more than five nodes
+    "k33-source": "k44",  # not embeddable in K3,3
+    "k5-minus2": "k7",
+    "k33-minus2": "petersen",
+    "random-sd": "two-rings",
+    "random-dest": "two-rings",
+    "random-port": "two-rings",
+}
+
+
+def _build_one_unit(algorithm, graph):
+    """Build one pattern per the scheme's arity (the grid's first unit)."""
+    nodes = sorted_nodes(graph.nodes)
+    if isinstance(algorithm, TouringAlgorithm):
+        return algorithm.build(graph)
+    if isinstance(algorithm, SourceDestinationAlgorithm):
+        return algorithm.build(graph, nodes[0], nodes[-1])
+    assert isinstance(algorithm, DestinationAlgorithm)
+    return algorithm.build(graph, nodes[0])
+
+
+class TestSchemeRegistry:
+    def test_every_scheme_has_cases(self):
+        names = {spec.name for spec in list_schemes()}
+        assert names == set(APPLICABLE_ON) == set(NOT_APPLICABLE_ON)
+
+    def test_lookup_round_trip(self):
+        for spec in list_schemes():
+            assert scheme(spec.name) is spec
+            assert spec.arity in (
+                "per-source-destination",
+                "per-destination",
+                "per-graph",
+            )
+            assert spec.theorem and spec.requires and spec.resilience
+
+    def test_unknown_scheme(self):
+        with pytest.raises(UnknownSchemeError):
+            scheme("no-such-scheme")
+
+    @pytest.mark.parametrize("name", sorted(APPLICABLE_ON))
+    def test_buildable_where_applicable(self, name):
+        graph = resolve_topology(APPLICABLE_ON[name])
+        spec = scheme(name)
+        assert spec.applicable(graph)
+        algorithm = spec.build_for(graph)  # predicate-checked
+        pattern = _build_one_unit(algorithm, graph)
+        assert pattern is not None
+
+    @pytest.mark.parametrize("name", sorted(NOT_APPLICABLE_ON))
+    def test_refused_where_not_applicable(self, name):
+        graph = resolve_topology(NOT_APPLICABLE_ON[name])
+        spec = scheme(name)
+        assert not spec.applicable(graph)
+        with pytest.raises(SchemeNotApplicable) as excinfo:
+            spec.build_for(graph)
+        # the refusal is explanatory, not a bare crash
+        assert spec.name in str(excinfo.value)
+        assert spec.requires in str(excinfo.value)
+
+    def test_congestion_default_lineup_matches_harness(self):
+        from repro.traffic.congestion import default_competitors
+
+        tagged = [spec.factory.name for spec in list_schemes(tag="congestion-default")]
+        assert tagged == [algorithm.name for algorithm in default_competitors()]
+
+    def test_model_arity_is_consistent(self):
+        for spec in list_schemes():
+            algorithm = spec.instantiate()
+            assert algorithm.model is spec.model
+
+
+class TestTopologyRegistry:
+    def test_every_default_builds(self):
+        for spec in list_topologies():
+            graph = spec.build()
+            assert isinstance(graph, nx.Graph)
+            assert graph.number_of_nodes() >= 1
+            assert topology(spec.name) is spec
+
+    def test_unknown_topology(self):
+        with pytest.raises(UnknownTopologyError):
+            topology("no-such-family")
+
+    def test_size_notation(self):
+        assert resolve_topology("ring(12)").number_of_nodes() == 12
+        assert resolve_topology("torus(3, 5)").number_of_nodes() == 15
+        assert resolve_topology("hypercube(3)").number_of_nodes() == 8
+        assert resolve_topology(" fan ").number_of_nodes() == 8
+
+    def test_bad_parameters_are_explicit(self):
+        with pytest.raises(ValueError):
+            topology("ring").build(8, 9)  # too many positional args
+        with pytest.raises(ValueError):
+            topology("ring").build(rim=8)  # not a parameter of ring
+
+    def test_zoo_member_matches_generate_zoo(self):
+        from repro.graphs.zoo import generate_zoo
+
+        suite = generate_zoo(seed=2022)
+        reference = next(t.graph for t in suite if t.family == "wheel")
+        built = topology("zoo").build("wheel", 0, 2022)
+        assert set(built.nodes) == set(reference.nodes)
+        assert {frozenset(e) for e in built.edges} == {
+            frozenset(e) for e in reference.edges
+        }
+
+    def test_datacenter_families_cover_cli_names(self):
+        names = {spec.name for spec in list_topologies()}
+        # the former private CLI switch, now registry-backed
+        assert {
+            "k5", "k7", "k33", "k44", "netrail", "petersen", "wheel",
+            "grid", "ring", "fan", "fattree", "hypercube", "torus",
+        } <= names
+
+
+class TestNoPrivateLists:
+    def test_cli_has_no_private_scheme_or_family_lists(self):
+        import repro.cli as cli
+
+        assert not hasattr(cli, "_TRAFFIC_ALGORITHMS")
+        assert not hasattr(cli, "_FAMILIES")
+
+    def test_congestion_module_has_no_private_scheme_list(self):
+        import inspect
+
+        from repro.traffic import congestion
+
+        source = inspect.getsource(congestion.default_competitors)
+        assert "list_schemes" in source
+        # no hardcoded algorithm constructors in the default line-up
+        assert "ArborescenceRouting()" not in source

@@ -1,0 +1,261 @@
+"""run_grid, ExperimentRecord serialization, and the result store."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRecord,
+    ExperimentSession,
+    FailureModel,
+    ResultStore,
+    list_schemes,
+    records_round_trip,
+    resolve_topology,
+    run_grid,
+    scheme,
+)
+from repro.traffic import compare_congestion, permutation
+
+
+class TestGridVsCompareCongestion:
+    """Acceptance: run_grid reproduces compare_congestion exactly."""
+
+    SIZES = (0, 1, 2)
+    SAMPLES = 3
+    SEED = 0
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        graph = resolve_topology("grid(3, 3)")
+        demands = permutation(graph, seed=1)
+        return compare_congestion(
+            graph,
+            demands,
+            sizes=list(self.SIZES),
+            samples=self.SAMPLES,
+            seed=self.SEED,
+        )
+
+    @pytest.fixture(scope="class")
+    def grid_records(self):
+        names = [spec.name for spec in list_schemes(tag="congestion-default")]
+        result = run_grid(
+            ["grid(3, 3)"],
+            names,
+            failure_models=[
+                FailureModel(sizes=self.SIZES, samples=self.SAMPLES, seed=self.SEED)
+            ],
+            metrics=("congestion",),
+            matrix="permutation",
+            matrix_seed=1,
+            session=ExperimentSession(),
+        )
+        return result
+
+    def test_identical_numbers_per_scheme_and_size(self, comparison, grid_records):
+        by_algorithm = {curve.algorithm: curve for curve in comparison.curves}
+        checked = 0
+        for record in grid_records.select("congestion"):
+            if record.status != "ok":
+                continue
+            algorithm_name = scheme(record.scheme).factory.name
+            curve = by_algorithm[algorithm_name]
+            assert len(record.series) == len(curve.points)
+            for row, point in zip(record.series, curve.points):
+                assert row["failures"] == point.failures
+                assert row["scenarios"] == point.scenarios
+                assert row["mean_max_load"] == point.mean_max_load
+                assert row["worst_max_load"] == point.worst_max_load
+                assert row["mean_p99_load"] == point.mean_p99_load
+                assert row["delivered_fraction"] == point.delivered_fraction
+                assert row["mean_stretch"] == point.mean_stretch
+                checked += 1
+        assert checked >= 3 * len(comparison.curves)  # every size of every curve
+
+    def test_same_schemes_skipped(self, comparison, grid_records):
+        harness_skipped = {name for name, _ in comparison.skipped}
+        grid_skipped = {
+            scheme(record.scheme).factory.name
+            for record in grid_records.select("congestion")
+            if record.status != "ok"
+        }
+        # schemes the runner refused by predicate never reach the harness
+        applicability_skipped = {
+            scheme(name).factory.name for _, name, _ in grid_records.skipped
+        }
+        assert harness_skipped == grid_skipped | applicability_skipped
+
+
+class TestRunGrid:
+    def test_inapplicable_scheme_yields_skip_record(self):
+        result = run_grid(
+            ["petersen"],
+            ["tour"],
+            failure_models=[FailureModel(sizes=(0,), samples=1)],
+            metrics=("congestion",),
+        )
+        assert not result.select("congestion")
+        (record,) = result.records
+        assert record.experiment == "applicability"
+        assert record.status == "skipped"
+        assert "outerplanar" in record.note
+        assert result.skipped and result.skipped[0][1] == "tour"
+
+    def test_resilience_metric_matches_checker(self):
+        from repro.core.resilience import check_perfect_resilience_destination
+
+        graph = resolve_topology("ring")
+        model = FailureModel(sizes=(0, 1, 2), samples=3, seed=5)
+        grid = model.grid(graph)
+        flat = [failures for size in sorted(grid) for failures in grid[size]]
+        expected = check_perfect_resilience_destination(
+            graph, scheme("tour").instantiate(), failure_sets=flat
+        )
+        result = run_grid(
+            [("ring", graph)],
+            ["tour"],
+            failure_models=[model],
+            metrics=("resilience",),
+        )
+        (record,) = result.select("resilience")
+        assert record.metrics["resilient"] == expected.resilient
+        assert record.metrics["scenarios_checked"] == expected.scenarios_checked
+
+    def test_naive_backend_congestion_matches_engine(self):
+        from repro.experiments import naive_session
+
+        model = FailureModel(sizes=(0, 1, 2), samples=2, seed=4)
+        kwargs = dict(
+            failure_models=[model], metrics=("congestion",), matrix="all-to-one"
+        )
+        fast = run_grid(["ring"], ["greedy", "arborescence"], **kwargs)
+        slow = run_grid(
+            ["ring"], ["greedy", "arborescence"], session=naive_session(), **kwargs
+        )
+        for a, b in zip(fast.select("congestion"), slow.select("congestion")):
+            assert (a.scheme, a.series) == (b.scheme, b.series)
+            assert a.metrics == b.metrics
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            run_grid(["ring"], ["greedy"], metrics=("latency",))
+
+    def test_runtime_recorded(self):
+        result = run_grid(
+            ["ring"], ["greedy"], failure_models=[FailureModel(sizes=(0,), samples=1)]
+        )
+        assert all(record.runtime_seconds >= 0.0 for record in result.records)
+        assert result.table()  # renders without crashing
+
+
+class TestRecords:
+    def test_json_round_trip(self):
+        record = ExperimentRecord(
+            experiment="congestion",
+            topology="ring",
+            scheme="greedy",
+            failure_model="random(sizes=0/1,samples=2,seed=0)",
+            metrics={"worst_max_load": 4, "delivered_fraction": 0.5},
+            series=[{"failures": 0, "mean_max_load": 2.0}],
+            params={"matrix": "permutation"},
+            runtime_seconds=0.25,
+        )
+        assert ExperimentRecord.from_json(record.to_json()) == record
+        assert records_round_trip([record])
+
+    def test_non_scalar_metric_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            ExperimentRecord(
+                experiment="x", topology="t", scheme="s", metrics={"bad": [1, 2]}
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown record fields"):
+            ExperimentRecord.from_dict({"experiment": "x", "topology": "t", "scheme": "s", "wat": 1})
+
+
+class TestResultStore:
+    def _record(self, scheme_name, value, matrix="permutation"):
+        return ExperimentRecord(
+            experiment="congestion",
+            topology="ring",
+            scheme=scheme_name,
+            failure_model="fm",
+            metrics={"worst_max_load": value},
+            params={"matrix": matrix},
+        )
+
+    def test_merge_replaces_same_key_keeps_others(self, tmp_path):
+        store = ResultStore(tmp_path / "results.json")
+        store.merge([self._record("greedy", 4), self._record("tour", 3)])
+        store.merge([self._record("greedy", 9)])  # newer run, same identity
+        records = {record.scheme: record for record in store.load_records()}
+        assert records["greedy"].metrics["worst_max_load"] == 9
+        assert records["tour"].metrics["worst_max_load"] == 3
+
+    def test_matrix_is_part_of_identity(self, tmp_path):
+        store = ResultStore(tmp_path / "results.json")
+        store.merge([self._record("greedy", 4, "permutation")])
+        store.merge([self._record("greedy", 7, "all-to-all")])
+        assert len(store.load_records()) == 2
+
+    def test_raw_sections_survive_record_merges(self, tmp_path):
+        path = tmp_path / "bench.json"
+        store = ResultStore(path)
+        store.merge_raw({"gadget": {"speedup": 10.0}})
+        store.merge([self._record("greedy", 4)])
+        store.merge_raw({"congestion": {"workloads": {}}})
+        document = json.loads(path.read_text())
+        assert document["gadget"] == {"speedup": 10.0}
+        assert document["congestion"] == {"workloads": {}}
+        assert len(document["records"]) == 1
+
+    def test_csv_export(self, tmp_path):
+        store = ResultStore(tmp_path / "results.json")
+        store.merge([self._record("greedy", 4), self._record("tour", 3)])
+        csv_path = tmp_path / "results.csv"
+        assert store.write_csv(csv_path) == 2
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 3
+        assert "metric:worst_max_load" in lines[0]
+        assert "param:matrix" in lines[0]
+
+
+class TestExperimentsCli:
+    def test_quick_smoke_round_trips(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "JSON round-trip ok" in out
+        assert "resilience" in out and "congestion" in out
+
+    def test_list_registries(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "registered schemes" in out
+        assert "arborescence" in out and "fattree" in out
+
+    def test_store_and_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_json = tmp_path / "records.json"
+        out_csv = tmp_path / "records.csv"
+        code = main(
+            [
+                "experiments",
+                "--topologies", "ring",
+                "--schemes", "greedy",
+                "--sizes", "0,1",
+                "--samples", "2",
+                "--metrics", "congestion",
+                "--out", str(out_json),
+                "--csv", str(out_csv),
+            ]
+        )
+        assert code == 0
+        assert ResultStore(out_json).load_records()
+        assert out_csv.read_text().count("\n") >= 2

@@ -1,0 +1,145 @@
+"""The ExperimentSession: state ownership, backends, the use_engine shim."""
+
+import warnings
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithms import GreedyLowestNeighbor, RightHandTouring, TourToDestination
+from repro.core.applications.broadcast import TouringBroadcast
+from repro.core.resilience import (
+    check_pattern_resilience,
+    check_perfect_resilience_destination,
+    check_perfect_touring,
+)
+from repro.experiments import ExperimentSession, naive_session, resolve_session
+from repro.graphs import cycle_graph, fan_graph
+
+
+class TestStateOwnership:
+    def test_state_is_cached_per_graph(self):
+        session = ExperimentSession()
+        graph = cycle_graph(6)
+        assert session.state(graph) is session.state(graph)
+        other = cycle_graph(6)
+        assert session.state(other) is not session.state(graph)
+
+    def test_mutated_graph_is_reindexed(self):
+        session = ExperimentSession()
+        graph = cycle_graph(6)
+        before = session.state(graph)
+        graph.add_edge(0, 3)
+        after = session.state(graph)
+        assert after is not before
+        assert after.network.m == 7
+
+    def test_cache_is_bounded(self):
+        from repro.experiments.session import STATE_CACHE_LIMIT
+
+        session = ExperimentSession()
+        graphs = [cycle_graph(5) for _ in range(STATE_CACHE_LIMIT + 4)]
+        for graph in graphs:
+            session.state(graph)
+        assert len(session._states) <= STATE_CACHE_LIMIT
+
+    def test_traffic_engine_cached_per_pair(self):
+        session = ExperimentSession()
+        graph = cycle_graph(6)
+        algorithm = GreedyLowestNeighbor()
+        engine = session.traffic_engine(graph, algorithm)
+        assert session.traffic_engine(graph, algorithm) is engine
+        assert engine.state is session.state(graph)
+        assert session.traffic_engine(graph, GreedyLowestNeighbor()) is not engine
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            ExperimentSession(backend="turbo")
+
+
+class TestBackends:
+    def test_engine_and_naive_agree(self):
+        graph = fan_graph(7)
+        algorithm = TourToDestination()
+        fast = check_perfect_resilience_destination(
+            graph, algorithm, session=ExperimentSession(backend="engine")
+        )
+        slow = check_perfect_resilience_destination(
+            graph, algorithm, session=ExperimentSession(backend="naive")
+        )
+        assert fast.resilient == slow.resilient
+        assert fast.scenarios_checked == slow.scenarios_checked
+        assert fast.exhaustive == slow.exhaustive
+
+    def test_shared_session_reuses_state_across_checkers(self):
+        session = ExperimentSession()
+        graph = fan_graph(6)
+        state = session.state(graph)
+        verdict = check_perfect_touring(graph, RightHandTouring(), session=session)
+        assert verdict.resilient
+        assert session.state(graph) is state  # same state served the sweep
+
+    def test_broadcast_accepts_session(self):
+        session = ExperimentSession()
+        graph = fan_graph(6)
+        broadcast = TouringBroadcast(RightHandTouring(), session=session)
+        result = broadcast.run(graph, source=1)
+        naive = TouringBroadcast(RightHandTouring()).run(
+            graph, source=1, session=naive_session()
+        )
+        assert result.informed == naive.informed
+        assert result.completed == naive.completed
+        assert result.walk == naive.walk
+
+
+class TestUseEngineShim:
+    """Satellite: the legacy ``use_engine=`` keyword keeps working."""
+
+    def test_use_engine_false_warns_and_matches_naive(self):
+        graph = fan_graph(6)
+        pattern = TourToDestination().build(graph, 0)
+        with pytest.warns(DeprecationWarning, match="use_engine= keyword is deprecated"):
+            legacy = check_pattern_resilience(graph, pattern, 0, use_engine=False)
+        modern = check_pattern_resilience(graph, pattern, 0, session=naive_session())
+        assert legacy.resilient == modern.resilient
+        assert legacy.scenarios_checked == modern.scenarios_checked
+
+    def test_use_engine_true_warns_and_matches_engine(self):
+        graph = fan_graph(6)
+        pattern = TourToDestination().build(graph, 0)
+        with pytest.warns(DeprecationWarning):
+            legacy = check_pattern_resilience(graph, pattern, 0, use_engine=True)
+        modern = check_pattern_resilience(graph, pattern, 0)
+        assert legacy.resilient == modern.resilient
+        assert legacy.scenarios_checked == modern.scenarios_checked
+
+    def test_default_emits_no_warning(self):
+        graph = fan_graph(6)
+        pattern = TourToDestination().build(graph, 0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            verdict = check_pattern_resilience(graph, pattern, 0)
+        assert verdict.resilient
+
+    def test_broadcast_use_engine_shim(self):
+        graph = fan_graph(6)
+        broadcast = TouringBroadcast(RightHandTouring())
+        with pytest.warns(DeprecationWarning):
+            legacy = broadcast.run(graph, source=1, use_engine=False)
+        modern = broadcast.run(graph, source=1, session=naive_session())
+        assert legacy.walk == modern.walk
+
+    def test_session_and_use_engine_together_is_an_error(self):
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
+            resolve_session(ExperimentSession(), use_engine=True)
+
+
+class TestResolveSession:
+    def test_default_is_shared_engine_session(self):
+        first = resolve_session()
+        second = resolve_session()
+        assert first is second
+        assert first.use_engine
+
+    def test_explicit_session_passes_through(self):
+        session = ExperimentSession(backend="naive")
+        assert resolve_session(session) is session
