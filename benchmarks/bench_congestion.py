@@ -49,6 +49,8 @@ def run_benchmark(quick: bool = False) -> dict:
     grid = sample_failure_grid(graph, sizes, samples, seed=0)
     scenario_sets = [failures for size in sorted(grid) for failures in grid[size]]
 
+    from repro.core.engine.vectorized import numpy_available
+
     algorithm = scheme("arborescence").instantiate()
     workloads = {}
     for name, demands in matrices.items():
@@ -56,6 +58,14 @@ def run_benchmark(quick: bool = False) -> dict:
         start = time.perf_counter()
         batched = [engine.load(demands, failures) for failures in scenario_sets]
         batched_seconds = time.perf_counter() - start
+        numpy_seconds = None
+        if numpy_available():
+            vectorized = TrafficEngine(graph, algorithm, backend="numpy")
+            start = time.perf_counter()
+            numpy_reports = vectorized.load_sweep(demands, scenario_sets)
+            numpy_seconds = time.perf_counter() - start
+            for fast, slow in zip(numpy_reports, batched):
+                assert fast.loads == slow.loads, "numpy router diverged from batched loads"
         start = time.perf_counter()
         naive = [
             per_packet_loads(graph, algorithm, demands, failures)
@@ -74,6 +84,10 @@ def run_benchmark(quick: bool = False) -> dict:
             "worst_max_load": max(report.max_load for report in batched),
             "min_delivered_fraction": min(report.delivered_fraction for report in batched),
         }
+        if numpy_seconds is not None:
+            # never overwrite tracked numbers with nulls on no-numpy hosts
+            workloads[name]["numpy_seconds"] = numpy_seconds
+            workloads[name]["numpy_speedup"] = per_packet_seconds / numpy_seconds
     results = {
         "benchmark": "congestion",
         "graph": "fattree(4)",
@@ -99,6 +113,11 @@ def run_benchmark(quick: bool = False) -> dict:
                         "batched_seconds": data["batched_seconds"],
                         "flows_routed": data["flows_routed"],
                         "worst_max_load": data["worst_max_load"],
+                        **{
+                            key: data[key]
+                            for key in ("numpy_seconds", "numpy_speedup")
+                            if key in data
+                        },
                     },
                     params={"matrix": name},
                     runtime_seconds=data["per_packet_seconds"] + data["batched_seconds"],
@@ -116,6 +135,7 @@ def format_report(results: dict) -> str:
             data["flows_routed"],
             f"{data['per_packet_seconds']:.2f}",
             f"{data['batched_seconds']:.2f}",
+            f"{data['numpy_seconds']:.2f}" if data.get("numpy_seconds") else "-",
             f"{data['speedup']:.1f}x",
             data["worst_max_load"],
         ]
@@ -123,9 +143,11 @@ def format_report(results: dict) -> str:
     ]
     return (
         f"Congestion: batched multi-flow router vs per-packet walks on {results['graph']}\n"
-        f"(algorithm: {results['algorithm']}; loads verified identical per scenario)\n"
+        f"(algorithm: {results['algorithm']}; loads verified identical per scenario, "
+        f"numpy load_sweep included when installed)\n"
         + simple_table(
-            ["matrix", "flows", "per-packet s", "batched s", "speedup", "worst max load"],
+            ["matrix", "flows", "per-packet s", "batched s", "numpy s", "speedup",
+             "worst max load"],
             rows,
         )
     )

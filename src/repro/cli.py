@@ -195,6 +195,9 @@ def _cmd_traffic(args) -> int:
             file=sys.stderr,
         )
         return 2
+    session = _build_session(args.backend)
+    if session is None:
+        return 2
     if args.algorithm == "all":
         try:
             result = traffic.compare_congestion(
@@ -205,6 +208,7 @@ def _cmd_traffic(args) -> int:
                 seed=args.seed,
                 graph_name=args.graph,
                 matrix_name=matrix_name,
+                session=session,
             )
         except ValueError as error:  # bad sizes/samples for this topology
             print(f"cannot sweep: {error}", file=sys.stderr)
@@ -222,7 +226,7 @@ def _cmd_traffic(args) -> int:
             print(f"cannot sweep: {error}", file=sys.stderr)
             return 2
         curve, reason = traffic.preflight_congestion_curve(
-            traffic.TrafficEngine(graph, algorithm),
+            session.traffic_engine(graph, algorithm),
             algorithm,
             demands,
             grid,
@@ -266,6 +270,20 @@ def _cmd_traffic(args) -> int:
         for link in sorted(attack.failures, key=repr):
             print(f"  fail {link[0]}-{link[1]}")
     return 0 if curves else 1
+
+
+def _build_session(backend: str | None):
+    """An :class:`ExperimentSession` for ``--backend``, or ``None`` after
+    printing the gating error (numpy requested but not installed)."""
+    from .experiments import ExperimentSession, default_session
+
+    if backend is None or backend == "engine":
+        return default_session()
+    try:
+        return ExperimentSession(backend=backend)
+    except (RuntimeError, ValueError) as error:
+        print(f"cannot use backend {backend!r}: {error}", file=sys.stderr)
+        return None
 
 
 def _split_names(raw: str) -> list[str]:
@@ -363,6 +381,9 @@ def _cmd_experiments(args) -> int:
         metrics = [token for token in args.metrics.split(",") if token]
         matrix = args.matrix
         seed = args.seed
+    session = _build_session(args.backend)
+    if session is None:
+        return 2
     store = ResultStore(args.out) if args.out else None
     try:
         result = run_grid(
@@ -372,6 +393,7 @@ def _cmd_experiments(args) -> int:
             metrics=metrics,
             matrix=matrix,
             matrix_seed=seed,
+            session=session,
             store=store,
         )
     except (KeyError, ValueError) as error:
@@ -453,6 +475,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=10, help="failure sets per size")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--backend",
+        choices=["engine", "numpy"],
+        default="engine",
+        help="load router backend: the scalar engine, or the vectorized "
+        "numpy mask walker (identical loads; needs numpy)",
+    )
+    p.add_argument(
         "--attack", type=int, default=0, metavar="K",
         help="also run a greedy worst-case load attack with up to K failures",
     )
@@ -477,6 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default=None, help="failure-set sizes, e.g. 0,1,2,4")
     p.add_argument("--samples", type=int, default=5, help="failure sets per size")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        choices=["engine", "naive", "numpy"],
+        default="engine",
+        help="session backend: fast scalar engine, naive reference walks, "
+        "or the vectorized numpy mask walker (identical verdicts; "
+        "numpy needs the optional dependency installed)",
+    )
     p.add_argument("--out", default=None, help="merge records into this JSON result store")
     p.add_argument("--csv", default=None, help="also write the records as CSV")
     p.add_argument("--list", action="store_true", help="list registered schemes/topologies")

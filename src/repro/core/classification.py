@@ -8,10 +8,13 @@ The paper classifies each Topology Zoo instance, per routing model, into:
 * **impossible** — a forbidden minor was found (``K4``/``K2,3`` for
   touring — equivalently non-outerplanarity; ``K5^-1``/``K3,3^-1`` for
   destination-based routing, Thms 10/11; ``K7^-1``/``K4,4^-1`` for
-  source-destination routing, Thms 6/7);
-* **sometimes** — no blanket scheme is known, but for *some* destinations
-  ``t`` the graph minus ``t`` is outerplanar, so destination-based
-  perfect resilience holds for those destinations (footnote 7 / Fig. 6);
+  source-destination routing, Thms 6/7) and no destination is known to
+  work;
+* **sometimes** — for *some* destinations ``t`` the graph minus ``t`` is
+  outerplanar, so destination-based perfect resilience holds for those
+  destinations (footnote 7 / Fig. 6) — this dominates a found forbidden
+  minor, which only rules out a blanket scheme (Netrail contains
+  ``K3,3^-1`` yet is the paper's flagship "sometimes" example);
 * **unknown** — none of the above could be established.
 
 The minor searches are budgeted exactly like the paper's ``minorminer``
@@ -156,8 +159,13 @@ def _classify_routing(
 ) -> Possibility:
     if positive:
         return Possibility.POSSIBLE
+    if has_good_destination:
+        # Cor-5 destinations work regardless of a forbidden minor: the
+        # impossibility theorems only rule out a *blanket* scheme.
+        # Fig. 6's Netrail is exactly this case — it contains K3,3^-1
+        # (verifiable by hand: branch sets {v1},{v2,v6},{v4},{v5},{v3},
+        # {v7}), yet routes perfectly for its marked destinations.
+        return Possibility.SOMETIMES
     if minor is MinorOutcome.YES:
         return Possibility.IMPOSSIBLE
-    if has_good_destination:
-        return Possibility.SOMETIMES
     return Possibility.UNKNOWN

@@ -47,6 +47,13 @@ with three layers that share work across scenarios:
 scenario-sweep API (:func:`sweep_resilience`) used by the public
 checkers in :mod:`repro.core.resilience`, with an optional
 ``multiprocessing`` fan-out across destinations.
+
+:mod:`~repro.core.engine.vectorized` adds a fourth, optional layer on
+top of the same state: when numpy is installed, an
+``ExperimentSession(backend="numpy")`` batches many failure masks per
+destination through array ops (dense decision tables gathered per hop,
+vectorized component labelling), with the scalar layers as the
+always-available fallback — verdicts are identical either way.
 """
 
 from .components import ComponentTracker
@@ -60,6 +67,12 @@ from .sweep import (
     sweep_pattern_resilience,
     sweep_resilience,
 )
+from .vectorized import (
+    MaskBatch,
+    VectorizedUnsupported,
+    numpy_available,
+    require_numpy,
+)
 
 __all__ = [
     "ComponentTracker",
@@ -67,10 +80,14 @@ __all__ = [
     "ILLEGAL",
     "EngineState",
     "IndexedNetwork",
+    "MaskBatch",
     "MemoizedPattern",
     "ScenarioGrid",
     "SweepResult",
+    "VectorizedUnsupported",
+    "numpy_available",
     "parallel_map",
+    "require_numpy",
     "route_indexed",
     "sweep_pattern_resilience",
     "sweep_resilience",

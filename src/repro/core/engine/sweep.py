@@ -29,6 +29,7 @@ import networkx as nx
 
 from ...graphs.connectivity import component_of
 from ...graphs.edges import FailureSet, Node, sorted_nodes
+from ..resilience import DEFAULT_FAILURE_PARAMS
 from ..model import (
     DestinationAlgorithm,
     ForwardingPattern,
@@ -246,6 +247,8 @@ def sweep_pattern_resilience(
     sources: Iterable[Node] | None = None,
     failure_sets: Iterable[FailureSet] | None = None,
     exhaustive: bool | None = None,
+    backend: str = "engine",
+    default_params: tuple = DEFAULT_FAILURE_PARAMS,
 ) -> Any:
     """Engine twin of the naive ``check_pattern_resilience``.
 
@@ -253,16 +256,42 @@ def sweep_pattern_resilience(
     sources in the same (component frozenset) order, and the
     counterexample carries the same route trace.  ``exhaustive``
     overrides the reported flag (used by grid sweeps that generate the
-    default enumeration themselves).
+    default enumeration themselves).  ``backend="numpy"`` batches the
+    failure masks through the vectorized walker where the instance
+    supports it (and falls back to this scalar path, same verdicts,
+    where it does not); ``default_params`` are the ``(max_failures,
+    samples, seed)`` of the default failure enumeration, so both
+    backends resolve the identical scenario family.
     """
     from ..resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict, default_failure_sets
+
+    if backend == "numpy":
+        from .vectorized import VectorizedUnsupported, pattern_sweep_numpy
+
+        try:
+            return pattern_sweep_numpy(
+                state,
+                pattern,
+                destination,
+                sources=sources,
+                failure_sets=failure_sets,
+                exhaustive=exhaustive,
+                default_params=default_params,
+            )
+        except VectorizedUnsupported as unsupported:
+            if unsupported.failure_sets is not None:
+                # a consumed one-shot iterator, reconstructed for us
+                failure_sets = unsupported.failure_sets
 
     if failure_sets is not None:
         failure_iter: Iterable[FailureSet] = failure_sets
         if exhaustive is None:
             exhaustive = False
     else:
-        failure_iter, default_exhaustive = default_failure_sets(state.graph)
+        max_failures, samples, seed = default_params
+        failure_iter, default_exhaustive = default_failure_sets(
+            state.graph, max_failures=max_failures, samples=samples, seed=seed
+        )
         if exhaustive is None:
             exhaustive = default_exhaustive
     network = state.network
@@ -331,6 +360,7 @@ def sweep_resilience(
     scenarios: ScenarioGrid | None = None,
     processes: int = 1,
     state: EngineState | None = None,
+    backend: str = "engine",
 ) -> SweepResult:
     """Evaluate a whole scenario grid for one algorithm, batched.
 
@@ -340,16 +370,19 @@ def sweep_resilience(
     and always runs serially.  ``state`` injects a prebuilt (usually
     session-owned) :class:`EngineState` so serial sweeps reuse its
     caches; forked workers always build their own per chunk.
+    ``backend="numpy"`` routes every per-unit check through the
+    vectorized mask walker (same verdicts; instances it cannot handle
+    fall back to the scalar engine).
     """
     grid = scenarios if scenarios is not None else ScenarioGrid()
     if state is not None and state.graph is not graph:
         raise ValueError("the injected EngineState indexes a different graph")
     if isinstance(algorithm, TouringAlgorithm):
-        return _sweep_touring(graph, algorithm, grid, state)
+        return _sweep_touring(graph, algorithm, grid, state, backend)
     if isinstance(algorithm, SourceDestinationAlgorithm):
-        return _sweep_source_destination(graph, algorithm, grid, processes, state)
+        return _sweep_source_destination(graph, algorithm, grid, processes, state, backend)
     if isinstance(algorithm, DestinationAlgorithm):
-        return _sweep_destination(graph, algorithm, grid, processes, state)
+        return _sweep_destination(graph, algorithm, grid, processes, state, backend)
     raise TypeError(f"not a routing algorithm: {algorithm!r}")
 
 
@@ -359,17 +392,36 @@ def _sweep_destination(
     grid: ScenarioGrid,
     processes: int,
     shared_state: EngineState | None = None,
+    backend: str = "engine",
 ) -> SweepResult:
     from ..resilience import Verdict
 
     destinations = list(grid.destinations) if grid.destinations is not None else list(graph.nodes)
     materialized, factory, default_exhaustive = grid.resolved_failures(graph)
+    grid_params = (grid.max_failures, grid.samples, grid.seed)
 
     def check_one(destination: Node, state: EngineState) -> Any:
         pattern = algorithm.build(graph, destination)
         if materialized is not None:
             return sweep_pattern_resilience(
-                state, pattern, destination, sources=grid.sources, failure_sets=materialized
+                state,
+                pattern,
+                destination,
+                sources=grid.sources,
+                failure_sets=materialized,
+                backend=backend,
+            )
+        if backend == "numpy":
+            # no per-destination iterator: the vectorized path resolves
+            # (and caches) the default mask batch from the grid params
+            return sweep_pattern_resilience(
+                state,
+                pattern,
+                destination,
+                sources=grid.sources,
+                exhaustive=default_exhaustive,
+                backend=backend,
+                default_params=grid_params,
             )
         return sweep_pattern_resilience(
             state,
@@ -426,6 +478,7 @@ def _sweep_source_destination(
     grid: ScenarioGrid,
     processes: int,
     shared_state: EngineState | None = None,
+    backend: str = "engine",
 ) -> SweepResult:
     from ..resilience import Verdict
 
@@ -438,6 +491,7 @@ def _sweep_source_destination(
         sources = list(grid.sources) if grid.sources is not None else list(graph.nodes)
         pairs = [(s, t) for t in destinations for s in sources if s != t]
     materialized, factory, default_exhaustive = grid.resolved_failures(graph)
+    grid_params = (grid.max_failures, grid.samples, grid.seed)
 
     def check_chunk(
         chunk: Sequence[tuple[Node, Node]], state: EngineState | None = None
@@ -449,7 +503,22 @@ def _sweep_source_destination(
             pattern = algorithm.build(graph, source, destination)
             if materialized is not None:
                 verdict = sweep_pattern_resilience(
-                    state, pattern, destination, sources=[source], failure_sets=materialized
+                    state,
+                    pattern,
+                    destination,
+                    sources=[source],
+                    failure_sets=materialized,
+                    backend=backend,
+                )
+            elif backend == "numpy":
+                verdict = sweep_pattern_resilience(
+                    state,
+                    pattern,
+                    destination,
+                    sources=[source],
+                    exhaustive=default_exhaustive,
+                    backend=backend,
+                    default_params=grid_params,
                 )
             else:
                 verdict = sweep_pattern_resilience(
@@ -495,6 +564,7 @@ def _sweep_touring(
     algorithm: TouringAlgorithm,
     grid: ScenarioGrid,
     shared_state: EngineState | None = None,
+    backend: str = "engine",
 ) -> SweepResult:
     from ..resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict
 
@@ -503,16 +573,35 @@ def _sweep_touring(
     tracker = state.tracker
     use_tracker = network.m <= EXHAUSTIVE_LINK_LIMIT
     pattern = algorithm.build(graph)
+    starts = list(grid.sources) if grid.sources is not None else list(graph.nodes)
+    explicit_sets = grid.failure_sets
+    if backend == "numpy":
+        from .vectorized import VectorizedUnsupported, touring_sweep_numpy
+
+        try:
+            verdict = touring_sweep_numpy(
+                state,
+                pattern,
+                starts,
+                failure_sets=explicit_sets,
+                exhaustive=False if explicit_sets is not None else None,
+                default_params=(grid.max_failures, grid.samples, grid.seed),
+            )
+            return SweepResult(verdict, [(None, verdict)])
+        except VectorizedUnsupported as unsupported:
+            if unsupported.failure_sets is not None:
+                # a one-shot generator was consumed before the fallback:
+                # the exception carries the reconstructed family
+                explicit_sets = unsupported.failure_sets
     memo = MemoizedPattern(network, pattern)
     # single pattern, single pass: stream the failure sets, never
     # materialize (k-resilient touring can pass ~200k-set generators)
-    if grid.failure_sets is not None:
-        failure_iter: Iterable[FailureSet] = grid.failure_sets
+    if explicit_sets is not None:
+        failure_iter: Iterable[FailureSet] = explicit_sets
         exhaustive = False
     else:
         _, factory, exhaustive = grid.resolved_failures(graph)
         failure_iter = factory()
-    starts = list(grid.sources) if grid.sources is not None else list(graph.nodes)
     index = network.index
     checked = 0
     for failures in failure_iter:

@@ -1,0 +1,996 @@
+"""Vectorized numpy mask-walk backend (``ExperimentSession(backend="numpy")``).
+
+The scalar engine (:mod:`.memo`) walks one ``(source, destination,
+failure mask)`` scenario at a time; exhaustive sweeps spend almost all
+their time re-running that loop 2^|E| times per destination.  This
+module batches **many failure masks at once** through numpy array ops:
+
+* a family of failure sets becomes one ``uint64`` mask array
+  (:class:`MaskBatch`, chunked so working sets stay bounded);
+* forwarding decisions are flattened into a dense per-chunk table
+  indexed by ``offset[state] + compact_local``, where ``compact_local``
+  ranks the node's *observed* local failure masks
+  (:class:`_DecisionTable`).  Entries are produced by the same
+  :meth:`~repro.core.engine.memo.MemoizedPattern.next_hop` the scalar
+  walks use, so decision semantics are identical by construction;
+* all walks of a batch advance one hop per step via gathers on that
+  table, with finished walks compacted away
+  (:func:`_walk_delivered`); a walk that neither delivers nor drops
+  within ``state_bound`` steps has necessarily revisited a ``(node,
+  inport)`` state and is a loop — no per-walk seen-sets needed;
+* connectivity comes from a min-label propagation over the link list
+  (:meth:`_MaskChunk.labels_for`), giving every destination's surviving
+  component for the whole chunk in one pass.
+
+Verdict parity is bit-for-bit: scenario counts, the ``exhaustive``
+flag, and the first counterexample (re-walked scalar for its exact
+trace, sources re-ranked in the checkers' ``sorted_nodes`` order) all
+match the scalar engine and the naive reference.  Failure sets naming
+links outside the graph take the same naive fallback the scalar engine
+takes, in their original positions.
+
+numpy is an *optional* dependency: everything here imports without it,
+:func:`require_numpy` raises the clean gating error, and every entry
+point raises :class:`VectorizedUnsupported` (carrying any materialized
+failure sets) when an instance cannot take the vectorized path — the
+scalar engine then produces the identical verdict.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+try:  # numpy is optional: the module must import (and gate) without it
+    import numpy as np
+except ModuleNotFoundError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+from ...graphs.connectivity import component_of
+from ...graphs.edges import FailureSet, Node, sorted_nodes
+from ..resilience import DEFAULT_FAILURE_PARAMS
+from ..simulator import route as naive_route
+from .indexed import IndexedNetwork
+from .memo import MemoizedPattern, route_indexed
+
+#: masks per vectorized chunk — bounds every (masks x nodes) matrix
+CHUNK_MASKS = 1 << 15
+#: cap on dense decision-table entries per chunk (sum over states of
+#: observed local masks); beyond it the scalar engine is the better tool
+TABLE_BUDGET = 1 << 21
+#: cap on the (walks x states) seen-bitmap of the traffic walker
+SEEN_BUDGET = 1 << 26
+#: bounded number of cached mask batches per engine state
+BATCH_CACHE_LIMIT = 8
+
+NUMPY_GATING_ERROR = (
+    'backend="numpy" requires the optional numpy dependency, which is not '
+    'installed; install numpy or use backend="engine"'
+)
+
+
+def numpy_available() -> bool:
+    """Is the optional numpy dependency importable?"""
+    return np is not None
+
+
+def require_numpy() -> None:
+    """Raise the clean gating error when numpy is missing."""
+    if np is None:
+        raise RuntimeError(NUMPY_GATING_ERROR)
+
+
+def vectorizable(network: IndexedNetwork) -> bool:
+    """Can this network's failure sets pack into ``uint64`` masks?"""
+    return np is not None and network.m <= 64
+
+
+class VectorizedUnsupported(Exception):
+    """This instance cannot take the vectorized path.
+
+    Carries an equivalent failure-set list when the attempt already
+    consumed a one-shot iterator (reconstructed from the packed batch
+    by :func:`reconstruct_failure_sets`), so the caller can fall back
+    to the scalar engine without re-consuming it.  Raised *before* any
+    partial evaluation — the fallback always recomputes from scratch
+    and stays bit-identical.
+    """
+
+    def __init__(self, failure_sets: list[FailureSet] | None = None):
+        super().__init__("instance not vectorizable")
+        self.failure_sets = failure_sets
+
+
+# ---------------------------------------------------------------------------
+# Mask batches.
+# ---------------------------------------------------------------------------
+
+
+class _MaskChunk:
+    """One bounded slice of a mask batch plus its lazily-built matrices."""
+
+    def __init__(self, masks, positions):
+        self.masks = masks  # uint64 (k,)
+        self.positions = positions  # int64 (k,), original enumeration order
+        self._locals: tuple[list, object] | None = None
+        self._labels = None
+        self._alive: list | None = None
+        self._dist: dict[int, object] = {}
+
+    def alive_columns(self, network: IndexedNetwork) -> list:
+        """Per link bit: a bool column, True where the link survives
+        (cached — labelling and every per-destination BFS reuse it)."""
+        if self._alive is None:
+            one = np.uint64(1)
+            self._alive = [
+                ((self.masks >> np.uint64(b)) & one) == 0 for b in range(network.m)
+            ]
+        return self._alive
+
+    def locals_for(self, network: IndexedNetwork):
+        """Per node: observed local masks (sorted unique) and, as a
+        ``(k, n)`` matrix, each row's rank among them."""
+        if self._locals is None:
+            uniqs = []
+            compact = np.empty((len(self.masks), network.n), dtype=np.int64)
+            for v in range(network.n):
+                local = self.masks & np.uint64(network.incident_mask[v])
+                uniq, inverse = np.unique(local, return_inverse=True)
+                uniqs.append(uniq)
+                compact[:, v] = inverse
+            self._locals = (uniqs, compact)
+        return self._locals
+
+    def labels_for(self, network: IndexedNetwork):
+        """Component label (minimum member index) per node, per mask row.
+
+        Min-label propagation over the link list until fixpoint — the
+        numpy twin of one :class:`~.components.ComponentTracker` flood
+        per mask, computed for the whole chunk at once.
+        """
+        if self._labels is None:
+            k = len(self.masks)
+            labels = np.broadcast_to(
+                np.arange(network.n, dtype=np.int64), (k, network.n)
+            ).copy()
+            alive = self.alive_columns(network)
+            changed = True
+            while changed:
+                changed = False
+                for b, (u, v) in enumerate(network.link_ends):
+                    a = alive[b]
+                    lu = labels[:, u]
+                    lv = labels[:, v]
+                    best = np.where(a, np.minimum(lu, lv), lu)
+                    if (best < lu).any():
+                        labels[:, u] = best
+                        changed = True
+                        lu = best
+                    best = np.where(a, np.minimum(lu, lv), lv)
+                    if (best < lv).any():
+                        labels[:, v] = best
+                        changed = True
+            self._labels = labels
+        return self._labels
+
+    def distances_to(self, network: IndexedNetwork, destination: int):
+        """Hops to ``destination`` per (mask row, node); ``-1`` means
+        disconnected.  One level-synchronous BFS for the whole chunk."""
+        dist = self._dist.get(destination)
+        if dist is None:
+            k = len(self.masks)
+            dist = np.full((k, network.n), -1, dtype=np.int64)
+            dist[:, destination] = 0
+            frontier = np.zeros((k, network.n), dtype=bool)
+            frontier[:, destination] = True
+            alive = self.alive_columns(network)
+            level = 0
+            while frontier.any():
+                level += 1
+                nxt = np.zeros((k, network.n), dtype=bool)
+                for b, (u, v) in enumerate(network.link_ends):
+                    a = alive[b]
+                    nxt[:, v] |= frontier[:, u] & a
+                    nxt[:, u] |= frontier[:, v] & a
+                nxt &= dist < 0
+                dist[nxt] = level
+                frontier = nxt
+            self._dist[destination] = dist
+        return dist
+
+
+class MaskBatch:
+    """An ordered family of failure sets packed for vectorized walks.
+
+    ``chunks`` hold the maskable sets (original positions attached);
+    ``fallbacks`` hold the sets naming links outside the canonical link
+    set, which keep their naive-matching semantics via per-set scalar
+    evaluation in their original order.
+    """
+
+    def __init__(self, network: IndexedNetwork):
+        self.network = network
+        self.chunks: list[_MaskChunk] = []
+        self.fallbacks: list[tuple[int, FailureSet]] = []
+        self.total = 0
+
+    def _finish(self, masks: list[int], positions: list[int], total: int) -> "MaskBatch":
+        self.total = total
+        if masks:
+            mask_array = np.array(masks, dtype=np.uint64)
+            position_array = np.array(positions, dtype=np.int64)
+            for lo in range(0, len(masks), CHUNK_MASKS):
+                hi = lo + CHUNK_MASKS
+                self.chunks.append(
+                    _MaskChunk(mask_array[lo:hi], position_array[lo:hi])
+                )
+        return self
+
+    @classmethod
+    def from_failure_sets(cls, network: IndexedNetwork, failure_sets) -> "MaskBatch":
+        batch = cls(network)
+        bit_of = network.link_bit
+        masks: list[int] = []
+        positions: list[int] = []
+        total = 0
+        for position, failures in enumerate(failure_sets):
+            total = position + 1
+            mask = 0
+            for link in failures:
+                bit = bit_of.get(link)
+                if bit is None:
+                    mask = -1  # non-canonical entry: naive semantics
+                    break
+                mask |= bit
+            if mask < 0:
+                batch.fallbacks.append((position, failures))
+            else:
+                masks.append(mask)
+                positions.append(position)
+        return batch._finish(masks, positions, total)
+
+    @classmethod
+    def exhaustive(cls, network: IndexedNetwork, max_failures: int | None = None) -> "MaskBatch":
+        """All failure masks, in ``all_failure_sets`` enumeration order.
+
+        The canonical link order *is* the bit order
+        (:class:`~.indexed.IndexedNetwork` sorts links exactly like
+        ``all_failure_sets``), so enumerating bit-position combinations
+        reproduces the frozenset enumeration without building a single
+        frozenset.
+        """
+        batch = cls(network)
+        m = network.m
+        limit = m if max_failures is None else min(max_failures, m)
+        masks: list[int] = []
+        append = masks.append
+        for size in range(limit + 1):
+            for combo in combinations(range(m), size):
+                mask = 0
+                for b in combo:
+                    mask |= 1 << b
+                append(mask)
+        return batch._finish(masks, list(range(len(masks))), len(masks))
+
+
+def _state_cache(state) -> dict:
+    cache = getattr(state, "_vector_cache", None)
+    if cache is None:
+        cache = {}
+        state._vector_cache = cache
+    return cache
+
+
+def _bounded_insert(cache: dict, key, value) -> None:
+    """FIFO-bounded insert with the session caches' discipline: an
+    existing key replaces its own slot (never evicting a neighbour) and
+    refreshed keys move to the tail (dict order is insertion order)."""
+    if key in cache:
+        del cache[key]
+    while len(cache) >= BATCH_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def default_batch(state, default_params=DEFAULT_FAILURE_PARAMS) -> tuple[MaskBatch, bool]:
+    """The (cached) batch for the checkers' default failure enumeration.
+
+    Mirrors :func:`~repro.core.resilience.default_failure_sets`:
+    exhaustive below the link limit, the deterministic sample above it.
+    Cached on the engine state so every destination of a grid sweep
+    shares one batch (and its component labels).
+    """
+    cache = _state_cache(state)
+    key = ("default", default_params)
+    entry = cache.get(key)
+    if entry is not None:
+        cache[key] = cache.pop(key)  # refresh: move to the FIFO tail
+    else:
+        from ..resilience import EXHAUSTIVE_LINK_LIMIT, sampled_failure_sets
+
+        max_failures, samples, seed = default_params
+        network = state.network
+        if network.m <= EXHAUSTIVE_LINK_LIMIT:
+            entry = (MaskBatch.exhaustive(network, max_failures), True)
+        else:
+            iterator = sampled_failure_sets(
+                state.graph, samples=samples, max_failures=max_failures, seed=seed
+            )
+            entry = (MaskBatch.from_failure_sets(network, iterator), False)
+        _bounded_insert(cache, key, entry)
+    return entry
+
+
+def batch_for(state, failure_sets) -> MaskBatch:
+    """A batch for an explicit failure-set family.
+
+    Lists/tuples are cached by identity plus an element snapshot — grid
+    sweeps pass the same materialized list for every destination, and
+    the snapshot comparison (identity-shortcut per element, so O(n)
+    pointer checks on the unchanged case) catches both in-place
+    mutation and a recycled id, never serving a stale batch.  One-shot
+    iterators build streaming, uncached.
+    """
+    if isinstance(failure_sets, (list, tuple)):
+        cache = _state_cache(state)
+        snapshot = tuple(failure_sets)
+        key = ("sets", id(failure_sets))
+        entry = cache.get(key)
+        if entry is None or entry[0] != snapshot:
+            entry = (snapshot, MaskBatch.from_failure_sets(state.network, snapshot))
+        _bounded_insert(cache, key, entry)  # insert, or refresh to the tail
+        return entry[1]
+    return MaskBatch.from_failure_sets(state.network, failure_sets)
+
+
+# ---------------------------------------------------------------------------
+# Dense decision tables.
+# ---------------------------------------------------------------------------
+
+
+class _DecisionTable:
+    """Per-(chunk, pattern) dense decision (and link) tables.
+
+    ``D[OFF[state] + compact[row, node]]`` is the scalar engine's
+    ``next_hop(node, inport, local_mask)`` for mask row ``row`` — every
+    entry comes from the shared :class:`MemoizedPattern`, so the two
+    backends cannot disagree on a single decision.  States whose inport
+    link is locally failed are unreachable (the previous hop only
+    forwards over alive links) and are filled without consulting the
+    pattern.
+    """
+
+    def __init__(
+        self,
+        network: IndexedNetwork,
+        memo: MemoizedPattern,
+        chunk: _MaskChunk,
+        with_links: bool = False,
+    ):
+        from .memo import ILLEGAL
+
+        uniqs, compact = chunk.locals_for(network)
+        self.compact = compact
+        n = network.n
+        stride = n + 1
+        self.state_space = (n + 1) * stride
+        size = sum(
+            (len(network.neighbor_indices[v]) + 1) * len(uniqs[v]) for v in range(n)
+        )
+        if size > TABLE_BUDGET:
+            raise VectorizedUnsupported()
+        offsets = np.zeros(self.state_space, dtype=np.int64)
+        decisions = np.empty(size, dtype=np.int64)
+        links = np.full(size, -1, dtype=np.int64) if with_links else None
+        link_id = (
+            {pair: i for i, pair in enumerate(network.link_ends)} if with_links else None
+        )
+        next_hop = memo.next_hop
+        pos = 0
+        for v in range(n):
+            uniq_ints = [int(u) for u in uniqs[v]]
+            inports = (-1,) + network.neighbor_indices[v]
+            inport_bits = (0,) + network.neighbor_bits[v]
+            for inport, bit in zip(inports, inport_bits):
+                offsets[v * stride + inport + 1] = pos
+                for local in uniq_ints:
+                    if bit & local:
+                        decisions[pos] = ILLEGAL  # unreachable state
+                    else:
+                        decision = next_hop(v, inport, local)
+                        decisions[pos] = decision
+                        if with_links and decision >= 0:
+                            pair = (v, decision) if v < decision else (decision, v)
+                            links[pos] = link_id[pair]
+                    pos += 1
+        self.offsets = offsets
+        self.decisions = decisions
+        self.links = links
+
+
+def reconstruct_failure_sets(batch: MaskBatch) -> list[FailureSet]:
+    """The batch's ordered failure-set family, rebuilt from its masks.
+
+    Exact: every maskable set round-trips through ``failures_of`` (its
+    entries were all canonical links, or it would be a fallback), and
+    fallbacks kept their original frozensets.  Lets the vectorized
+    sweeps consume one-shot iterators *streaming* and still hand the
+    scalar path an equivalent list if they must fall back later.
+    """
+    sets: list[FailureSet | None] = [None] * batch.total
+    for position, failures in batch.fallbacks:
+        sets[position] = failures
+    network = batch.network
+    for chunk in batch.chunks:
+        for mask, position in zip(chunk.masks, chunk.positions):
+            sets[int(position)] = network.failures_of(int(mask))
+    return sets
+
+
+def _table_for(network, memo, chunk, recover_batch=None, with_links=False) -> _DecisionTable:
+    """Build the chunk's table; pattern misbehavior on never-reached
+    states must not change outcomes, so any error falls back scalar.
+    ``recover_batch`` marks a batch built from a consumed one-shot
+    iterator: its reconstructed family rides the exception so the
+    scalar fallback can re-walk it."""
+    try:
+        return _DecisionTable(network, memo, chunk, with_links=with_links)
+    except Exception:
+        recovered = (
+            reconstruct_failure_sets(recover_batch) if recover_batch is not None else None
+        )
+        raise VectorizedUnsupported(recovered) from None
+
+
+# ---------------------------------------------------------------------------
+# The mask walk.
+# ---------------------------------------------------------------------------
+
+
+def _walk_delivered(network: IndexedNetwork, table: _DecisionTable, destination: int, eligible):
+    """Delivery flags for every eligible ``(mask row, source)`` walk.
+
+    Walks advance in lock-step; finished walks are compacted away.  A
+    walk still alive after ``state_bound`` steps has revisited a packed
+    ``(node, inport)`` state (pigeonhole) and can never deliver — the
+    exact condition under which the scalar walk reports a loop.
+    """
+    rows, sources = np.nonzero(eligible)  # row-major: mask order, then node order
+    delivered = np.zeros(len(rows), dtype=bool)
+    if len(rows) == 0:
+        return delivered, rows, sources
+    stride = network.n + 1
+    walk = np.arange(len(rows))
+    node = sources.astype(np.int64)
+    state = node * stride
+    mrow = rows.astype(np.int64)
+    offsets = table.offsets
+    decisions = table.decisions
+    compact = table.compact
+    for _ in range(network.state_bound):
+        decision = decisions[offsets[state] + compact[mrow, node]]
+        arrived = decision == destination
+        if arrived.any():
+            delivered[walk[arrived]] = True
+        alive = decision >= 0
+        cont = alive & ~arrived
+        if not cont.any():
+            break
+        previous = node[cont]
+        node = decision[cont]
+        state = node * stride + previous + 1
+        mrow = mrow[cont]
+        walk = walk[cont]
+    return delivered, rows, sources
+
+
+# ---------------------------------------------------------------------------
+# Destination-pattern resilience sweep (the numpy twin of
+# ``sweep_pattern_resilience``).
+# ---------------------------------------------------------------------------
+
+
+def _naive_set_check(state, pattern, destination, wanted, failures):
+    """Scalar evaluation of one non-maskable failure set — the letter of
+    the scalar engine's naive-fallback branch.  Returns
+    ``(scenarios checked within this set, Counterexample | None)``."""
+    from ..resilience import Counterexample
+
+    component = sorted_nodes(component_of(state.graph, destination, failures))
+    naive = state.naive_network
+    checked = 0
+    for source in component:
+        if source == destination or (wanted is not None and source not in wanted):
+            continue
+        checked += 1
+        result = naive_route(naive, pattern, source, destination, failures)
+        if not result.delivered:
+            return checked, Counterexample(source, destination, failures, result)
+    return checked, None
+
+
+def _ordered_row_failure(network, component_row, eligible_row, delivered_flags_row):
+    """The first failing source of one mask row, in checker order.
+
+    The scalar checkers iterate the *whole component* via
+    ``sorted_nodes`` (which native-sorts a homogeneous component even
+    when the graph fell back to repr order) and then skip ineligible
+    sources without counting them — so node-index order is not always
+    iteration order.  Re-rank the one failing row scalarly.  Returns
+    ``(source index, scenarios checked within this row)``.
+    """
+    labels = network.labels
+    eligible_members = [int(i) for i in np.nonzero(eligible_row)[0]]
+    rank_of = {labels[i]: position for position, i in enumerate(eligible_members)}
+    ordered = sorted_nodes(
+        labels[int(i)] for i in np.nonzero(component_row)[0]
+    )
+    checked = 0
+    for label in ordered:
+        position = rank_of.get(label)
+        if position is None:
+            continue  # the destination itself, or outside sources=
+        checked += 1
+        if not delivered_flags_row[position]:
+            return network.index[label], checked
+    raise AssertionError("no failing source in a failing row")  # pragma: no cover
+
+
+def pattern_sweep_numpy(
+    state,
+    pattern,
+    destination: Node,
+    sources=None,
+    failure_sets=None,
+    exhaustive: bool | None = None,
+    default_params=DEFAULT_FAILURE_PARAMS,
+):
+    """Vectorized twin of :func:`~.sweep.sweep_pattern_resilience`.
+
+    Identical :class:`~repro.core.resilience.Verdict`: same scenario
+    count, same ``exhaustive`` flag, same first counterexample with the
+    same scalar-rewalked trace.  Raises :class:`VectorizedUnsupported`
+    (carrying any materialized failure sets) when the instance cannot
+    vectorize.
+    """
+    from ..resilience import Counterexample, Verdict
+
+    network = state.network
+    if not vectorizable(network):
+        raise VectorizedUnsupported()
+    dest_idx = network.index.get(destination)
+    if dest_idx is None:
+        raise VectorizedUnsupported()
+
+    one_shot_batch = None
+    if failure_sets is None:
+        batch, default_exhaustive = default_batch(state, default_params)
+        if exhaustive is None:
+            exhaustive = default_exhaustive
+    else:
+        batch = batch_for(state, failure_sets)
+        if not isinstance(failure_sets, (list, tuple)):
+            # the caller's one-shot iterator is consumed: a later
+            # fallback reconstructs the family from this batch
+            one_shot_batch = batch
+        if exhaustive is None:
+            exhaustive = False
+
+    wanted = None if sources is None else set(sources)
+    src_ok = np.ones(network.n, dtype=bool)
+    src_ok[dest_idx] = False
+    if wanted is not None:
+        allow = np.zeros(network.n, dtype=bool)
+        for source in wanted:
+            index = network.index.get(source)
+            if index is not None:
+                allow[index] = True
+        src_ok &= allow
+
+    counts = np.zeros(batch.total, dtype=np.int64)
+    # best = (position, scenarios checked within that set, counterexample
+    # thunk) for the earliest failing failure set found so far
+    best = None
+
+    for position, failures in batch.fallbacks:
+        checked, counterexample = _naive_set_check(
+            state, pattern, destination, wanted, failures
+        )
+        counts[position] = checked
+        if counterexample is not None:
+            # fallback positions ascend, so this is the earliest fallback
+            # failure; later fallbacks cannot matter (their counts only
+            # feed the slice before the winning position)
+            best = (position, checked, counterexample)
+            break
+
+    memo = MemoizedPattern(network, pattern)
+    for chunk in batch.chunks:
+        if best is not None and int(chunk.positions[0]) > best[0]:
+            break  # everything here lies after the earliest failure
+        labels = chunk.labels_for(network)
+        eligible = (labels == labels[:, dest_idx][:, None]) & src_ok[None, :]
+        counts[chunk.positions] = eligible.sum(axis=1)
+        table = _table_for(network, memo, chunk, one_shot_batch)
+        delivered, rows, sources_idx = _walk_delivered(network, table, dest_idx, eligible)
+        failed = ~delivered
+        if failed.any():
+            first = int(np.argmax(failed))
+            row = int(rows[first])
+            position = int(chunk.positions[row])
+            if best is None or position < best[0]:
+                row_flags = delivered[rows == row]
+                component_row = labels[row] == labels[row, dest_idx]
+                src_idx, partial = _ordered_row_failure(
+                    network, component_row, eligible[row], row_flags
+                )
+                fmask = int(chunk.masks[row])
+                failures = network.failures_of(fmask)
+                result = route_indexed(network, memo, src_idx, dest_idx, fmask)
+                counterexample = Counterexample(
+                    network.labels[src_idx], destination, failures, result
+                )
+                best = (position, partial, counterexample)
+            break  # chunks are position-ordered: later failures lose
+
+    if best is not None:
+        position, partial, counterexample = best
+        checked = int(counts[:position].sum()) + partial
+        return Verdict(False, checked, counterexample, exhaustive)
+    return Verdict(True, int(counts.sum()), exhaustive=exhaustive)
+
+
+# ---------------------------------------------------------------------------
+# Touring sweep (the numpy twin of ``_sweep_touring``'s inner loop).
+# ---------------------------------------------------------------------------
+
+
+def touring_sweep_numpy(
+    state,
+    pattern,
+    starts: list[Node],
+    failure_sets=None,
+    exhaustive: bool | None = None,
+    default_params=DEFAULT_FAILURE_PARAMS,
+):
+    """Vectorized perfect-touring check: identical Verdicts.
+
+    Phase 1 advances every ``(start, mask)`` walk ``state_bound + 1``
+    steps — any undropped walk is then provably inside its terminal
+    cycle.  Phase 2 walks the cycle once more, accumulating the visited
+    nodes as an ``n``-bit mask, and coverage is one vectorized compare
+    against the component bitmask.  Needs ``n <= 64``.
+    """
+    from ..resilience import Counterexample, Verdict
+
+    network = state.network
+    if not vectorizable(network) or network.n > 64:
+        raise VectorizedUnsupported()
+    start_indices = []
+    for start in starts:
+        index = network.index.get(start)
+        if index is None:
+            raise VectorizedUnsupported()  # naive per-start fallback: scalar path
+        start_indices.append(index)
+    if not start_indices:
+        raise VectorizedUnsupported()
+
+    one_shot_batch = None
+    if failure_sets is None:
+        batch, default_exhaustive = default_batch(state, default_params)
+        if exhaustive is None:
+            exhaustive = default_exhaustive
+    else:
+        batch = batch_for(state, failure_sets)
+        if not isinstance(failure_sets, (list, tuple)):
+            one_shot_batch = batch
+        if exhaustive is None:
+            exhaustive = False
+
+    n_starts = len(start_indices)
+    memo = MemoizedPattern(network, pattern)
+    best = None  # (position, start offset, failures frozenset)
+
+    from ..simulator import tours_component
+
+    for position, failures in batch.fallbacks:
+        if best is not None:
+            break  # fallback positions ascend: the earliest failure is set
+        for offset, start in enumerate(starts):
+            if not tours_component(state.naive_network, pattern, start, failures):
+                best = (position, offset, failures)
+                break
+
+    stride = network.n + 1
+    bits = np.left_shift(np.uint64(1), np.arange(network.n, dtype=np.uint64))
+    starts_column = np.array(start_indices, dtype=np.int64)
+    for chunk in batch.chunks:
+        if best is not None and int(chunk.positions[0]) > best[0]:
+            break
+        k = len(chunk.masks)
+        table = _table_for(network, memo, chunk, one_shot_batch)
+        labels = chunk.labels_for(network)
+        # component bitmask and size per (mask row, start)
+        comp_bits = np.empty((k, n_starts), dtype=np.uint64)
+        comp_size = np.empty((k, n_starts), dtype=np.int64)
+        for offset, start_idx in enumerate(start_indices):
+            member = labels == labels[:, start_idx][:, None]
+            comp_bits[:, offset] = (member * bits[None, :]).sum(axis=1, dtype=np.uint64)
+            comp_size[:, offset] = member.sum(axis=1)
+        walks = k * n_starts
+        mrow = np.repeat(np.arange(k, dtype=np.int64), n_starts)
+        node = np.tile(starts_column, k)
+        state_arr = node * stride
+        walk = np.arange(walks)
+        dropped = np.zeros(walks, dtype=bool)
+        final_state = np.zeros(walks, dtype=np.int64)
+        offsets = table.offsets
+        decisions = table.decisions
+        compact = table.compact
+        # phase 1: run past every transient prefix (into the cycle)
+        for _ in range(network.state_bound + 1):
+            decision = decisions[offsets[state_arr] + compact[mrow, node]]
+            bad = decision < 0
+            if bad.any():
+                dropped[walk[bad]] = True
+            cont = ~bad
+            if not cont.any():
+                walk = walk[:0]
+                state_arr = state_arr[:0]
+                break
+            previous = node[cont]
+            node = decision[cont]
+            state_arr = node * stride + previous + 1
+            mrow = mrow[cont]
+            walk = walk[cont]
+        final_state[walk] = state_arr
+        # phase 2: lap the cycle once, accumulating visited-node bits
+        survivors = np.nonzero(~dropped)[0]
+        cycle_bits = np.zeros(walks, dtype=np.uint64)
+        if len(survivors):
+            entry = final_state[survivors]
+            cur_state = entry.copy()
+            cur_node = cur_state // stride
+            acc = bits[cur_node]
+            mrow2 = survivors // n_starts
+            walk2 = np.arange(len(survivors))
+            active_entry = entry
+            for _ in range(network.state_bound + 1):
+                decision = decisions[offsets[cur_state] + compact[mrow2, cur_node]]
+                previous = cur_node
+                cur_node = decision
+                cur_state = cur_node * stride + previous + 1
+                acc[walk2] = acc[walk2] | bits[cur_node]
+                open_walks = cur_state != active_entry
+                if not open_walks.any():
+                    break
+                cur_state = cur_state[open_walks]
+                cur_node = cur_node[open_walks]
+                mrow2 = mrow2[open_walks]
+                walk2 = walk2[open_walks]
+                active_entry = active_entry[open_walks]
+            cycle_bits[survivors] = acc
+        comp_bits_flat = comp_bits.reshape(-1)
+        covered = (comp_size.reshape(-1) <= 1) | (
+            ~dropped & ((cycle_bits & comp_bits_flat) == comp_bits_flat)
+        )
+        if not covered.all():
+            first = int(np.argmax(~covered))
+            row, offset = divmod(first, n_starts)
+            position = int(chunk.positions[row])
+            if best is None or position < best[0]:
+                best = (position, offset, network.failures_of(int(chunk.masks[row])))
+            break
+
+    if best is not None:
+        position, offset, failures = best
+        checked = position * n_starts + offset + 1
+        counterexample = Counterexample(
+            starts[offset], None, failures, None, note="tour does not cover component"
+        )
+        return Verdict(False, checked, counterexample, exhaustive)
+    return Verdict(True, batch.total * n_starts, exhaustive=exhaustive)
+
+
+# ---------------------------------------------------------------------------
+# Batched traffic routing (many failure masks per demand matrix).
+# ---------------------------------------------------------------------------
+
+#: per-walk outcome codes of the traffic walker
+_PENDING, _DELIVERED, _DROPPED, _LOOPED = 0, 1, 2, 3
+
+
+def _walk_traffic(network, table, chunk, destination, starts, volumes, loads, out, steps_out):
+    """Walk every ``(start state, mask)`` flow with its exact trajectory.
+
+    Unlike the resilience walker, per-link loads need each walk stopped
+    at its first revisited ``(node, inport)`` state (a loop loads its
+    transient prefix plus each cycle link exactly once), so walks carry
+    a dense seen-bitmap over the packed state space.  ``loads`` is the
+    global ``(sets, links)`` counter; ``out``/``steps_out`` are
+    ``(start, sets)`` outcome/step matrices, scatter-written here.
+    """
+    k = len(chunk.masks)
+    n_starts = len(starts)
+    if n_starts * k * table.state_space > SEEN_BUDGET:
+        raise VectorizedUnsupported()
+    stride = network.n + 1
+    positions = chunk.positions
+    walks = n_starts * k
+    srow = np.repeat(np.arange(n_starts, dtype=np.int64), k)
+    mrow = np.tile(np.arange(k, dtype=np.int64), n_starts)
+    state = np.repeat(np.array(starts, dtype=np.int64), k)
+    node = state // stride
+    volume = np.repeat(np.array(volumes, dtype=np.int64), k)
+    walk = np.arange(walks)
+    seen = np.zeros((walks, table.state_space), dtype=bool)
+    seen[walk, state] = True
+    # no trivial source==destination walks: Demand rejects self-demands,
+    # and starts come from the router's validated demand groups
+    offsets = table.offsets
+    decisions = table.decisions
+    link_ids = table.links
+    compact = table.compact
+    for step in range(1, table.state_space + 2):
+        if not len(walk):
+            return
+        offset = offsets[state] + compact[mrow, node]
+        decision = decisions[offset]
+        dropped = decision < 0
+        crossing = ~dropped
+        if crossing.any():
+            np.add.at(
+                loads,
+                (positions[mrow[crossing]], link_ids[offset][crossing]),
+                volume[crossing],
+            )
+        arrived = decision == destination
+        columns = positions[mrow]
+        if arrived.any():
+            out[srow[arrived], columns[arrived]] = _DELIVERED
+            steps_out[srow[arrived], columns[arrived]] = step
+        if dropped.any():
+            out[srow[dropped], columns[dropped]] = _DROPPED
+        cont = crossing & ~arrived
+        if not cont.any():
+            return
+        previous = node[cont]
+        next_node = decision[cont]
+        next_state = next_node * stride + previous + 1
+        srow, mrow, volume, walk, columns = (
+            a[cont] for a in (srow, mrow, volume, walk, columns)
+        )
+        looped = seen[walk, next_state]
+        if looped.any():
+            # the crossing into the repeated state is already loaded,
+            # exactly like the naive walk's final path entry
+            out[srow[looped], columns[looped]] = _LOOPED
+        go = ~looped
+        walk = walk[go]
+        state = next_state[go]
+        node = next_node[go]
+        seen[walk, state] = True
+        srow, mrow, volume = srow[go], mrow[go], volume[go]
+    raise AssertionError("traffic walk outran the state space")  # pragma: no cover
+
+
+def traffic_load_sweep(engine, demands, failure_sets):
+    """Batched :class:`~repro.traffic.load.LoadReport` list for one
+    demand matrix over many failure sets.
+
+    Same grouping, same per-demand accounting order, and the same
+    integer loads as scalar :meth:`TrafficEngine.load` per set — only
+    the walks run batched across masks.  Sets naming links outside the
+    graph take the scalar per-set path in place.  Raises
+    :class:`VectorizedUnsupported` when the instance cannot vectorize.
+    """
+    from ...traffic.load import LoadReport, _VolumeAccounting
+
+    state = engine.state
+    network = state.network
+    if not vectorizable(network):
+        raise VectorizedUnsupported()
+    index = network.index
+    engine._validate_demands(demands)
+    failure_list = list(failure_sets)
+    batch = batch_for(state, failure_list)
+    stride = network.n + 1
+
+    # the scalar router's grouping, verbatim (shared code): identical
+    # groups and iteration order keep the reports bit-equal
+    groups = engine.grouped_demands(demands)
+
+    loads = np.zeros((batch.total, network.m), dtype=np.int64)
+    results = {}
+    for key, (memo, injections, members) in groups.items():
+        starts = sorted(injections)
+        volumes = [injections[start] for start in starts]
+        out = np.zeros((len(starts), batch.total), dtype=np.int8)
+        steps = np.zeros((len(starts), batch.total), dtype=np.int64)
+        for chunk in batch.chunks:
+            table = _table_for(network, memo, chunk, with_links=True)
+            _walk_traffic(network, table, chunk, key[1], starts, volumes, loads, out, steps)
+        results[key] = (out, steps, {start: rank for rank, start in enumerate(starts)})
+
+    row_of = {}
+    for chunk in batch.chunks:
+        for row in range(len(chunk.masks)):
+            row_of[int(chunk.positions[row])] = (chunk, row)
+    fallback_positions = dict(batch.fallbacks)
+    links = network.links
+    total_volume = sum(demand.volume for demand in demands)
+
+    reports: list = []
+    for position in range(batch.total):
+        if position in fallback_positions:
+            reports.append(engine.load(demands, fallback_positions[position]))
+            continue
+        chunk, row = row_of[position]
+        accounting = _VolumeAccounting()
+        for key, (memo, injections, members) in groups.items():
+            out, steps, rank_of = results[key]
+            dist_row = chunk.distances_to(network, key[1])[row]
+            for demand in members:
+                rank = rank_of[index[demand.source] * stride]
+                verdict = int(out[rank, position])
+                accounting.add(
+                    demand.volume,
+                    delivered=verdict == _DELIVERED,
+                    looped=verdict == _LOOPED,
+                    hops=int(steps[rank, position]),
+                    shortest=int(dist_row[index[demand.source]]),
+                )
+        reports.append(
+            LoadReport(
+                loads={links[i]: int(loads[position, i]) for i in range(network.m)},
+                demands=len(demands),
+                total_volume=total_volume,
+                delivered_volume=accounting.delivered_volume,
+                dropped_volume=accounting.dropped_volume,
+                looped_volume=accounting.looped_volume,
+                disconnected_volume=accounting.disconnected_volume,
+                delivered_hops=accounting.delivered_hops,
+                stretch_volume=accounting.stretch_volume,
+            )
+        )
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Batched single-pair delivery (r-tolerance).
+# ---------------------------------------------------------------------------
+
+
+def delivered_flags(state, memo: MemoizedPattern, source: Node, destination: Node, failure_sets):
+    """Per-set delivery of the ``source -> destination`` walk, batched.
+
+    ``failure_sets`` must be materialized (a list); returns a list of
+    bools in order.  Non-maskable sets take the scalar naive fallback,
+    exactly like :meth:`EngineState.route`.
+    """
+    network = state.network
+    if not vectorizable(network):
+        raise VectorizedUnsupported()
+    src = network.index.get(source)
+    dst = network.index.get(destination)
+    if src is None or dst is None:
+        raise VectorizedUnsupported()
+    batch = batch_for(state, failure_sets)
+    flags = [False] * batch.total
+    for position, failures in batch.fallbacks:
+        result = naive_route(
+            state.naive_network, memo.pattern, source, destination, failures
+        )
+        flags[position] = result.delivered
+    if source == destination:
+        for chunk in batch.chunks:
+            for position in chunk.positions:
+                flags[int(position)] = True
+        return flags
+    for chunk in batch.chunks:
+        table = _table_for(network, memo, chunk)
+        eligible = np.zeros((len(chunk.masks), network.n), dtype=bool)
+        eligible[:, src] = True
+        delivered, rows, _ = _walk_delivered(network, table, dst, eligible)
+        for row, ok in zip(rows, delivered):
+            flags[int(chunk.positions[row])] = bool(ok)
+    return flags

@@ -47,6 +47,12 @@ from .simulator import Network, Outcome, RouteResult, route, tours_component
 #: exhaustively enumerate failure sets up to this many links
 EXHAUSTIVE_LINK_LIMIT = 17
 
+#: the default enumeration's (max_failures, samples, seed) — the ONE
+#: definition every surface (naive checkers, scalar engine sweeps, the
+#: vectorized mask batches) resolves, so all backends face the
+#: identical scenario family
+DEFAULT_FAILURE_PARAMS: tuple[int | None, int, int] = (None, 400, 0)
+
 
 @dataclass
 class Counterexample:
@@ -111,7 +117,10 @@ def sampled_failure_sets(
 
 
 def default_failure_sets(
-    graph: nx.Graph, max_failures: int | None = None, samples: int = 400, seed: int = 0
+    graph: nx.Graph,
+    max_failures: int | None = DEFAULT_FAILURE_PARAMS[0],
+    samples: int = DEFAULT_FAILURE_PARAMS[1],
+    seed: int = DEFAULT_FAILURE_PARAMS[2],
 ) -> tuple[Iterator[FailureSet], bool]:
     """Exhaustive enumeration when feasible, else sampling.
 
@@ -148,7 +157,12 @@ def check_pattern_resilience(
         from .engine.sweep import sweep_pattern_resilience
 
         return sweep_pattern_resilience(
-            session.state(graph), pattern, destination, sources=sources, failure_sets=failure_sets
+            session.state(graph),
+            pattern,
+            destination,
+            sources=sources,
+            failure_sets=failure_sets,
+            backend=session.backend,
         )
     network = Network(graph)
     failure_iter, exhaustive = (
@@ -199,6 +213,7 @@ def check_perfect_resilience_source_destination(
             grid,
             processes=_effective_processes(processes, session),
             state=session.state(graph),
+            backend=session.backend,
         ).verdict
     nodes = list(graph.nodes)
     if pairs is None:
@@ -247,6 +262,7 @@ def check_perfect_resilience_destination(
             grid,
             processes=_effective_processes(processes, session),
             state=session.state(graph),
+            backend=session.backend,
         ).verdict
     nodes = list(destinations) if destinations is not None else list(graph.nodes)
     total = 0
@@ -292,6 +308,59 @@ def check_r_tolerance(
     failure_iter, exhaustive = (
         (failure_sets, False) if failure_sets is not None else default_failure_sets(graph)
     )
+    if session.backend == "numpy":
+        # batch the r-connected scenarios through the vectorized walker,
+        # one bounded buffer at a time: the (expensive, per-set)
+        # connectivity filter stays lazy, so a pattern that fails early
+        # never pays for filtering the whole enumeration — the scalar
+        # path's short-circuit, kept.  Gate on vectorizability first and
+        # never run the filter twice.
+        from .engine.vectorized import VectorizedUnsupported, delivered_flags, vectorizable
+
+        state = session.state(graph)
+        if vectorizable(state.network):
+            memo = state.memoized(pattern)
+            checked = 0
+
+            def check_buffer(buffer: list) -> Verdict | None:
+                nonlocal checked
+                try:
+                    flags = delivered_flags(state, memo, source, destination, buffer)
+                except VectorizedUnsupported:
+                    # rare late fallback (e.g. table budget): walk the
+                    # already-filtered buffer scalar, no second filter
+                    flags = None
+                for position, failures in enumerate(buffer):
+                    checked += 1
+                    if flags is not None and flags[position]:
+                        continue
+                    result = state.route(memo, source, destination, failures)
+                    if not result.delivered:
+                        return Verdict(
+                            False,
+                            checked,
+                            Counterexample(
+                                source, destination, failures, result, note=f"r={r}"
+                            ),
+                            exhaustive,
+                        )
+                return None
+
+            buffer: list = []
+            for failures in failure_iter:
+                if st_edge_connectivity(graph, source, destination, failures, stop_at=r) < r:
+                    continue
+                buffer.append(failures)
+                if len(buffer) >= 256:
+                    verdict = check_buffer(buffer)
+                    if verdict is not None:
+                        return verdict
+                    buffer = []
+            if buffer:
+                verdict = check_buffer(buffer)
+                if verdict is not None:
+                    return verdict
+            return Verdict(True, checked, exhaustive=exhaustive)
     if session.use_engine:
         state = session.state(graph)
         memo = state.memoized(pattern)
@@ -338,7 +407,9 @@ def check_perfect_touring(
         from .engine.sweep import ScenarioGrid, sweep_resilience
 
         grid = ScenarioGrid(sources=starts, failure_sets=failure_sets)
-        return sweep_resilience(graph, algorithm, grid, state=session.state(graph)).verdict
+        return sweep_resilience(
+            graph, algorithm, grid, state=session.state(graph), backend=session.backend
+        ).verdict
     network = Network(graph)
     pattern = algorithm.build(graph)
     failure_iter, exhaustive = (
@@ -395,6 +466,7 @@ def check_ideal_resilience(
             verdict = sweep_pattern_resilience(
                 state, pattern, destination,
                 failure_sets=all_failure_sets(graph, max_failures=k - 1),
+                backend=session.backend,
             )
         else:
             verdict = check_pattern_resilience(

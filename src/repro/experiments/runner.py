@@ -367,10 +367,13 @@ def _congestion_curve(
 ):
     """The scheme's congestion curve on the shared grid, or a skip reason.
 
-    On the engine backend this mirrors :func:`repro.traffic.congestion.
+    On the engine backends this mirrors :func:`repro.traffic.congestion.
     compare_congestion` exactly — same pre-flight, same per-scenario
     loads — so grid records are differentially equal to the comparison
-    harness.  On a ``backend="naive"`` session the loads come from
+    harness; a ``backend="numpy"`` session routes each grid bucket
+    through the vectorized :meth:`TrafficEngine.load_sweep` (identical
+    loads) via the session-built traffic engine.  On a
+    ``backend="naive"`` session the loads come from
     :func:`repro.traffic.load.per_packet_loads` (one simulated walk per
     demand): the reference surface differential tests compare against.
     """

@@ -7,8 +7,12 @@ harness built its own, ``measure_stretch`` another, broadcast cached one
 privately.  A session centralizes that: it owns a bounded cache of
 per-graph engine states (index maps, component caches, memoized decision
 tables) plus per-(graph, scheme) traffic engines, and it decides the
-*backend* — ``"engine"`` (the fast indexed path) or ``"naive"`` (the
-hop-by-hop reference simulator, kept for differential testing).
+*backend* — ``"engine"`` (the fast indexed path), ``"numpy"`` (the
+vectorized mask-walk backend, batching many failure masks per
+destination through array ops; needs the optional numpy dependency and
+falls back to scalar-engine semantics where an instance cannot
+vectorize), or ``"naive"`` (the hop-by-hop reference simulator, kept
+for differential testing).
 
 Consumers accept ``session=``; the legacy ``use_engine=`` keyword is
 still accepted everywhere it existed, but it now merely resolves to a
@@ -24,11 +28,12 @@ from collections import OrderedDict
 import networkx as nx
 
 from ..core.engine.sweep import EngineState
+from ..core.engine.vectorized import numpy_available, require_numpy
 
 #: cached engine states / traffic engines per session (FIFO eviction)
 STATE_CACHE_LIMIT = 16
 
-_BACKENDS = ("engine", "naive")
+_BACKENDS = ("engine", "naive", "numpy")
 
 
 def _fingerprint(graph: nx.Graph) -> tuple:
@@ -48,15 +53,21 @@ class ExperimentSession:
     """Owns engine state for a series of experiments.
 
     ``backend="engine"`` routes every consumer through the fast indexed
-    engine with caches shared across calls; ``backend="naive"`` selects
-    the reference hop-by-hop paths (identical verdicts, no caching) —
-    the surface the differential tests compare against.  ``processes``
-    is the default fan-out for grid sweeps that support it.
+    engine with caches shared across calls; ``backend="numpy"`` layers
+    the vectorized mask-walk sweeps on top of the same engine state
+    (requires the optional numpy dependency; instances the vectorizer
+    cannot handle silently take the scalar engine path with identical
+    verdicts); ``backend="naive"`` selects the reference hop-by-hop
+    paths (identical verdicts, no caching) — the surface the
+    differential tests compare against.  ``processes`` is the default
+    fan-out for grid sweeps that support it.
     """
 
     def __init__(self, backend: str = "engine", processes: int = 1):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if backend == "numpy":
+            require_numpy()
         self.backend = backend
         self.processes = processes
         self._states: OrderedDict[int, tuple[tuple, EngineState]] = OrderedDict()
@@ -64,8 +75,9 @@ class ExperimentSession:
 
     @property
     def use_engine(self) -> bool:
-        """Does this session run on the fast engine backend?"""
-        return self.backend == "engine"
+        """Does this session run on an engine-state backend (fast indexed
+        or vectorized), as opposed to the naive reference paths?"""
+        return self.backend != "naive"
 
     # -- state ownership ---------------------------------------------------
 
@@ -75,13 +87,29 @@ class ExperimentSession:
         Keyed by graph object identity *and* its node/edge fingerprint;
         a mutated graph is re-indexed, and a bounded FIFO keeps sessions
         that sweep many graphs from pinning every index ever built.
+        Refreshed keys (hits and re-indexes alike) move to the FIFO
+        tail, so a hot graph is never the next eviction victim; an
+        incoming key that already exists replaces its own slot instead
+        of evicting an unrelated entry.
+
+        The ``"naive"`` backend is the cache-free reference: it builds a
+        throwaway state per call and retains nothing.
         """
+        if self.backend == "naive":
+            return EngineState(graph)
         key = id(graph)
         fingerprint = _fingerprint(graph)
         cached = self._states.get(key)
         if cached is not None and cached[0] == fingerprint and cached[1].graph is graph:
+            self._states.move_to_end(key)
             return cached[1]
         state = EngineState(graph)
+        if key in self._states:
+            # same slot (a mutated graph being re-indexed): replace in
+            # place — evicting an unrelated entry would shrink the cache
+            self._states[key] = (fingerprint, state)
+            self._states.move_to_end(key)
+            return state
         while len(self._states) >= STATE_CACHE_LIMIT:
             self._states.popitem(last=False)
         self._states[key] = (fingerprint, state)
@@ -95,14 +123,24 @@ class ExperimentSession:
         """
         from ..traffic.load import TrafficEngine
 
+        if self.backend == "naive":
+            # cache-free reference backend, like state() above
+            return TrafficEngine(EngineState(graph), algorithm)
         # self.state() re-indexes a mutated graph; comparing the cached
         # engine's state to the current one inherits that staleness check
         state = self.state(graph)
         key = (id(graph), id(algorithm))
         cached = self._traffic.get(key)
         if cached is not None and cached.state is state and cached.algorithm is algorithm:
+            self._traffic.move_to_end(key)
             return cached
-        engine = TrafficEngine(state, algorithm)
+        engine = TrafficEngine(state, algorithm, backend=self.backend)
+        if key in self._traffic:
+            # stale entry under the same key (mutated graph, or a
+            # recycled id pair): replace in place, never evict a neighbor
+            self._traffic[key] = engine
+            self._traffic.move_to_end(key)
+            return engine
         while len(self._traffic) >= STATE_CACHE_LIMIT:
             self._traffic.popitem(last=False)
         self._traffic[key] = engine
@@ -143,7 +181,14 @@ def default_session() -> ExperimentSession:
 
 
 def naive_session() -> ExperimentSession:
-    """The shared naive-backend session (reference paths, no caching)."""
+    """The shared naive-backend session: reference paths, no caching.
+
+    "No caching" is literal: a naive-backend session's
+    :meth:`ExperimentSession.state` and
+    :meth:`ExperimentSession.traffic_engine` build throwaway objects per
+    call and retain nothing, so the reference surface can never serve a
+    stale index.
+    """
     global _NAIVE_SESSION
     if _NAIVE_SESSION is None:
         _NAIVE_SESSION = ExperimentSession(backend="naive")
@@ -165,12 +210,14 @@ def resolve_session(
     """
     if use_engine is None:
         return session if session is not None else default_session()
+    # validate before warning: the ValueError path is a caller bug, not a
+    # deprecated-but-working call, and must not also emit the warning
+    if session is not None:
+        raise ValueError("pass either session= or the deprecated use_engine=, not both")
     warnings.warn(
         f"{caller}: the use_engine= keyword is deprecated; pass "
         f'session=ExperimentSession(backend="engine"/"naive") instead',
         DeprecationWarning,
         stacklevel=3,
     )
-    if session is not None:
-        raise ValueError("pass either session= or the deprecated use_engine=, not both")
     return default_session() if use_engine else naive_session()

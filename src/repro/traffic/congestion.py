@@ -148,7 +148,9 @@ def congestion_vs_failures(
         samples_per_size=samples,
     )
     for size in sorted(failure_grid):
-        reports = [engine.load(demands, failures) for failures in failure_grid[size]]
+        # one batched call per size: a numpy-backend engine walks the
+        # whole bucket as one mask batch, everything else loops scalar
+        reports = engine.load_sweep(demands, failure_grid[size])
         if reports:  # an explicitly passed grid may carry empty buckets
             curve.points.append(_aggregate(size, reports))
     return curve
@@ -351,11 +353,13 @@ def compare_congestion(
     if sizes is None:
         sizes = default_sizes(graph)
     grid = sample_failure_grid(graph, sizes, samples, seed)
-    state = resolve_session(session).state(graph)
+    resolved = resolve_session(session)
+    state = resolved.state(graph)
+    backend = "numpy" if resolved.backend == "numpy" else "engine"
     result = ComparisonResult(curves=[])
     for algorithm in algorithms:
         curve, reason = preflight_congestion_curve(
-            TrafficEngine(state, algorithm),
+            TrafficEngine(state, algorithm, backend=backend),
             algorithm,
             demands,
             grid,

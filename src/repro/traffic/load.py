@@ -110,6 +110,39 @@ class LoadReport:
         return self.stretch_volume / self.delivered_volume if self.delivered_volume else 0.0
 
 
+@dataclass
+class _VolumeAccounting:
+    """Per-outcome volume counters shared by every router flavour.
+
+    Both the scalar router and the vectorized ``load_sweep`` funnel each
+    demand through :meth:`add` in the same (group, member) order, so the
+    volume totals — including the float ``stretch_volume`` summation
+    order — are equal by construction, not by parallel maintenance.
+    """
+
+    delivered_volume: int = 0
+    dropped_volume: int = 0
+    looped_volume: int = 0
+    disconnected_volume: int = 0
+    delivered_hops: int = 0
+    stretch_volume: float = 0.0
+
+    def add(self, volume: int, delivered: bool, looped: bool, hops: int, shortest: int) -> None:
+        """Account one demand: ``shortest`` is the surviving-graph hop
+        distance (``< 0`` when source and destination are disconnected)."""
+        if delivered:
+            self.delivered_volume += volume
+            self.delivered_hops += volume * hops
+            self.stretch_volume += volume * (hops / shortest)
+        else:
+            if looped:
+                self.looped_volume += volume
+            else:
+                self.dropped_volume += volume
+            if shortest < 0:
+                self.disconnected_volume += volume
+
+
 class _DestinationFlows:
     """Lazy functional-graph classification for one (memo, dest, fmask).
 
@@ -302,16 +335,24 @@ class TrafficEngine:
     """
 
     def __init__(
-        self, graph: nx.Graph | EngineState, algorithm: RoutingAlgorithm, session=None
+        self,
+        graph: nx.Graph | EngineState,
+        algorithm: RoutingAlgorithm,
+        session=None,
+        backend: str = "engine",
     ):
         if isinstance(graph, EngineState):
             self.state = graph
         elif session is not None:  # session-owned (and cached) engine state
             self.state = session.state(graph)
+            backend = "numpy" if session.backend == "numpy" else backend
         else:
             self.state = EngineState(graph)
         self.graph = self.state.graph
         self.algorithm = algorithm
+        #: "numpy" batches multi-set sweeps through the vectorized
+        #: walker (same loads); anything else keeps the scalar router
+        self.backend = backend
         network = self.state.network
         #: (low index, high index) -> link bit position
         self.link_index: dict[tuple[int, int], int] = {
@@ -342,25 +383,51 @@ class TrafficEngine:
                 )
         return self._memos[key]
 
-    def load(self, demands: TrafficMatrix, failures: FailureSet = EMPTY_FAILURES) -> LoadReport:
-        """Route the whole matrix under ``failures`` and count link loads."""
-        network = self.state.network
-        index = network.index
+    def load_sweep(
+        self, demands: TrafficMatrix, failure_sets: list[FailureSet]
+    ) -> list[LoadReport]:
+        """One :class:`LoadReport` per failure set, in order.
+
+        On ``backend="numpy"`` the whole sweep walks as one mask batch
+        through :func:`repro.core.engine.vectorized.traffic_load_sweep`
+        (identical reports — integer loads and volume accounting match
+        the scalar router bit for bit); otherwise, and whenever the
+        vectorizer cannot take the instance, this is exactly the
+        ``[self.load(demands, f) for f in failure_sets]`` loop.
+        """
+        sets = list(failure_sets)
+        if self.backend == "numpy":
+            from ..core.engine.vectorized import VectorizedUnsupported, traffic_load_sweep
+
+            try:
+                return traffic_load_sweep(self, demands, sets)
+            except VectorizedUnsupported:
+                pass
+        return [self.load(demands, failures) for failures in sets]
+
+    def _validate_demands(self, demands: TrafficMatrix) -> None:
+        index = self.state.network.index
         for demand in demands:
             if demand.source not in index or demand.destination not in index:
                 raise ValueError(
                     f"demand endpoint not in graph: {demand.source!r} -> {demand.destination!r}"
                 )
-        fmask = network.mask_of(failures)
-        if fmask is None:
-            # failure entries outside the canonical link set: keep the
-            # naive matching semantics by routing per packet
-            return per_packet_loads(self.graph, self.algorithm, demands, failures)
 
-        # group demands per (memoized pattern, destination): the whole
-        # group shares one functional graph and one volume propagation
-        groups: dict[tuple[int, int], tuple[MemoizedPattern, dict[int, int], list[Demand]]] = {}
+    def grouped_demands(
+        self, demands: TrafficMatrix
+    ) -> dict[tuple[int, int], tuple[MemoizedPattern, dict[int, int], list[Demand]]]:
+        """Demands grouped per (memoized pattern, destination index).
+
+        Each value is ``(memo, injections, members)`` with injections
+        keyed by packed ``(source, ⊥)`` start state.  Shared by the
+        scalar router and the vectorized ``load_sweep`` so grouping —
+        and therefore the accounting iteration order — cannot drift
+        between the two.
+        """
+        network = self.state.network
+        index = network.index
         stride = network.n + 1
+        groups: dict[tuple[int, int], tuple[MemoizedPattern, dict[int, int], list[Demand]]] = {}
         for demand in demands:
             memo = self._memo_for(demand.source, demand.destination)
             key = (id(memo), index[demand.destination])
@@ -370,42 +437,49 @@ class TrafficEngine:
             start = index[demand.source] * stride  # (source, ⊥)
             injections[start] = injections.get(start, 0) + demand.volume
             members.append(demand)
+        return groups
 
+    def load(self, demands: TrafficMatrix, failures: FailureSet = EMPTY_FAILURES) -> LoadReport:
+        """Route the whole matrix under ``failures`` and count link loads."""
+        network = self.state.network
+        index = network.index
+        self._validate_demands(demands)
+        fmask = network.mask_of(failures)
+        if fmask is None:
+            # failure entries outside the canonical link set: keep the
+            # naive matching semantics by routing per packet
+            return per_packet_loads(self.graph, self.algorithm, demands, failures)
+
+        # group demands per (memoized pattern, destination): the whole
+        # group shares one functional graph and one volume propagation
+        groups = self.grouped_demands(demands)
+        stride = network.n + 1
         loads = [0] * network.m
-        delivered_volume = dropped_volume = looped_volume = 0
-        disconnected_volume = 0
-        delivered_hops = 0
-        stretch_volume = 0.0
+        accounting = _VolumeAccounting()
         for (_, destination), (memo, injections, members) in groups.items():
             flows = _DestinationFlows(self.state, memo, destination, fmask, self.link_index)
             flows.accumulate(injections, loads)
             for demand in members:
                 start = index[demand.source] * stride
                 verdict = flows.outcome[start]
-                if verdict is Outcome.DELIVERED:
-                    delivered_volume += demand.volume
-                    hops = flows.depth[start]
-                    delivered_hops += demand.volume * hops
-                    shortest = flows.distance_to_destination(index[demand.source])
-                    stretch_volume += demand.volume * (hops / shortest)
-                else:
-                    if verdict is Outcome.LOOP:
-                        looped_volume += demand.volume
-                    else:
-                        dropped_volume += demand.volume
-                    if flows.distance_to_destination(index[demand.source]) < 0:
-                        disconnected_volume += demand.volume
+                accounting.add(
+                    demand.volume,
+                    delivered=verdict is Outcome.DELIVERED,
+                    looped=verdict is Outcome.LOOP,
+                    hops=flows.depth[start] if verdict is Outcome.DELIVERED else 0,
+                    shortest=flows.distance_to_destination(index[demand.source]),
+                )
         links = network.links
         return LoadReport(
             loads={links[i]: loads[i] for i in range(network.m)},
             demands=len(demands),
             total_volume=sum(demand.volume for demand in demands),
-            delivered_volume=delivered_volume,
-            dropped_volume=dropped_volume,
-            looped_volume=looped_volume,
-            disconnected_volume=disconnected_volume,
-            delivered_hops=delivered_hops,
-            stretch_volume=stretch_volume,
+            delivered_volume=accounting.delivered_volume,
+            dropped_volume=accounting.dropped_volume,
+            looped_volume=accounting.looped_volume,
+            disconnected_volume=accounting.disconnected_volume,
+            delivered_hops=accounting.delivered_hops,
+            stretch_volume=accounting.stretch_volume,
         )
 
 

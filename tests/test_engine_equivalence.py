@@ -30,12 +30,26 @@ from repro.core.resilience import (
     check_perfect_touring,
     check_r_tolerance,
 )
+from repro.core.engine.vectorized import numpy_available
 from repro.core.simulator import Network, route, tour
-from repro.experiments import default_session as engine_session, naive_session
+from repro.experiments import (
+    ExperimentSession,
+    default_session as engine_session,
+    naive_session,
+)
 from repro.graphs.construct import complete_bipartite, complete_graph, fig6_netrail
 from repro.graphs.edges import edge, edge_sort_key
 
 RANDOM_GRAPHS_PER_MODEL = 50
+
+#: the differential matrix: every fast backend must equal the naive
+#: reference bit for bit (numpy joins the matrix when it is installed)
+FAST_BACKENDS = ["engine"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(params=FAST_BACKENDS)
+def fast_session(request):
+    return ExperimentSession(backend=request.param)
 
 
 def random_graph(index: int) -> nx.Graph:
@@ -134,38 +148,40 @@ class TestRouteEquivalenceRandomGraphs:
 
 
 class TestCheckerEquivalenceRandomGraphs:
-    """Full checker verdicts, engine vs naive, on a graph subsample."""
+    """Full checker verdicts, every fast backend vs naive, on a subsample."""
 
     @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
-    def test_destination_checker(self, index):
+    def test_destination_checker(self, index, fast_session):
         graph = random_graph(3_000 + index)
         algorithm = GreedyLowestNeighbor()
-        fast = check_perfect_resilience_destination(graph, algorithm)
+        fast = check_perfect_resilience_destination(graph, algorithm, session=fast_session)
         slow = check_perfect_resilience_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
-    def test_source_destination_checker(self, index):
+    def test_source_destination_checker(self, index, fast_session):
         graph = random_graph(4_000 + index)
         algorithm = RandomCyclicPermutations(seed=index)
-        fast = check_perfect_resilience_source_destination(graph, algorithm)
+        fast = check_perfect_resilience_source_destination(
+            graph, algorithm, session=fast_session
+        )
         slow = check_perfect_resilience_source_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 4))
-    def test_touring_checker(self, index):
+    def test_touring_checker(self, index, fast_session):
         graph = random_graph(5_000 + index)
         algorithm = RandomPortCycles(seed=index)
-        fast = check_perfect_touring(graph, algorithm)
+        fast = check_perfect_touring(graph, algorithm, session=fast_session)
         slow = check_perfect_touring(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
     @pytest.mark.parametrize("index", range(0, RANDOM_GRAPHS_PER_MODEL, 10))
-    def test_r_tolerance_checker(self, index):
+    def test_r_tolerance_checker(self, index, fast_session):
         graph = random_graph(6_000 + index)
         nodes = sorted(graph.nodes)
         algorithm = RandomCyclicPermutations(seed=index)
-        fast = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2)
+        fast = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2, session=fast_session)
         slow = check_r_tolerance(graph, algorithm, nodes[0], nodes[-1], 2, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
@@ -176,11 +192,13 @@ class TestPaperGadgets:
     @pytest.mark.parametrize(
         "maker", [lambda: complete_graph(7), lambda: complete_bipartite(4, 4), fig6_netrail]
     )
-    def test_destination_checker_on_gadget(self, maker):
+    def test_destination_checker_on_gadget(self, maker, fast_session):
         graph = maker()
         failure_sets = list(all_failure_sets(graph, max_failures=2))
         algorithm = GreedyLowestNeighbor()
-        fast = check_perfect_resilience_destination(graph, algorithm, failure_sets=failure_sets)
+        fast = check_perfect_resilience_destination(
+            graph, algorithm, failure_sets=failure_sets, session=fast_session
+        )
         slow = check_perfect_resilience_destination(
             graph, algorithm, failure_sets=failure_sets, session=naive_session()
         )
@@ -199,10 +217,10 @@ class TestPaperGadgets:
             ]
             assert_routes_match(graph, pattern, scenarios)
 
-    def test_netrail_full_default_enumeration(self):
+    def test_netrail_full_default_enumeration(self, fast_session):
         graph = fig6_netrail()
         algorithm = RandomCyclicDestinationOnly(seed=7)
-        fast = check_perfect_resilience_destination(graph, algorithm)
+        fast = check_perfect_resilience_destination(graph, algorithm, session=fast_session)
         slow = check_perfect_resilience_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
@@ -219,44 +237,46 @@ class TestSampledLargeGraphs:
     path (sampled failure sets never repeat masks across destinations)."""
 
     @pytest.mark.parametrize("index", range(3))
-    def test_destination_checker_sampled(self, index):
+    def test_destination_checker_sampled(self, index, fast_session):
         graph = nx.gnp_random_graph(12, 0.5, seed=index)
         assert graph.number_of_edges() > 17 and nx.is_connected(graph)
         destinations = sorted(graph.nodes)[:2]
         algorithm = GreedyLowestNeighbor()
-        fast = check_perfect_resilience_destination(graph, algorithm, destinations=destinations)
+        fast = check_perfect_resilience_destination(
+            graph, algorithm, destinations=destinations, session=fast_session
+        )
         slow = check_perfect_resilience_destination(
             graph, algorithm, destinations=destinations, session=naive_session()
         )
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
-    def test_touring_checker_sampled(self):
+    def test_touring_checker_sampled(self, fast_session):
         graph = nx.gnp_random_graph(12, 0.5, seed=5)
         assert graph.number_of_edges() > 17
         algorithm = RandomPortCycles(seed=5)
         starts = sorted(graph.nodes)[:3]
-        fast = check_perfect_touring(graph, algorithm, starts=starts)
+        fast = check_perfect_touring(graph, algorithm, starts=starts, session=fast_session)
         slow = check_perfect_touring(graph, algorithm, starts=starts, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
 
 class TestPatternLevel:
-    def test_single_pattern_checker_equivalence(self):
+    def test_single_pattern_checker_equivalence(self, fast_session):
         graph = fig6_netrail()
         destination = sorted(graph.nodes)[0]
         pattern = GreedyLowestNeighbor().build(graph, destination)
-        fast = check_pattern_resilience(graph, pattern, destination)
+        fast = check_pattern_resilience(graph, pattern, destination, session=fast_session)
         slow = check_pattern_resilience(graph, pattern, destination, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
-    def test_mixed_label_graph_matches_naive_ordering(self):
+    def test_mixed_label_graph_matches_naive_ordering(self, fast_session):
         # one non-comparable neighbourhood flips the naive Network to
         # repr-order for *every* node; the engine must follow suit —
         # note 10 vs 2 sort differently under native and repr order
         graph = nx.Graph()
         graph.add_edges_from([(1, 2), (2, 10), (10, 1), (1, "x"), ("x", 2)])
         algorithm = GreedyLowestNeighbor()
-        fast = check_perfect_resilience_destination(graph, algorithm)
+        fast = check_perfect_resilience_destination(graph, algorithm, session=fast_session)
         slow = check_perfect_resilience_destination(graph, algorithm, session=naive_session())
         assert verdict_tuple(fast) == verdict_tuple(slow)
         destination = 1
@@ -269,18 +289,20 @@ class TestPatternLevel:
         ]
         assert_routes_match(graph, pattern, scenarios)
 
-    def test_non_graph_links_fall_back_to_naive_semantics(self):
+    def test_non_graph_links_fall_back_to_naive_semantics(self, fast_session):
         graph = complete_graph(4)
         destination = 0
         pattern = GreedyLowestNeighbor().build(graph, destination)
         weird = [frozenset({(0, 99)}), frozenset({(1, 2), ("x", "y")})]
-        fast = check_pattern_resilience(graph, pattern, destination, failure_sets=weird)
+        fast = check_pattern_resilience(
+            graph, pattern, destination, failure_sets=weird, session=fast_session
+        )
         slow = check_pattern_resilience(
             graph, pattern, destination, failure_sets=weird, session=naive_session()
         )
         assert verdict_tuple(fast) == verdict_tuple(slow)
 
-    def test_non_canonical_failure_tuples_keep_naive_semantics(self):
+    def test_non_canonical_failure_tuples_keep_naive_semantics(self, fast_session):
         # the naive path matches failures against canonical edges only,
         # so a reversed tuple like (1, 0) is effectively alive; the
         # engine must not canonicalize it into a failed link
@@ -288,7 +310,9 @@ class TestPatternLevel:
         destination = 0
         pattern = GreedyLowestNeighbor().build(graph, destination)
         reversed_links = [frozenset({(1, 0)}), frozenset({(2, 1), (3, 0)})]
-        fast = check_pattern_resilience(graph, pattern, destination, failure_sets=reversed_links)
+        fast = check_pattern_resilience(
+            graph, pattern, destination, failure_sets=reversed_links, session=fast_session
+        )
         slow = check_pattern_resilience(
             graph, pattern, destination, failure_sets=reversed_links, session=naive_session()
         )

@@ -42,6 +42,49 @@ class TestStateOwnership:
             session.state(graph)
         assert len(session._states) <= STATE_CACHE_LIMIT
 
+    def test_eviction_is_strict_fifo_at_the_limit(self):
+        from repro.experiments.session import STATE_CACHE_LIMIT
+
+        session = ExperimentSession()
+        graphs = [cycle_graph(5) for _ in range(STATE_CACHE_LIMIT)]
+        states = [session.state(graph) for graph in graphs]
+        extra = cycle_graph(5)
+        session.state(extra)
+        assert len(session._states) == STATE_CACHE_LIMIT
+        # the oldest entry went; the second-oldest survived
+        assert session.state(graphs[1]) is states[1]
+        assert id(graphs[0]) not in session._states
+
+    def test_mutation_reindex_at_capacity_does_not_shrink_the_cache(self):
+        from repro.experiments.session import STATE_CACHE_LIMIT
+
+        session = ExperimentSession()
+        graphs = [cycle_graph(5) for _ in range(STATE_CACHE_LIMIT)]
+        keep = [session.state(graph) for graph in graphs]
+        victim = graphs[-1]
+        victim.add_edge(0, 2)  # in-place mutation: same id, new fingerprint
+        rebuilt = session.state(victim)
+        assert rebuilt is not keep[-1]
+        assert rebuilt.network.m == 6
+        # the re-index replaced its own slot — no unrelated entry was
+        # evicted and the cache did not shrink below the limit
+        assert len(session._states) == STATE_CACHE_LIMIT
+        for graph, state in zip(graphs[:-1], keep[:-1]):
+            assert session.state(graph) is state
+
+    def test_refreshed_keys_move_to_the_fifo_tail(self):
+        from repro.experiments.session import STATE_CACHE_LIMIT
+
+        session = ExperimentSession()
+        graphs = [cycle_graph(5) for _ in range(STATE_CACHE_LIMIT)]
+        states = [session.state(graph) for graph in graphs]
+        hot = session.state(graphs[0])  # refresh the oldest entry
+        assert hot is states[0]
+        session.state(cycle_graph(5))  # force one eviction
+        # the refreshed (hot) graph survived; the stale runner-up went
+        assert session.state(graphs[0]) is states[0]
+        assert id(graphs[1]) not in session._states
+
     def test_traffic_engine_cached_per_pair(self):
         session = ExperimentSession()
         graph = cycle_graph(6)
@@ -51,9 +94,58 @@ class TestStateOwnership:
         assert engine.state is session.state(graph)
         assert session.traffic_engine(graph, GreedyLowestNeighbor()) is not engine
 
+    def test_traffic_key_id_recycling_is_guarded(self):
+        # the FIFO key is (id(graph), id(algorithm)); if a colliding key
+        # ever appears (ids recycled after an eviction dropped the strong
+        # references), the identity guards must rebuild, never serve the
+        # poisoned entry
+        session = ExperimentSession()
+        graph = cycle_graph(6)
+        algorithm = GreedyLowestNeighbor()
+        key = (id(graph), id(algorithm))
+        poison = session.traffic_engine(cycle_graph(6), GreedyLowestNeighbor())
+        session._traffic.clear()
+        session._traffic[key] = poison  # simulate a recycled-id collision
+        engine = session.traffic_engine(graph, algorithm)
+        assert engine is not poison
+        assert engine.state.graph is graph
+        assert engine.algorithm is algorithm
+        # and the replacement landed in the same slot (no cache growth)
+        assert session._traffic[key] is engine
+        assert len(session._traffic) == 1
+
+    def test_mutated_graph_rebuilds_traffic_engine_in_place(self):
+        session = ExperimentSession()
+        graph = cycle_graph(6)
+        algorithm = GreedyLowestNeighbor()
+        before = session.traffic_engine(graph, algorithm)
+        graph.add_edge(0, 3)
+        after = session.traffic_engine(graph, algorithm)
+        assert after is not before
+        assert after.state.network.m == 7
+        assert len(session._traffic) == 1
+
+    def test_naive_backend_caches_nothing(self):
+        session = ExperimentSession(backend="naive")
+        graph = cycle_graph(6)
+        assert session.state(graph) is not session.state(graph)
+        engine = session.traffic_engine(graph, GreedyLowestNeighbor())
+        assert session.traffic_engine(graph, GreedyLowestNeighbor()) is not engine
+        assert not session._states and not session._traffic
+
     def test_invalid_backend(self):
         with pytest.raises(ValueError):
             ExperimentSession(backend="turbo")
+
+    def test_numpy_backend_gating(self):
+        from repro.core.engine.vectorized import NUMPY_GATING_ERROR, numpy_available
+
+        if numpy_available():
+            assert ExperimentSession(backend="numpy").use_engine
+        else:  # pragma: no cover - exercised by the no-numpy CI job
+            with pytest.raises(RuntimeError, match="requires the optional numpy"):
+                ExperimentSession(backend="numpy")
+            assert "numpy" in NUMPY_GATING_ERROR
 
 
 class TestBackends:
@@ -129,8 +221,12 @@ class TestUseEngineShim:
         assert legacy.walk == modern.walk
 
     def test_session_and_use_engine_together_is_an_error(self):
-        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
-            resolve_session(ExperimentSession(), use_engine=True)
+        # validation must run before the deprecation warning: the error
+        # path is a caller bug, not a deprecated-but-working call
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(ValueError):
+                resolve_session(ExperimentSession(), use_engine=True)
 
 
 class TestResolveSession:

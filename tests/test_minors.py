@@ -125,6 +125,53 @@ class TestIsMinorOf:
         assert is_minor_of(construct.complete_graph(4), construct.k_bipartite_minus(3, 3, 2)) is MinorOutcome.NO
 
 
+class TestExactSearchCompleteness:
+    """Models the old delete/contract host-link branching lost outright.
+
+    In each case the pattern edge realized by one host link can neither
+    be deleted (sole contact between its branch sets) nor contracted
+    (the merged set cannot be re-split), so both branches miss the
+    model; the branch-set embedding search must find it.
+    """
+
+    @pytest.mark.parametrize(
+        "host_edges, pattern_edges",
+        [
+            # 4-cycle + pendant vs triangle + pendant (smallest witness)
+            ([(0, 1), (0, 2), (1, 4), (2, 3), (2, 4)], [(0, 1), (0, 2), (1, 2), (2, 3)]),
+            ([(0, 2), (0, 3), (0, 4), (1, 5), (2, 3), (2, 5), (4, 5)],
+             [(0, 2), (0, 3), (0, 5), (1, 5), (2, 3), (2, 5)]),
+            ([(0, 1), (0, 4), (1, 5), (2, 3), (3, 4), (4, 5)],
+             [(0, 1), (0, 3), (0, 5), (1, 5), (2, 3)]),
+        ],
+    )
+    def test_lost_models_are_found(self, host_edges, pattern_edges):
+        host = nx.Graph(host_edges)
+        pattern = nx.Graph(pattern_edges)
+        assert has_minor(host, pattern, budget=50_000) is MinorOutcome.YES
+
+    def test_contraction_minors_of_small_hosts_always_found(self):
+        # deterministic mini-sweep of the flaky property's distribution
+        import random
+
+        from repro.graphs.reductions import contract_edge
+
+        rng = random.Random(2024)
+        for _ in range(120):
+            n = rng.randint(3, 6)
+            graph = nx.gnp_random_graph(n, rng.uniform(0.3, 0.9), seed=rng.randint(0, 10**9))
+            if graph.number_of_edges() == 0 or not nx.is_connected(graph):
+                continue
+            links = sorted(graph.edges)
+            u, v = links[rng.randrange(len(links))]
+            minor = contract_edge(graph, u, v)
+            if minor.number_of_edges() == 0 or not nx.is_connected(minor):
+                continue
+            assert has_minor(graph, minor, budget=50_000) is MinorOutcome.YES, (
+                sorted(graph.edges), (u, v),
+            )
+
+
 class TestForbiddenMinorClassifiers:
     def test_touring_is_outerplanarity(self):
         assert forbidden_minor_touring(construct.cycle_graph(6)) is MinorOutcome.NO
@@ -133,9 +180,15 @@ class TestForbiddenMinorClassifiers:
     def test_destination_nonplanar_shortcut(self):
         assert forbidden_minor_destination(construct.petersen_graph()) is MinorOutcome.YES
 
-    def test_destination_netrail_clean(self):
-        # Fig. 6: Netrail has no K5^-1 / K3,3^-1 minor ("sometimes")
-        assert forbidden_minor_destination(construct.fig6_netrail(), budget=100_000) is MinorOutcome.NO
+    def test_destination_netrail_contains_k33_minus1(self):
+        # Netrail DOES contain K3,3^-1 (hand-verifiable model: branch
+        # sets {v1},{v2,v6},{v4},{v5},{v3},{v7}); the incomplete
+        # delete/contract search used to miss it and report NO.  Fig. 6
+        # still classifies "sometimes" because the good destinations
+        # dominate — see test_classification.TestNetrail.
+        assert forbidden_minor_destination(construct.fig6_netrail(), budget=100_000) is MinorOutcome.YES
+        # ... but not K5^-1: the K3,3^-1 witness is what flips the verdict
+        assert has_minor(construct.fig6_netrail(), pattern_k5_minus1(), budget=100_000) is MinorOutcome.NO
 
     def test_destination_grid_dirty(self):
         assert forbidden_minor_destination(construct.grid_graph(4, 4)) is MinorOutcome.YES

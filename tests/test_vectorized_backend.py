@@ -1,0 +1,354 @@
+"""The numpy mask-walk backend: gating, parity, caching, and plumbing.
+
+The broad differential matrix lives in ``test_engine_equivalence.py``
+(every fast backend × every checker × random graphs and gadgets); this
+file covers what is specific to ``backend="numpy"``: the optional-
+dependency gate, chunked batches, the scalar fallbacks, the traffic
+``load_sweep``, and the grid/CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import networkx as nx
+
+from repro.core.algorithms.naive import (
+    GreedyLowestNeighbor,
+    RandomCyclicDestinationOnly,
+    RandomCyclicPermutations,
+    RandomPortCycles,
+)
+from repro.core.engine import vectorized
+from repro.core.engine.vectorized import MaskBatch, VectorizedUnsupported
+from repro.core.resilience import (
+    all_failure_sets,
+    check_ideal_resilience,
+    check_k_resilient_touring,
+    check_pattern_resilience,
+    check_perfect_resilience_destination,
+    check_perfect_touring,
+)
+from repro.experiments import (
+    ExperimentSession,
+    FailureModel,
+    naive_session,
+    resolve_topology,
+    run_grid,
+    scheme,
+    topology,
+)
+from repro.graphs.construct import complete_graph, cycle_graph
+from repro.traffic import TrafficEngine, all_to_one, per_packet_loads, permutation
+
+
+def numpy_session() -> ExperimentSession:
+    return ExperimentSession(backend="numpy")
+
+
+def verdict_tuple(verdict):
+    t = (verdict.resilient, verdict.scenarios_checked, verdict.exhaustive)
+    c = verdict.counterexample
+    if c is not None:
+        result = None
+        if c.result is not None:
+            result = (c.result.outcome, tuple(c.result.path), c.result.steps)
+        t += (c.source, c.destination, c.failures, result, c.note)
+    return t
+
+
+def report_tuple(report):
+    return (
+        report.loads,
+        report.demands,
+        report.total_volume,
+        report.delivered_volume,
+        report.dropped_volume,
+        report.looped_volume,
+        report.disconnected_volume,
+        report.delivered_hops,
+        report.stretch_volume,
+    )
+
+
+class TestMaskBatch:
+    def test_exhaustive_order_matches_all_failure_sets(self):
+        from repro.core.engine import EngineState
+
+        graph = complete_graph(4)
+        state = EngineState(graph)
+        batch = MaskBatch.exhaustive(state.network)
+        masks = np.concatenate([chunk.masks for chunk in batch.chunks])
+        expected = [state.network.mask_of(f) for f in all_failure_sets(graph)]
+        assert batch.total == len(expected) == 2 ** graph.number_of_edges()
+        assert [int(m) for m in masks] == expected
+
+    def test_non_canonical_sets_become_fallbacks(self):
+        from repro.core.engine import EngineState
+
+        state = EngineState(cycle_graph(4))
+        sets = [frozenset(), frozenset({(1, 0)}), frozenset({(0, 1)})]
+        batch = MaskBatch.from_failure_sets(state.network, sets)
+        assert batch.total == 3
+        assert [position for position, _ in batch.fallbacks] == [1]
+        assert [int(p) for chunk in batch.chunks for p in chunk.positions] == [0, 2]
+
+    def test_chunking_preserves_verdicts(self, monkeypatch):
+        # tiny chunks force every sweep through the multi-chunk paths
+        monkeypatch.setattr(vectorized, "CHUNK_MASKS", 7)
+        graph = cycle_graph(6)
+        algorithm = RandomCyclicDestinationOnly(seed=5)
+        fast = check_perfect_resilience_destination(graph, algorithm, session=numpy_session())
+        slow = check_perfect_resilience_destination(graph, algorithm, session=naive_session())
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+        tour = RandomPortCycles(seed=5)
+        fast = check_perfect_touring(graph, tour, session=numpy_session())
+        slow = check_perfect_touring(graph, tour, session=naive_session())
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_mutated_failure_set_list_is_not_served_stale(self):
+        # the per-state batch cache keys lists by identity; appending to
+        # the same list between calls must re-pack, not serve the old
+        # batch (the other backends would see the new set)
+        graph = cycle_graph(6)
+        pattern = RandomCyclicDestinationOnly(seed=9).build(graph, 0)
+        sets = list(all_failure_sets(graph, max_failures=1))
+        session = numpy_session()
+        first = check_pattern_resilience(graph, pattern, 0, failure_sets=sets, session=session)
+        sets.extend(all_failure_sets(graph, max_failures=2))
+        second = check_pattern_resilience(graph, pattern, 0, failure_sets=sets, session=session)
+        reference = check_pattern_resilience(
+            graph, pattern, 0, failure_sets=sets, session=naive_session()
+        )
+        assert verdict_tuple(second) == verdict_tuple(reference)
+        assert second.scenarios_checked != first.scenarios_checked
+
+    def test_reconstructed_sets_round_trip(self):
+        from repro.core.engine import EngineState
+        from repro.core.engine.vectorized import reconstruct_failure_sets
+
+        state = EngineState(cycle_graph(5))
+        sets = [frozenset(), frozenset({(1, 0)}), frozenset({(0, 1), (2, 3)})]
+        batch = MaskBatch.from_failure_sets(state.network, iter(sets))
+        assert reconstruct_failure_sets(batch) == sets
+
+    def test_labels_match_component_tracker(self):
+        from repro.core.engine import EngineState
+
+        graph = resolve_topology("two-rings")
+        state = EngineState(graph)
+        batch, exhaustive = vectorized.default_batch(state)
+        assert exhaustive
+        chunk = batch.chunks[0]
+        labels = chunk.labels_for(state.network)
+        for row in range(0, len(chunk.masks), 37):
+            expected = state.tracker.labels(int(chunk.masks[row]))
+            assert tuple(int(x) for x in labels[row]) == expected
+
+
+class TestVectorizedPathIsTaken:
+    def test_small_graph_sweep_actually_vectorizes(self, monkeypatch):
+        calls = []
+        original = vectorized._walk_delivered
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(vectorized, "_walk_delivered", spy)
+        graph = cycle_graph(6)
+        check_perfect_resilience_destination(
+            graph, GreedyLowestNeighbor(), session=numpy_session()
+        )
+        assert calls  # the numpy backend did not silently fall back
+
+    def test_wide_graph_falls_back_to_scalar_engine(self):
+        # > 64 links cannot pack into uint64 masks; verdicts must still
+        # equal the reference (via the scalar-engine fallback)
+        graph = nx.gnp_random_graph(13, 0.9, seed=3)
+        assert graph.number_of_edges() > 64
+        destinations = sorted(graph.nodes)[:1]
+        fast = check_perfect_resilience_destination(
+            graph, GreedyLowestNeighbor(), destinations=destinations, session=numpy_session()
+        )
+        slow = check_perfect_resilience_destination(
+            graph, GreedyLowestNeighbor(), destinations=destinations, session=naive_session()
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_generator_failure_sets_survive_the_fallback(self, monkeypatch):
+        # force a post-materialization fallback and make sure the
+        # one-shot iterator's contents still reach the scalar path
+        monkeypatch.setattr(vectorized, "TABLE_BUDGET", 0)
+        graph = cycle_graph(5)
+        pattern = GreedyLowestNeighbor().build(graph, 0)
+        generator = (f for f in all_failure_sets(graph, max_failures=2))
+        fast = check_pattern_resilience(
+            graph, pattern, 0, failure_sets=generator, session=numpy_session()
+        )
+        slow = check_pattern_resilience(
+            graph,
+            pattern,
+            0,
+            failure_sets=list(all_failure_sets(graph, max_failures=2)),
+            session=naive_session(),
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_k_resilient_touring_generator_round_trip(self):
+        graph = cycle_graph(6)
+        fast = check_k_resilient_touring(
+            graph, RandomPortCycles(seed=2), max_failures=2, session=numpy_session()
+        )
+        slow = check_k_resilient_touring(
+            graph, RandomPortCycles(seed=2), max_failures=2, session=naive_session()
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_ideal_resilience_equivalence(self):
+        graph = complete_graph(5)
+        fast = check_ideal_resilience(graph, GreedyLowestNeighbor(), session=numpy_session())
+        slow = check_ideal_resilience(graph, GreedyLowestNeighbor(), session=naive_session())
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+
+class TestDisconnectedAndExotic:
+    def test_two_rings_destination_and_touring(self):
+        graph = resolve_topology("two-rings")
+        fast = check_perfect_resilience_destination(
+            graph, GreedyLowestNeighbor(), session=numpy_session()
+        )
+        slow = check_perfect_resilience_destination(
+            graph, GreedyLowestNeighbor(), session=naive_session()
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+        fast = check_perfect_touring(graph, RandomPortCycles(seed=1), session=numpy_session())
+        slow = check_perfect_touring(graph, RandomPortCycles(seed=1), session=naive_session())
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_failing_pattern_counterexample_on_mixed_labels(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(1, 2), (2, 10), (10, 1), (1, "x"), ("x", 2)])
+        pattern = RandomCyclicDestinationOnly(seed=3).build(graph, 1)
+        fast = check_pattern_resilience(graph, pattern, 1, session=numpy_session())
+        slow = check_pattern_resilience(graph, pattern, 1, session=naive_session())
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_sources_filter_counts_and_counterexamples(self):
+        graph = cycle_graph(7)
+        algorithm = RandomCyclicDestinationOnly(seed=11)
+        pattern = algorithm.build(graph, 0)
+        for sources in ([3], [1, 5], [0, 2, "ghost"]):
+            fast = check_pattern_resilience(
+                graph, pattern, 0, sources=sources, session=numpy_session()
+            )
+            slow = check_pattern_resilience(
+                graph, pattern, 0, sources=sources, session=naive_session()
+            )
+            assert verdict_tuple(fast) == verdict_tuple(slow)
+
+
+class TestTrafficLoadSweep:
+    def test_load_sweep_equals_scalar_and_per_packet(self):
+        from repro.traffic import sample_failure_grid
+
+        graph = topology("fattree").build(4)
+        algorithm = scheme("arborescence").instantiate()
+        grid = sample_failure_grid(graph, [0, 1, 2, 4], 3, seed=0)
+        sets = [failures for size in sorted(grid) for failures in grid[size]]
+        demands = all_to_one(graph, ("core", 0))
+        scalar = TrafficEngine(graph, algorithm)
+        vec = TrafficEngine(graph, algorithm, backend="numpy")
+        batched = vec.load_sweep(demands, sets)
+        assert len(batched) == len(sets)
+        for failures, report in zip(sets, batched):
+            assert report_tuple(report) == report_tuple(scalar.load(demands, failures))
+            assert report_tuple(report) == report_tuple(
+                per_packet_loads(graph, algorithm, demands, failures)
+            )
+
+    def test_load_sweep_weird_sets_take_the_naive_fallback(self):
+        graph = topology("ring").build(8)
+        algorithm = scheme("greedy").instantiate()
+        demands = permutation(graph, seed=2)
+        sets = [
+            frozenset(),
+            frozenset({(1, 0)}),  # non-canonical: effectively alive
+            frozenset({(0, 99)}),  # outside the graph
+            frozenset({(2, 3), (4, 5)}),
+        ]
+        vec = TrafficEngine(graph, algorithm, backend="numpy")
+        for failures, report in zip(sets, vec.load_sweep(demands, sets)):
+            assert report_tuple(report) == report_tuple(
+                per_packet_loads(graph, algorithm, demands, failures)
+            )
+
+    def test_session_traffic_engine_carries_the_backend(self):
+        session = numpy_session()
+        graph = topology("ring").build(6)
+        engine = session.traffic_engine(graph, scheme("greedy").instantiate())
+        assert engine.backend == "numpy"
+
+    def test_bad_demand_endpoints_raise_like_the_scalar_router(self):
+        from repro.traffic.matrices import Demand
+
+        graph = cycle_graph(5)
+        vec = TrafficEngine(graph, scheme("greedy").instantiate(), backend="numpy")
+        with pytest.raises(ValueError, match="demand endpoint"):
+            vec.load_sweep([Demand("ghost", 0, 1)], [frozenset()])
+
+
+class TestGridParity:
+    def test_quick_grid_numpy_equals_naive(self):
+        model = FailureModel(sizes=(0, 1), samples=2, seed=0)
+        kwargs = dict(
+            topologies=["ring", "grid"],
+            schemes=["arborescence", "distance2", "greedy"],
+            failure_models=[model],
+        )
+        fast = run_grid(session=numpy_session(), **kwargs)
+        slow = run_grid(session=ExperimentSession(backend="naive"), **kwargs)
+        assert len(fast.records) == len(slow.records)
+        for a, b in zip(fast.records, slow.records):
+            assert (a.experiment, a.topology, a.scheme, a.failure_model, a.status) == (
+                b.experiment, b.topology, b.scheme, b.failure_model, b.status,
+            )
+            assert set(a.metrics) == set(b.metrics)
+            for key, value in a.metrics.items():
+                if isinstance(value, float):
+                    assert value == pytest.approx(b.metrics[key], rel=1e-9)
+                else:
+                    assert value == b.metrics[key]
+
+
+class TestCliBackend:
+    def test_experiments_quick_with_numpy_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--quick", "--backend", "numpy"]) == 0
+        out = capsys.readouterr().out
+        assert "records (JSON round-trip ok)" in out
+
+    def test_traffic_backend_flag(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["traffic", "ring(6)", "--algorithm", "greedy", "--sizes", "0,1",
+                  "--samples", "2", "--backend", "numpy"])
+            == 0
+        )
+
+    def test_missing_numpy_is_a_clean_cli_error(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setattr(vectorized, "np", None)
+        assert main(["experiments", "--quick", "--backend", "numpy"]) == 2
+        err = capsys.readouterr().err
+        assert "numpy" in err and "backend" in err
+
+    def test_missing_numpy_session_gating_error(self, monkeypatch):
+        monkeypatch.setattr(vectorized, "np", None)
+        with pytest.raises(RuntimeError, match="requires the optional numpy"):
+            ExperimentSession(backend="numpy")
