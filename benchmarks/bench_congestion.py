@@ -36,7 +36,7 @@ from repro.traffic import (
 MIN_SPEEDUP = 1.0
 
 
-def run_benchmark(quick: bool = False) -> dict:
+def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) -> dict:
     # resolved via the topology registry — no private family switch here
     graph = topology("fattree").build(4)
     sink = ("core", 0)
@@ -50,40 +50,54 @@ def run_benchmark(quick: bool = False) -> dict:
     scenario_sets = [failures for size in sorted(grid) for failures in grid[size]]
 
     from repro.core.engine.vectorized import numpy_available
+    from repro.runtime import Deadline
 
+    deadline = Deadline(deadline_seconds) if deadline_seconds is not None else None
+    partial = False
     algorithm = scheme("arborescence").instantiate()
     workloads = {}
     for name, demands in matrices.items():
         engine = TrafficEngine(graph, algorithm)
         start = time.perf_counter()
-        batched = [engine.load(demands, failures) for failures in scenario_sets]
+        # scalar backend: load_sweep is exactly the per-failure-set
+        # engine.load loop, plus the clean deadline cut between sets
+        batched = engine.load_sweep(demands, scenario_sets, deadline=deadline)
         batched_seconds = time.perf_counter() - start
+        # a deadline cut yields a prefix; compare routers on what ran
+        covered = scenario_sets[: len(batched)]
+        if len(covered) < len(scenario_sets):
+            partial = True
+        if not covered:
+            workloads[name] = {"partial": True, "scenarios": 0}
+            continue
         numpy_seconds = None
         if numpy_available():
             vectorized = TrafficEngine(graph, algorithm, backend="numpy")
             start = time.perf_counter()
-            numpy_reports = vectorized.load_sweep(demands, scenario_sets)
+            numpy_reports = vectorized.load_sweep(demands, covered)
             numpy_seconds = time.perf_counter() - start
             for fast, slow in zip(numpy_reports, batched):
                 assert fast.loads == slow.loads, "numpy router diverged from batched loads"
         start = time.perf_counter()
         naive = [
             per_packet_loads(graph, algorithm, demands, failures)
-            for failures in scenario_sets
+            for failures in covered
         ]
         per_packet_seconds = time.perf_counter() - start
         for fast, slow in zip(batched, naive):
             assert fast.loads == slow.loads, "batched router diverged from per-packet loads"
         workloads[name] = {
             "demands": len(demands),
-            "scenarios": len(scenario_sets),
-            "flows_routed": len(demands) * len(scenario_sets),
+            "scenarios": len(covered),
+            "flows_routed": len(demands) * len(covered),
             "per_packet_seconds": per_packet_seconds,
             "batched_seconds": batched_seconds,
             "speedup": per_packet_seconds / batched_seconds,
             "worst_max_load": max(report.max_load for report in batched),
             "min_delivered_fraction": min(report.delivered_fraction for report in batched),
         }
+        if len(covered) < len(scenario_sets):
+            workloads[name]["partial"] = True
         if numpy_seconds is not None:
             # never overwrite tracked numbers with nulls on no-numpy hosts
             workloads[name]["numpy_seconds"] = numpy_seconds
@@ -96,7 +110,13 @@ def run_benchmark(quick: bool = False) -> dict:
         "thresholds": {"min_speedup": MIN_SPEEDUP},
         "workloads": workloads,
     }
-    if not quick:
+    if partial:
+        results["partial"] = True
+    if not quick and partial:
+        # deadline-cut numbers are not comparable across runs: report
+        # them, but never merge them over the tracked full-run results
+        print("deadline cut the sweep: partial results, skipping BENCH merge")
+    if not quick and not partial:
         store = bench_store()
         store.merge_raw({"congestion": results})
         store.merge(
@@ -132,12 +152,12 @@ def format_report(results: dict) -> str:
     rows = [
         [
             name,
-            data["flows_routed"],
-            f"{data['per_packet_seconds']:.2f}",
-            f"{data['batched_seconds']:.2f}",
+            data.get("flows_routed", "-"),
+            f"{data['per_packet_seconds']:.2f}" if "per_packet_seconds" in data else "-",
+            f"{data['batched_seconds']:.2f}" if "batched_seconds" in data else "-",
             f"{data['numpy_seconds']:.2f}" if data.get("numpy_seconds") else "-",
-            f"{data['speedup']:.1f}x",
-            data["worst_max_load"],
+            f"{data['speedup']:.1f}x" if "speedup" in data else "-",
+            data.get("worst_max_load", "-"),
         ]
         for name, data in results["workloads"].items()
     ]
@@ -169,7 +189,16 @@ if __name__ == "__main__":
         action="store_true",
         help="CI smoke: fewer scenarios, no BENCH_engine.json write",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop the sweep cleanly after this many seconds; partial "
+        "results are reported but never merged into BENCH_engine.json",
+    )
     cli_args = parser.parse_args()
-    print(format_report(run_benchmark(quick=cli_args.quick)))
-    if not cli_args.quick:
+    results = run_benchmark(quick=cli_args.quick, deadline_seconds=cli_args.deadline)
+    print(format_report(results))
+    if not cli_args.quick and not results.get("partial"):
         print(f"machine-readable results: {BENCH_JSON}")

@@ -160,9 +160,19 @@ def bench_store() -> ResultStore:
     return ResultStore(BENCH_JSON)
 
 
-def run_benchmark(quick: bool = False) -> dict:
+def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) -> dict:
+    from repro.runtime import Deadline
+
+    deadline = Deadline(deadline_seconds) if deadline_seconds is not None else None
     gadget = bench_gadget(n=8 if quick else 10)
-    zoo = bench_zoo(cap=2 if quick else ZOO_TOPOLOGY_CAP)
+    partial = False
+    if deadline is not None and deadline.expired():
+        # workloads are the deadline's units here: the gadget ate the
+        # budget, so the zoo workload is skipped whole, never truncated
+        zoo = None
+        partial = True
+    else:
+        zoo = bench_zoo(cap=2 if quick else ZOO_TOPOLOGY_CAP)
     results = {
         "benchmark": "engine_speedup",
         "cpu_count": os.cpu_count(),
@@ -173,6 +183,11 @@ def run_benchmark(quick: bool = False) -> dict:
         "gadget": gadget,
         "zoo": zoo,
     }
+    if partial:
+        results["partial"] = True
+        # deadline-cut runs never masquerade as the tracked full record
+        print("deadline cut the benchmark: partial results, skipping BENCH merge")
+        return results
     if not quick:
         # --quick is a CI smoke on a smaller workload: never let its
         # numbers masquerade as the tracked full-benchmark record.
@@ -242,6 +257,8 @@ def format_report(results: dict) -> str:
             f"{results[name]['engine_seconds']:.2f}",
             f"{results[name]['speedup']:.1f}x",
         ]
+        if results.get(name) is not None
+        else [name, "-", "-", "-", "- (deadline cut)"]
         for name in ("gadget", "zoo")
     ]
     if gadget.get("numpy_seconds") is not None:
@@ -282,7 +299,16 @@ if __name__ == "__main__":
         action="store_true",
         help="CI smoke: smaller gadget and zoo slice, no BENCH_engine.json write",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="skip workloads once this many seconds have elapsed; partial "
+        "results are reported but never merged into BENCH_engine.json",
+    )
     cli_args = parser.parse_args()
-    print(format_report(run_benchmark(quick=cli_args.quick)))
-    if not cli_args.quick:
+    results = run_benchmark(quick=cli_args.quick, deadline_seconds=cli_args.deadline)
+    print(format_report(results))
+    if not cli_args.quick and not results.get("partial"):
         print(f"machine-readable results: {BENCH_JSON}")

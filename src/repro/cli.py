@@ -23,6 +23,7 @@ Schemes and topologies are resolved through
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import networkx as nx
@@ -385,20 +386,42 @@ def _cmd_experiments(args) -> int:
     if session is None:
         return 2
     store = ResultStore(args.out) if args.out else None
+    from .runtime import Deadline, FaultPlan, GridKill
+
+    deadline = Deadline(args.deadline) if args.deadline is not None else None
+    if args.inject_faults:
+        try:
+            plan_context = FaultPlan.parse(args.inject_faults, seed=args.fault_seed).installed()
+        except ValueError as error:
+            print(f"invalid --inject-faults plan: {error}", file=sys.stderr)
+            return 2
+    else:
+        plan_context = contextlib.nullcontext()
     try:
-        result = run_grid(
-            topologies,
-            schemes,
-            failure_models=[model],
-            metrics=metrics,
-            matrix=matrix,
-            matrix_seed=seed,
-            session=session,
-            store=store,
-        )
+        with plan_context:
+            result = run_grid(
+                topologies,
+                schemes,
+                failure_models=[model],
+                metrics=metrics,
+                matrix=matrix,
+                matrix_seed=seed,
+                session=session,
+                store=store,
+                deadline=deadline,
+                resume=args.resume,
+            )
     except (KeyError, ValueError) as error:
         print(f"cannot run grid: {error}", file=sys.stderr)
         return 2
+    except GridKill as kill:
+        print(f"grid killed by injected fault: {kill}", file=sys.stderr)
+        if args.resume:
+            print(
+                f"journal kept at {args.resume}; rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        return 3
     print(
         f"experiment grid: {len(topologies)} topologies x "
         f"{'all' if schemes is None else len(schemes)} schemes, {model.label}"
@@ -406,6 +429,18 @@ def _cmd_experiments(args) -> int:
     print(result.table())
     for topology_name, scheme_name, reason in result.skipped:
         print(f"[skipped] {scheme_name} on {topology_name}: {reason}", file=sys.stderr)
+    if result.resumed_cells:
+        print(f"resumed {result.resumed_cells} cells from {args.resume}")
+    errors = result.errors
+    if errors:
+        for record in errors:
+            print(
+                f"[error] {record.scheme} on {record.topology} "
+                f"({record.failure_model}): {record.note}",
+                file=sys.stderr,
+            )
+    if not result.exhaustive:
+        print("deadline exhausted: partial grid (completed cells only)", file=sys.stderr)
     if not records_round_trip(result.records):
         print("records failed the JSON round-trip", file=sys.stderr)
         return 1
@@ -521,6 +556,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="CI smoke: 2 topologies x 3 schemes, JSON round-trip validated",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="checkpoint/resume: journal each finished cell to this JSONL "
+        "file and replay cells already journaled (a killed grid restarts "
+        "where it left off)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop the grid cleanly after this many seconds; completed "
+        "cells are kept and the partial grid is flagged non-exhaustive",
+    )
+    p.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault injection, e.g. "
+        "'cell-error:at=1;worker-crash:at=0' — kinds: cell-error, "
+        "grid-kill, worker-crash, slow-chunk, torn-write; selectors: "
+        "at=i+j (0-based), rate=0..1, attempts=i+j|all, seconds=s",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for rate-based fault injection decisions",
     )
     p.set_defaults(func=_cmd_experiments)
     return parser

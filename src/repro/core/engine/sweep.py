@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.pool
+import os
 import pickle
+import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -29,6 +31,8 @@ import networkx as nx
 
 from ...graphs.connectivity import component_of
 from ...graphs.edges import FailureSet, Node, sorted_nodes
+from ...runtime.deadline import Deadline
+from ...runtime.faults import fire as _fault_fire
 from ..resilience import DEFAULT_FAILURE_PARAMS
 from ..model import (
     DestinationAlgorithm,
@@ -193,23 +197,52 @@ class SweepResult:
 
 _FORK_PAYLOAD: Callable[[Any], Any] | None = None
 
+#: how often the receive loop wakes up to check worker health / timeout
+_POLL_SECONDS = 0.02
 
-def _fork_call(item: Any) -> Any:
+
+def _fork_call(task: tuple[int, Any, Any]) -> tuple[int, Any]:
+    index, item, fault = task
+    if fault is not None:
+        # injected-fault verdicts are decided in the parent (fork copies
+        # of the plan never report back) and executed here, in the worker
+        if fault.kind == "worker-crash":
+            os._exit(3)
+        elif fault.kind == "slow-chunk":
+            time.sleep(fault.seconds)
     assert _FORK_PAYLOAD is not None
-    return _FORK_PAYLOAD(item)
+    return index, _FORK_PAYLOAD(item)
 
 
-def parallel_map(function: Callable[[Any], Any], items: Sequence[Any], processes: int) -> list[Any]:
-    """``[function(x) for x in items]`` with an optional process fan-out.
+def parallel_map(
+    function: Callable[[Any], Any],
+    items: Sequence[Any],
+    processes: int,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+) -> list[Any]:
+    """``[function(x) for x in items]`` with a crash-recovering fan-out.
 
     Uses the ``fork`` start method so arbitrary (closure) functions and
     unpicklable build inputs work: the callable is inherited by the
-    forked workers via a module global, never pickled.  Falls back to
-    the serial loop only on fan-out *infrastructure* failures (fork
-    unavailable, unpicklable items/results, broken pool) — exceptions
-    raised by ``function`` itself propagate, exactly as in the serial
-    loop, instead of silently re-running the whole workload.
+    forked workers via a module global, never pickled.  Items stream
+    through ``imap_unordered`` so every completed result is salvaged the
+    moment it arrives; when a fork dies (detected by the worker pid set
+    changing or a nonzero exit code) or no result lands within
+    ``timeout`` seconds, only the *missing* items are retried — up to
+    ``retries`` fresh pools with linear ``backoff``, then a final serial
+    pass completes whatever is still missing, so a poisoned item can
+    never lose its siblings' work.
+
+    Pools are entered as context managers, so workers are terminated on
+    every path — including KeyboardInterrupt and exceptions raised by
+    ``function`` itself, which propagate exactly as in the serial loop
+    (a real workload bug is not a crash to be retried).  Fan-out
+    *infrastructure* failures (fork unavailable, unpicklable
+    items/results) drop to the serial pass with serial semantics.
     """
+    items = list(items)
     if processes <= 1 or len(items) <= 1:
         return [function(item) for item in items]
     global _FORK_PAYLOAD
@@ -219,20 +252,58 @@ def parallel_map(function: Callable[[Any], Any], items: Sequence[Any], processes
         return [function(item) for item in items]
     previous = _FORK_PAYLOAD
     _FORK_PAYLOAD = function
+    results: dict[int, Any] = {}
     try:
-        try:
-            pool = context.Pool(min(processes, len(items)))
-        except OSError:  # pragma: no cover - fork failed (resource limits)
-            return [function(item) for item in items]
-        with pool:
-            return pool.map(_fork_call, list(items))
-    except (
-        pickle.PicklingError,
-        multiprocessing.pool.MaybeEncodingError,
-    ):  # pragma: no cover - unpicklable items/results: serial semantics win
-        return [function(item) for item in items]
+        for attempt in range(retries + 1):
+            pending = [i for i in range(len(items)) if i not in results]
+            if not pending:
+                break
+            if attempt:
+                time.sleep(backoff * attempt)
+            tasks = [(i, items[i], _fault_fire("worker", i, attempt)) for i in pending]
+            try:
+                pool = context.Pool(min(processes, len(pending)))
+            except OSError:  # pragma: no cover - fork failed (resource limits)
+                break
+            broken = False
+            try:
+                with pool:
+                    # _maintain_pool silently respawns dead workers, so a
+                    # changed pid set is the durable sign of an abnormal
+                    # death (workers never exit on their own before close)
+                    initial_pids = {worker.pid for worker in pool._pool}
+                    iterator = pool.imap_unordered(_fork_call, tasks)
+                    received = 0
+                    waited = 0.0
+                    while received < len(tasks):
+                        try:
+                            index, value = iterator.next(timeout=_POLL_SECONDS)
+                        except multiprocessing.TimeoutError:
+                            waited += _POLL_SECONDS
+                            workers = pool._pool
+                            died = {w.pid for w in workers} != initial_pids or any(
+                                w.exitcode not in (None, 0) for w in workers
+                            )
+                            if died or (timeout is not None and waited >= timeout):
+                                broken = True
+                                break
+                            continue
+                        results[index] = value
+                        received += 1
+                        waited = 0.0
+            except (
+                pickle.PicklingError,
+                multiprocessing.pool.MaybeEncodingError,
+            ):  # pragma: no cover - unpicklable items/results: serial semantics win
+                break
+            if not broken:
+                break
     finally:
         _FORK_PAYLOAD = previous
+    for index in range(len(items)):
+        if index not in results:
+            results[index] = function(items[index])
+    return [results[index] for index in range(len(items))]
 
 
 # ---------------------------------------------------------------------------
@@ -361,6 +432,7 @@ def sweep_resilience(
     processes: int = 1,
     state: EngineState | None = None,
     backend: str = "engine",
+    deadline: Deadline | None = None,
 ) -> SweepResult:
     """Evaluate a whole scenario grid for one algorithm, batched.
 
@@ -373,16 +445,32 @@ def sweep_resilience(
     ``backend="numpy"`` routes every per-unit check through the
     vectorized mask walker (same verdicts; instances it cannot handle
     fall back to the scalar engine).
+
+    ``deadline`` makes the sweep cooperative: it is checked between
+    grid units (destinations / pairs / failure buckets) and on expiry
+    the sweep stops cleanly, returning the verdict over the units
+    actually evaluated with ``exhaustive=False``.  Completed units are
+    always whole, so their verdicts match an uncut run; the numpy
+    batched paths check only at unit entry (a vectorized batch is one
+    unit of work).  Forked workers inherit the deadline; wall-clock
+    expiry is consistent across the fork because ``time.monotonic`` is
+    system-wide.
     """
     grid = scenarios if scenarios is not None else ScenarioGrid()
     if state is not None and state.graph is not graph:
         raise ValueError("the injected EngineState indexes a different graph")
+    if deadline is not None and deadline.expired():
+        from ..resilience import Verdict
+
+        return SweepResult(Verdict(True, 0, exhaustive=False), [])
     if isinstance(algorithm, TouringAlgorithm):
-        return _sweep_touring(graph, algorithm, grid, state, backend)
+        return _sweep_touring(graph, algorithm, grid, state, backend, deadline)
     if isinstance(algorithm, SourceDestinationAlgorithm):
-        return _sweep_source_destination(graph, algorithm, grid, processes, state, backend)
+        return _sweep_source_destination(
+            graph, algorithm, grid, processes, state, backend, deadline
+        )
     if isinstance(algorithm, DestinationAlgorithm):
-        return _sweep_destination(graph, algorithm, grid, processes, state, backend)
+        return _sweep_destination(graph, algorithm, grid, processes, state, backend, deadline)
     raise TypeError(f"not a routing algorithm: {algorithm!r}")
 
 
@@ -393,6 +481,7 @@ def _sweep_destination(
     processes: int,
     shared_state: EngineState | None = None,
     backend: str = "engine",
+    deadline: Deadline | None = None,
 ) -> SweepResult:
     from ..resilience import Verdict
 
@@ -438,8 +527,12 @@ def _sweep_destination(
         state = EngineState(graph)
         verdicts = []
         for destination in chunk:
+            if deadline is not None and deadline.expired():
+                break  # partial chunk: the aggregate is flagged non-exhaustive
             verdict = check_one(destination, state)
             verdicts.append(verdict)
+            if deadline is not None:
+                deadline.charge()
             if not verdict.resilient:
                 break  # later destinations cannot affect the aggregate
         return verdicts
@@ -459,7 +552,16 @@ def _sweep_destination(
         )
     else:
         state = shared_state if shared_state is not None else EngineState(graph)
-        ordered = ((d, check_one(d, state)) for d in destinations)
+
+        def serial_units() -> Iterable[tuple[Node, Any]]:
+            for d in destinations:
+                if deadline is not None and deadline.expired():
+                    return
+                yield d, check_one(d, state)
+                if deadline is not None:
+                    deadline.charge()
+
+        ordered = serial_units()
     for destination, verdict in ordered:
         units.append((destination, verdict))
         total += verdict.scenarios_checked
@@ -467,8 +569,12 @@ def _sweep_destination(
         if not verdict.resilient:
             verdict.scenarios_checked = total
             return SweepResult(verdict, units)
+    # a deadline cut (serial break or a worker's short chunk) leaves
+    # fewer units than destinations — the verdict is then non-exhaustive
+    complete = len(units) == len(destinations)
     return SweepResult(
-        Verdict(True, total, exhaustive=exhaustive and materialized is None), units
+        Verdict(True, total, exhaustive=exhaustive and materialized is None and complete),
+        units,
     )
 
 
@@ -479,6 +585,7 @@ def _sweep_source_destination(
     processes: int,
     shared_state: EngineState | None = None,
     backend: str = "engine",
+    deadline: Deadline | None = None,
 ) -> SweepResult:
     from ..resilience import Verdict
 
@@ -500,6 +607,8 @@ def _sweep_source_destination(
             state = EngineState(graph)
         verdicts = []
         for source, destination in chunk:
+            if deadline is not None and deadline.expired():
+                break  # partial chunk: the aggregate is flagged non-exhaustive
             pattern = algorithm.build(graph, source, destination)
             if materialized is not None:
                 verdict = sweep_pattern_resilience(
@@ -530,6 +639,8 @@ def _sweep_source_destination(
                     exhaustive=default_exhaustive,
                 )
             verdicts.append(verdict)
+            if deadline is not None:
+                deadline.charge()
             if not verdict.resilient:
                 break  # later pairs cannot affect the aggregate
         return verdicts
@@ -554,8 +665,11 @@ def _sweep_source_destination(
         if not verdict.resilient:
             verdict.scenarios_checked = total
             return SweepResult(verdict, units)
+    # deadline cuts leave fewer evaluated pairs — then non-exhaustive
+    complete = len(units) == len(pairs)
     return SweepResult(
-        Verdict(True, total, exhaustive=exhaustive and materialized is None), units
+        Verdict(True, total, exhaustive=exhaustive and materialized is None and complete),
+        units,
     )
 
 
@@ -565,6 +679,7 @@ def _sweep_touring(
     grid: ScenarioGrid,
     shared_state: EngineState | None = None,
     backend: str = "engine",
+    deadline: Deadline | None = None,
 ) -> SweepResult:
     from ..resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict
 
@@ -605,6 +720,10 @@ def _sweep_touring(
     index = network.index
     checked = 0
     for failures in failure_iter:
+        if deadline is not None and deadline.expired():
+            # cut between failure buckets: the covered prefix is whole
+            exhaustive = False
+            break
         fmask = network.mask_of(failures)
         for start in starts:
             checked += 1
@@ -635,5 +754,7 @@ def _sweep_touring(
                     exhaustive,
                 )
                 return SweepResult(verdict, [(None, verdict)])
+        if deadline is not None:
+            deadline.charge()
     verdict = Verdict(True, checked, exhaustive=exhaustive)
     return SweepResult(verdict, [(None, verdict)])

@@ -20,9 +20,12 @@ merge code per script.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import pathlib
 from dataclasses import asdict, dataclass, field
+
+from ..runtime.journal import atomic_write_text
 
 #: schema version stamped into every serialized record
 RECORD_VERSION = 1
@@ -36,8 +39,11 @@ class ExperimentRecord:
 
     ``experiment`` names the metric family (``"resilience"``,
     ``"congestion"``, ``"stretch"``, ``"table_space"``, ``"bench"``,
-    ...); ``status`` is ``"ok"`` or ``"skipped"`` (with the reason in
-    ``note`` — e.g. an inapplicable scheme).  ``metrics`` holds scalar
+    ...); ``status`` is ``"ok"``, ``"skipped"`` (with the reason in
+    ``note`` — e.g. an inapplicable scheme), or ``"error"`` (a cell
+    that raised: the exception summary goes in ``note`` and the full
+    traceback in ``params["traceback"]``, so a failing cell is a typed
+    record instead of an aborted grid).  ``metrics`` holds scalar
     results, ``series`` ordered per-point dicts (a curve), ``params``
     whatever identifies the workload (matrix, sizes, seed, ...).
     """
@@ -126,8 +132,8 @@ class ResultStore:
         return document if isinstance(document, dict) else {}
 
     def _write_document(self, document: dict) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+        # atomic replace: a crash mid-write can never tear the store
+        atomic_write_text(self.path, json.dumps(document, indent=2, sort_keys=False) + "\n")
 
     def merge_raw(self, sections: dict) -> dict:
         """Merge top-level sections, keeping every other key intact."""
@@ -187,26 +193,25 @@ def write_records_csv(records: list[ExperimentRecord], path: str | pathlib.Path)
         *[f"metric:{name}" for name in metric_names],
         *[f"param:{name}" for name in param_names],
     ]
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        for record in records:
-            writer.writerow(
-                [
-                    record.experiment,
-                    record.topology,
-                    record.scheme,
-                    record.failure_model,
-                    record.status,
-                    f"{record.runtime_seconds:.6f}",
-                    len(record.series),
-                    record.note,
-                    *[record.metrics.get(name, "") for name in metric_names],
-                    *[record.params.get(name, "") for name in param_names],
-                ]
-            )
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for record in records:
+        writer.writerow(
+            [
+                record.experiment,
+                record.topology,
+                record.scheme,
+                record.failure_model,
+                record.status,
+                f"{record.runtime_seconds:.6f}",
+                len(record.series),
+                record.note,
+                *[record.metrics.get(name, "") for name in metric_names],
+                *[record.params.get(name, "") for name in param_names],
+            ]
+        )
+    atomic_write_text(path, buffer.getvalue())
     return len(records)
 
 
@@ -217,7 +222,7 @@ def records_table(records: list[ExperimentRecord]) -> str:
     rows = []
     for record in records:
         if record.status != "ok":
-            summary = f"skipped: {record.note}" if record.note else "skipped"
+            summary = f"{record.status}: {record.note}" if record.note else record.status
         else:
             shown = list(record.metrics.items())[:3]
             summary = "  ".join(

@@ -26,12 +26,17 @@ Schemes whose applicability predicate rejects a topology produce
 
 from __future__ import annotations
 
+import pathlib
 import time
+import traceback
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 import networkx as nx
 
+from ..runtime.deadline import Deadline
+from ..runtime.faults import GridKill, InjectedFault, fire
+from ..runtime.journal import CellJournal
 from .registry import (
     SchemeSpec,
     TopologySpec,
@@ -72,16 +77,29 @@ class FailureModel:
 
 @dataclass
 class GridResult:
-    """Everything one ``run_grid`` call produced."""
+    """Everything one ``run_grid`` call produced.
+
+    ``exhaustive`` is ``False`` when a deadline cut the grid before
+    every cell ran; ``resumed_cells`` counts cells replayed from a
+    journal instead of recomputed; :attr:`errors` views the cells that
+    raised (typed ``status="error"`` records — the grid itself never
+    aborts on a cell exception).
+    """
 
     records: list[ExperimentRecord] = field(default_factory=list)
     skipped: list[tuple[str, str, str]] = field(default_factory=list)
+    exhaustive: bool = True
+    resumed_cells: int = 0
 
     def table(self) -> str:
         return records_table(self.records)
 
     def select(self, experiment: str) -> list[ExperimentRecord]:
         return [record for record in self.records if record.experiment == experiment]
+
+    @property
+    def errors(self) -> list[ExperimentRecord]:
+        return [record for record in self.records if record.status == "error"]
 
 
 def _resolve_topologies(
@@ -118,6 +136,31 @@ def _resolve_schemes(schemes: Iterable | None) -> list[SchemeSpec]:
 
 
 
+def _cell_key(
+    topology_name: str,
+    scheme_name: str,
+    model: FailureModel,
+    matrix: str,
+    matrix_seed: int,
+    metrics: Sequence[str],
+) -> str:
+    """The journal identity of one grid cell.
+
+    Everything that determines the cell's records is in the key, so a
+    resumed run with different metrics, matrix or failure model never
+    replays a stale cell.
+    """
+    return "|".join(
+        [
+            topology_name,
+            scheme_name,
+            model.label,
+            f"matrix={matrix}:{matrix_seed}",
+            "metrics=" + ",".join(metrics),
+        ]
+    )
+
+
 def run_grid(
     topologies: Iterable,
     schemes: Iterable | None = None,
@@ -127,6 +170,8 @@ def run_grid(
     matrix_seed: int = 0,
     session: ExperimentSession | None = None,
     store: ResultStore | None = None,
+    deadline: Deadline | None = None,
+    resume: str | pathlib.Path | CellJournal | None = None,
 ) -> GridResult:
     """Evaluate every (topology × scheme × failure model) cell.
 
@@ -135,16 +180,41 @@ def run_grid(
     ``schemes=None`` runs every registered scheme, skipping those whose
     applicability predicate rejects a topology.  Pass ``store`` to merge
     the records into a persistent :class:`ResultStore` on the way out.
+
+    Robustness seams:
+
+    * A cell that raises does not abort the grid — it becomes one
+      ``status="error"`` record (exception summary in ``note``, full
+      traceback in ``params["traceback"]``), visible via
+      :attr:`GridResult.errors`.
+    * ``resume`` names a :class:`CellJournal` (path or instance): every
+      finished cell — including errored ones — is durably journaled as
+      it completes, and cells already in the journal are replayed
+      instead of recomputed, so a killed grid restarts where it left
+      off and produces the identical record list.
+    * ``deadline`` (defaulting to the session's) is checked between
+      cells; on expiry the grid stops cleanly with
+      ``exhaustive=False``.  Completed cells are always whole.
     """
     unknown = set(metrics) - set(METRICS)
     if unknown:
         raise ValueError(f"unknown metrics {sorted(unknown)}; known: {METRICS}")
     session = resolve_session(session)
+    if deadline is None:
+        deadline = session.deadline
+    journal: CellJournal | None
+    if resume is None or isinstance(resume, CellJournal):
+        journal = resume
+    else:
+        journal = CellJournal(resume)
     failure_models = list(failure_models) if failure_models is not None else [FailureModel()]
     resolved_schemes = _resolve_schemes(schemes)
     result = GridResult()
     needs_matrix = "congestion" in metrics or "stretch" in metrics
+    cell_index = 0
     for topology_name, graph in _resolve_topologies(topologies):
+        if not result.exhaustive:
+            break
         # one seeded grid per (topology, failure model) and one demand
         # matrix per topology, shared by every scheme — identical
         # scenarios across competitors, no per-cell rebuilds
@@ -156,7 +226,10 @@ def run_grid(
 
             demands, matrix_name = build_named_matrix(graph, matrix, seed=matrix_seed)
         for spec in resolved_schemes:
+            if not result.exhaustive:
+                break
             if not spec.applicable(graph):
+                # deterministic, instant: not journaled, no cell index
                 reason = f"requires {spec.requires}"
                 result.skipped.append((topology_name, spec.name, reason))
                 for model in failure_models:
@@ -171,15 +244,36 @@ def run_grid(
                         )
                     )
                 continue
-            algorithm = spec.instantiate()
             for index, model in enumerate(failure_models):
-                result.records.extend(
-                    _run_cell(
+                if deadline is not None and deadline.expired():
+                    result.exhaustive = False
+                    break
+                key = _cell_key(topology_name, spec.name, model, matrix, matrix_seed, metrics)
+                if journal is not None and key in journal:
+                    # replayed cells keep their grid position (and cell
+                    # index) so resumed output is identical to an
+                    # uninterrupted run
+                    result.records.extend(
+                        ExperimentRecord.from_dict(entry) for entry in journal.payload(key)
+                    )
+                    result.resumed_cells += 1
+                    cell_index += 1
+                    continue
+                fault = fire("cell", cell_index)
+                if fault is not None and fault.kind == "grid-kill":
+                    # BaseException: the per-cell recovery below must not
+                    # be able to catch a simulated hard crash
+                    raise GridKill(f"injected grid kill at cell {cell_index}: {key}")
+                start = time.perf_counter()
+                try:
+                    if fault is not None and fault.kind == "cell-error":
+                        raise InjectedFault(f"injected cell error at cell {cell_index}")
+                    cell_records = _run_cell(
                         session,
                         topology_name,
                         graph,
                         spec,
-                        algorithm,
+                        spec.instantiate(),
                         model,
                         grids[model],
                         metrics,
@@ -187,7 +281,32 @@ def run_grid(
                         matrix_name,
                         include_static=index == 0,
                     )
-                )
+                except Exception as error:  # noqa: BLE001 - any cell bug becomes a record
+                    cell_records = [
+                        ExperimentRecord(
+                            experiment="error",
+                            topology=topology_name,
+                            scheme=spec.name,
+                            failure_model=model.label,
+                            status="error",
+                            note=f"{type(error).__name__}: {error}",
+                            params={
+                                "matrix": matrix_name,
+                                "traceback": traceback.format_exc(),
+                            },
+                            runtime_seconds=time.perf_counter() - start,
+                        )
+                    ]
+                if journal is not None:
+                    # journal before publishing: the invariant is that
+                    # every cell whose records are visible is journaled,
+                    # so a kill between the two costs one recomputation,
+                    # never a lost cell
+                    journal.append(key, [record.to_dict() for record in cell_records])
+                result.records.extend(cell_records)
+                cell_index += 1
+                if deadline is not None:
+                    deadline.charge()
     if store is not None:
         store.merge(result.records)
     return result

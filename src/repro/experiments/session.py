@@ -60,16 +60,21 @@ class ExperimentSession:
     verdicts); ``backend="naive"`` selects the reference hop-by-hop
     paths (identical verdicts, no caching) — the surface the
     differential tests compare against.  ``processes`` is the default
-    fan-out for grid sweeps that support it.
+    fan-out for grid sweeps that support it.  ``deadline`` is an
+    optional default :class:`~repro.runtime.deadline.Deadline` /
+    :class:`~repro.runtime.deadline.Budget` for consumers that accept
+    one (``run_grid`` uses it when no per-call deadline is given), so a
+    whole session of sweeps can share a single time box.
     """
 
-    def __init__(self, backend: str = "engine", processes: int = 1):
+    def __init__(self, backend: str = "engine", processes: int = 1, deadline=None):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         if backend == "numpy":
             require_numpy()
         self.backend = backend
         self.processes = processes
+        self.deadline = deadline
         self._states: OrderedDict[int, tuple[tuple, EngineState]] = OrderedDict()
         self._traffic: OrderedDict[tuple, object] = OrderedDict()
 

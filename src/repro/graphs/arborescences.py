@@ -20,7 +20,7 @@ from collections import deque
 
 import networkx as nx
 
-from .edges import Node
+from .edges import Node, edge_sort_key
 from .hamiltonian import hamiltonian_decomposition
 
 Arc = tuple[Node, Node]
@@ -169,7 +169,13 @@ def _backtracking_packing(
                 return None
             if len(attached) == len(nodes):
                 return build(index + 1, arcs, done + [dict(parent)])
-            candidates = [(u, v) for (u, v) in arcs if v in attached and u not in attached]
+            # ``arcs`` is a set: sort before the seeded shuffle, or its
+            # hash-dependent iteration order leaks PYTHONHASHSEED into
+            # the packing (and every metric downstream of it)
+            candidates = sorted(
+                ((u, v) for (u, v) in arcs if v in attached and u not in attached),
+                key=edge_sort_key,
+            )
             rng.shuffle(candidates)
             for u, v in candidates:
                 trial = arcs - {(u, v)}

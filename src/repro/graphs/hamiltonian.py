@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from .edges import Edge, Node, edge
+from .edges import Edge, Node, edge, sorted_nodes
 
 
 def walecki_decomposition(n: int) -> list[list[Node]]:
@@ -88,17 +88,35 @@ def hamiltonian_decomposition(graph: nx.Graph) -> list[list[Node]]:
     """Decompose a supported graph into edge-disjoint Hamiltonian cycles.
 
     Supports ``K_n`` for odd ``n`` and balanced ``K_{n,n}`` for even ``n``
-    (the two families Theorem 17 builds on).  The result is verified before
-    being returned.
+    (the two families Theorem 17 builds on), under *arbitrary* node
+    labels: the integer-role constructions are mapped onto the actual
+    labels (in :func:`sorted_nodes` order, per bipartition side), with
+    canonical ``0..n-1`` labellings kept bit-for-bit as before.  The
+    result is verified before being returned.
     """
     n = graph.number_of_nodes()
+    canonical = set(graph.nodes) == set(range(n))
     if graph.number_of_edges() == n * (n - 1) // 2 and n % 2 == 1:
         cycles = walecki_decomposition(n)
+        if not canonical:
+            labels = sorted_nodes(graph.nodes)
+            cycles = [[labels[i] for i in cycle] for cycle in cycles]
     else:
         half = n // 2
-        expected = nx.complete_bipartite_graph(half, half)
-        if n % 2 == 0 and half % 2 == 0 and nx.is_isomorphic(graph, expected):
+        sides = None
+        if n % 2 == 0 and half % 2 == 0 and graph.number_of_edges() == half * half:
+            try:
+                if nx.is_bipartite(graph):
+                    sides = nx.bipartite.sets(graph)
+            except nx.AmbiguousSolution:  # disconnected: cannot be K_{n,n}
+                sides = None
+        # bipartite + balanced sides + half^2 links == complete bipartite
+        if sides is not None and len(sides[0]) == half:
+            left, right = sides
             cycles = bipartite_hamiltonian_decomposition(half)
+            if not canonical or left != set(range(half)):
+                labels = sorted_nodes(left) + sorted_nodes(right)
+                cycles = [[labels[i] for i in cycle] for cycle in cycles]
         else:
             raise ValueError(
                 "Hamiltonian decomposition implemented for K_n (odd n) and "

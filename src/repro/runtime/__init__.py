@@ -1,0 +1,50 @@
+"""Fault-tolerance runtime: deadlines, journals, fault injection.
+
+The experiment stack above this package (``repro.experiments``,
+``repro.core.engine.sweep``, ``repro.traffic``) assumes long runs fail:
+a worker fork dies, a cell raises, the process is killed mid-grid, a
+write is torn by a crash.  This package is the one place that knows how
+to survive each of those:
+
+* :mod:`~repro.runtime.deadline` — :class:`Deadline` / :class:`Budget`
+  objects threaded through ``run_grid``, ``sweep_resilience`` and
+  ``TrafficEngine.load_sweep`` so long sweeps stop cleanly at a limit
+  and emit partial results flagged ``exhaustive=False``;
+* :mod:`~repro.runtime.journal` — :func:`atomic_write_text` (temp file
+  + rename, so result stores are never torn) and :class:`CellJournal`
+  (append-only JSONL of completed grid cells, the substrate of
+  ``run_grid(..., resume=path)``);
+* :mod:`~repro.runtime.faults` — deterministic, seeded
+  :class:`FaultPlan` injection of worker crashes, per-cell exceptions,
+  slow chunks, and torn writes, so the test suite (and the CI chaos
+  job) can prove every recovery path actually recovers.
+
+Nothing in here imports from the experiment stack — the runtime is the
+bottom layer.
+"""
+
+from .deadline import Budget, Deadline
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    GridKill,
+    InjectedFault,
+    TornWrite,
+    active_plan,
+    fire,
+)
+from .journal import CellJournal, atomic_write_text
+
+__all__ = [
+    "Budget",
+    "CellJournal",
+    "Deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "GridKill",
+    "InjectedFault",
+    "TornWrite",
+    "active_plan",
+    "atomic_write_text",
+    "fire",
+]

@@ -1,0 +1,113 @@
+"""Deadlines and work budgets for long sweeps.
+
+A :class:`Deadline` is a wall-clock stop signal; a :class:`Budget`
+additionally caps the number of work units.  Both are *cooperative*:
+the sweeps that accept one check :meth:`~Deadline.expired` between
+natural units of work (grid cells, destinations, failure buckets) and
+stop cleanly — completed units are always whole, and the partial result
+is flagged ``exhaustive=False``.  Work is never interrupted mid-unit,
+so the numbers that do come out are exactly what an uncut run would
+have produced for those units.
+
+Checks are a couple of float comparisons, so call sites can test per
+unit without measurable overhead.  Once expired, a deadline stays
+expired (the flag latches): a sweep that observed the cut and a sweep
+that re-checks later agree.
+
+Forked workers (``parallel_map``) inherit the deadline object; since
+``time.monotonic`` is system-wide, wall-clock expiry is consistent
+across the fork.  :meth:`Budget.charge` counts in the charging process
+only — unit budgets bound driver-side loops, not worker internals.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+
+class Deadline:
+    """A wall-clock deadline: expires ``seconds`` after construction.
+
+    ``seconds=None`` never expires on its own but can still be latched
+    manually with :meth:`expire` — the seam an any-time consumer (e.g.
+    a Monte-Carlo refinement loop) uses to stop a sweep from outside.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self, seconds: float | None = None, clock: Callable[[], float] = time.monotonic
+    ):
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+        self._expired = False
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float | None:
+        """Seconds left (never negative), or ``None`` for unlimited."""
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - self.elapsed)
+
+    def expired(self) -> bool:
+        """Has the limit been reached?  Latches: never un-expires."""
+        if not self._expired and self.seconds is not None and self.elapsed >= self.seconds:
+            self._expired = True
+        return self._expired
+
+    def expire(self) -> None:
+        """Latch the deadline as expired immediately."""
+        self._expired = True
+
+    def charge(self, units: int = 1) -> bool:
+        """Account ``units`` of completed work; ``True`` while not expired.
+
+        A plain deadline only spends time, so this is just an
+        :meth:`expired` check — :class:`Budget` overrides it to spend
+        units.  The uniform call lets sweeps charge without caring
+        which flavour they were handed.
+        """
+        return not self.expired()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(seconds={self.seconds}, elapsed={self.elapsed:.3f})"
+
+
+class Budget(Deadline):
+    """A work budget: expires after ``units`` charges (and/or ``seconds``).
+
+    Units are whatever the accepting sweep naturally counts — grid
+    cells for ``run_grid``, grid units (destinations / pairs / failure
+    sets) for ``sweep_resilience``, failure sets for ``load_sweep``.
+    """
+
+    def __init__(
+        self,
+        units: int,
+        seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if units < 0:
+            raise ValueError(f"budget units must be >= 0, got {units}")
+        super().__init__(seconds, clock)
+        self.units = units
+        self.spent = 0
+
+    def remaining_units(self) -> int:
+        return max(0, self.units - self.spent)
+
+    def expired(self) -> bool:
+        if not self._expired and self.spent >= self.units:
+            self._expired = True
+        return super().expired()
+
+    def charge(self, units: int = 1) -> bool:
+        self.spent += units
+        return not self.expired()

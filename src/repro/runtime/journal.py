@@ -1,0 +1,126 @@
+"""Crash-safe persistence: atomic writes and an append-only cell journal.
+
+Two primitives with one goal — a killed run never loses or corrupts
+what it already finished:
+
+* :func:`atomic_write_text` replaces a file via same-directory temp
+  file + ``os.replace``.  A crash mid-write leaves the old contents
+  untouched; readers never observe a half-written document.  The
+  ``ResultStore`` JSON and CSV exports go through this.
+* :class:`CellJournal` is an append-only JSONL log of completed grid
+  cells, written next to the result store.  ``run_grid`` appends one
+  line per finished cell (flush + fsync, so a kill loses at most the
+  in-flight cell) and ``run_grid(..., resume=path)`` replays it to skip
+  cells already done.  A torn final line (the appending process died
+  mid-line) is detected on load and truncated away.
+
+Payloads are plain JSON values; the journal knows nothing about
+``ExperimentRecord`` — the experiment layer serializes before
+appending, keeping the runtime the bottom layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .faults import TornWrite, fire
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temp file lives in the target directory so ``os.replace`` is a
+    same-filesystem atomic rename.  Data is flushed and fsynced before
+    the rename, so after a crash the path holds either the complete old
+    contents or the complete new contents — never a torn mix.
+
+    Instrumented with the ``torn-write`` fault: an active spec makes
+    this write half the bytes to the temp file and die (raising
+    :class:`TornWrite`), simulating a crash mid-write; the target file
+    is never touched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        spec = fire("store-write")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            if spec is not None and spec.kind == "torn-write":
+                handle.write(text[: max(1, len(text) // 2)])
+                handle.flush()
+                raise TornWrite(f"injected torn write for {path}")
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            tmp.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class CellJournal:
+    """Append-only JSONL journal of completed work keyed by string.
+
+    Each line is ``{"key": <str>, "payload": <json>}``.  Appends are
+    flushed and fsynced so a kill loses at most the line being written;
+    loading tolerates exactly that torn tail by truncating the file at
+    the last complete, parseable line.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict[str, Any] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        raw = self.path.read_text(encoding="utf-8")
+        valid_bytes = 0
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith("\n"):
+                break  # torn tail: the writer died mid-line
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                payload = entry["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                break
+            self._entries[key] = payload
+            valid_bytes += len(line.encode("utf-8"))
+        if valid_bytes != len(raw.encode("utf-8")):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def payload(self, key: str) -> Any:
+        """The journaled payload for ``key`` (KeyError if absent)."""
+        return self._entries[key]
+
+    def append(self, key: str, payload: Any) -> None:
+        """Durably record ``key`` as done (overwrites a replayed key).
+
+        Keys are NOT sorted on purpose: replayed payloads must preserve
+        the writer's dict ordering bit for bit, so a resumed run can
+        reproduce the uninterrupted run's artifacts byte-identically.
+        """
+        line = json.dumps({"key": key, "payload": payload}) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[key] = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CellJournal({str(self.path)!r}, entries={len(self)})"

@@ -384,7 +384,10 @@ class TrafficEngine:
         return self._memos[key]
 
     def load_sweep(
-        self, demands: TrafficMatrix, failure_sets: list[FailureSet]
+        self,
+        demands: TrafficMatrix,
+        failure_sets: list[FailureSet],
+        deadline=None,
     ) -> list[LoadReport]:
         """One :class:`LoadReport` per failure set, in order.
 
@@ -394,16 +397,37 @@ class TrafficEngine:
         the scalar router bit for bit); otherwise, and whenever the
         vectorizer cannot take the instance, this is exactly the
         ``[self.load(demands, f) for f in failure_sets]`` loop.
+
+        ``deadline`` (a :class:`~repro.runtime.deadline.Deadline` /
+        :class:`~repro.runtime.deadline.Budget`) makes the sweep stop
+        cleanly between failure sets once expired, returning the
+        reports completed so far — a prefix of the full sweep, each
+        report identical to what the uncut sweep would produce.  The
+        numpy batch is one unit of work: it is checked only at entry
+        (an expired deadline yields the empty prefix) and charged as a
+        whole.
         """
         sets = list(failure_sets)
         if self.backend == "numpy":
             from ..core.engine.vectorized import VectorizedUnsupported, traffic_load_sweep
 
             try:
-                return traffic_load_sweep(self, demands, sets)
+                if deadline is not None and deadline.expired():
+                    return []
+                reports = traffic_load_sweep(self, demands, sets)
+                if deadline is not None:
+                    deadline.charge(len(sets))
+                return reports
             except VectorizedUnsupported:
                 pass
-        return [self.load(demands, failures) for failures in sets]
+        reports = []
+        for failures in sets:
+            if deadline is not None and deadline.expired():
+                break
+            reports.append(self.load(demands, failures))
+            if deadline is not None:
+                deadline.charge()
+        return reports
 
     def _validate_demands(self, demands: TrafficMatrix) -> None:
         index = self.state.network.index

@@ -64,3 +64,70 @@ class TestVerification:
         graph = construct.cycle_graph(4)
         bad = {1: 0, 2: 0, 3: 0}  # (2, 0) is not a link of C4
         assert not verify_arborescences(graph, 0, [bad])
+
+
+class TestDeterminism:
+    """Packings must not depend on the interpreter's string hash seed.
+
+    String-labelled graphs used to leak ``PYTHONHASHSEED`` through set
+    iteration order in the greedy growth step; the packing is now
+    canonicalized by sorting candidates before the seeded shuffle.
+    """
+
+    #: 5-node, 9-link string-labelled graph (2-connected, non-complete)
+    STRING_EDGES = [
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a"),
+        ("a", "c"), ("b", "d"), ("c", "e"), ("d", "a"),
+    ]
+
+    _SCRIPT = """
+import hashlib, json, sys
+import networkx as nx
+from repro.graphs.arborescences import arc_disjoint_in_arborescences
+
+edges = json.loads(sys.argv[1])
+graph = nx.Graph(edges)
+trees = arc_disjoint_in_arborescences(graph, "a")
+blob = json.dumps([sorted(tree.items()) for tree in trees]).encode()
+print(hashlib.sha256(blob).hexdigest())
+"""
+
+    def _packing_digest(self, hash_seed):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONHASHSEED=str(hash_seed))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", self._SCRIPT, json.dumps(self.STRING_EDGES)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return result.stdout.strip()
+
+    def test_string_labels_packing_is_hash_seed_independent(self):
+        digests = {self._packing_digest(seed) for seed in (0, 1, 2)}
+        assert len(digests) == 1, f"packing depends on PYTHONHASHSEED: {digests}"
+
+    def test_string_labelled_packing_verifies(self):
+        import networkx as nx
+
+        graph = nx.Graph(self.STRING_EDGES)
+        trees = arc_disjoint_in_arborescences(graph, "a")
+        assert len(trees) == 3
+        assert verify_arborescences(graph, "a", trees)
+
+    def test_string_labelled_complete_graph(self):
+        import networkx as nx
+
+        nodes = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        graph = nx.complete_graph(nodes)
+        trees = arc_disjoint_in_arborescences(graph, "gamma")
+        assert len(trees) == 4
+        assert verify_arborescences(graph, "gamma", trees)

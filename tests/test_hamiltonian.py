@@ -82,3 +82,39 @@ class TestValidation:
     def test_cycle_edges_closes_loop(self):
         edges = cycle_edges([0, 1, 2])
         assert set(edges) == {(0, 1), (1, 2), (0, 2)}
+
+
+class TestArbitraryLabels:
+    """The dispatcher maps integer-role constructions onto real labels."""
+
+    def test_string_complete_graph(self):
+        g = nx.complete_graph(["a", "b", "c", "d", "e"])
+        cycles = hamiltonian_decomposition(g)
+        assert is_hamiltonian_decomposition(g, cycles)
+
+    def test_string_complete_bipartite(self):
+        g = nx.complete_bipartite_graph(4, 4)
+        g = nx.relabel_nodes(g, {i: f"n{i}" for i in g.nodes})
+        cycles = hamiltonian_decomposition(g)
+        assert is_hamiltonian_decomposition(g, cycles)
+
+    def test_scrambled_integer_bipartition(self):
+        # integer labels, but the bipartition is not {0..n-1} vs {n..2n-1}
+        g = nx.Graph()
+        left, right = [0, 2, 4, 6], [1, 3, 5, 7]
+        g.add_edges_from((u, v) for u in left for v in right)
+        cycles = hamiltonian_decomposition(g)
+        assert is_hamiltonian_decomposition(g, cycles)
+
+    def test_canonical_k5_output_unchanged(self):
+        # bit-for-bit stability for integer 0..n-1 graphs (downstream
+        # experiment records depend on this exact decomposition)
+        assert hamiltonian_decomposition(construct.complete_graph(5)) == [
+            [4, 0, 1, 3, 2],
+            [4, 1, 2, 0, 3],
+        ]
+
+    def test_string_unsupported_still_rejected(self):
+        g = nx.cycle_graph(["a", "b", "c", "d", "e", "f"])
+        with pytest.raises(ValueError):
+            hamiltonian_decomposition(g)

@@ -1,0 +1,420 @@
+"""The fault-tolerance runtime: every recovery path actually recovers.
+
+Covers deadlines/budgets, the cell journal and atomic writes, the
+deterministic fault-injection plans, the crash-recovering
+``parallel_map``, and the end-to-end guarantees: a worker crash never
+changes a sweep verdict, a killed ``run_grid`` resumes to a
+byte-identical result store, and a torn write never corrupts the store.
+"""
+
+import json
+import time
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithms import ArborescenceRouting
+from repro.core.engine.sweep import ScenarioGrid, parallel_map, sweep_resilience
+from repro.experiments import (
+    ExperimentSession,
+    FailureModel,
+    ResultStore,
+    run_grid,
+)
+from repro.runtime import (
+    Budget,
+    CellJournal,
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    GridKill,
+    InjectedFault,
+    TornWrite,
+    active_plan,
+    atomic_write_text,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_never_expires_without_limit(self):
+        clock = FakeClock()
+        deadline = Deadline(clock=clock)
+        clock.now = 1e9
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_expires_and_latches(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == 2.0
+        clock.now = 2.0
+        assert deadline.expired()
+        clock.now = 0.0  # a latched deadline never un-expires
+        assert deadline.expired()
+
+    def test_manual_expire(self):
+        deadline = Deadline()
+        deadline.expire()
+        assert deadline.expired()
+
+    def test_charge_is_expiry_check(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.charge()
+        clock.now = 1.0
+        assert not deadline.charge()
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestBudget:
+    def test_unit_budget(self):
+        budget = Budget(2)
+        assert budget.charge()
+        assert not budget.charge()  # second charge spends the last unit
+        assert budget.expired()
+        assert budget.remaining_units() == 0
+
+    def test_combined_time_and_units(self):
+        clock = FakeClock()
+        budget = Budget(100, seconds=5.0, clock=clock)
+        assert budget.charge()
+        clock.now = 5.0
+        assert budget.expired()
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(-1)
+
+
+class TestCellJournal:
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CellJournal(path)
+        journal.append("a", {"x": 1})
+        journal.append("b", [1, 2])
+        replay = CellJournal(path)
+        assert len(replay) == 2
+        assert "a" in replay and "b" in replay
+        assert replay.payload("a") == {"x": 1}
+        assert replay.payload("b") == [1, 2]
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CellJournal(path)
+        journal.append("a", 1)
+        journal.append("b", 2)
+        with open(path, "a") as handle:
+            handle.write('{"key": "c", "payl')  # the writer died mid-line
+        replay = CellJournal(path)
+        assert len(replay) == 2
+        assert "c" not in replay
+        # the torn bytes are gone: the next append produces a clean file
+        replay.append("c", 3)
+        assert CellJournal(path).payload("c") == 3
+
+    def test_corrupt_line_stops_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CellJournal(path)
+        journal.append("a", 1)
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+        replay = CellJournal(path)
+        assert len(replay) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = CellJournal(tmp_path / "missing.jsonl")
+        assert len(journal) == 0
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_torn_write_fault_never_touches_target(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "intact")
+        plan = FaultPlan([FaultSpec("torn-write")])
+        with plan.installed():
+            with pytest.raises(TornWrite):
+                atomic_write_text(path, "replacement that dies halfway")
+        assert path.read_text() == "intact"
+
+    def test_result_store_survives_torn_write(self, tmp_path):
+        store = ResultStore(tmp_path / "BENCH_engine.json")
+        store.merge_raw({"gadget": {"speedup": 4.0}})
+        plan = FaultPlan([FaultSpec("torn-write")])
+        with plan.installed():
+            with pytest.raises(TornWrite):
+                store.merge_raw({"zoo": {"speedup": 5.0}})
+        # the store is never corrupt: old document intact and parseable
+        assert store.load_document() == {"gadget": {"speedup": 4.0}}
+
+
+class TestFaultPlan:
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse(
+            "worker-crash:at=0+2,attempts=all;cell-error:rate=0.5;"
+            "slow-chunk:seconds=0.01;grid-kill:at=3",
+            seed=7,
+        )
+        kinds = [spec.kind for spec in plan.specs]
+        assert kinds == ["worker-crash", "cell-error", "slow-chunk", "grid-kill"]
+        assert plan.specs[0].at == (0, 2)
+        assert plan.specs[0].attempts is None
+        assert plan.specs[1].rate == 0.5
+        assert plan.specs[2].seconds == 0.01
+        assert plan.seed == 7
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "unknown-kind:at=0", "cell-error:bogus=1", "cell-error:rate=2.0"],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_at_and_attempt_selection(self):
+        spec = FaultSpec("worker-crash", at=(1, 3))
+        assert not spec.triggers(0, 0, 0)
+        assert spec.triggers(0, 1, 0)
+        assert not spec.triggers(0, 1, 1)  # default: first attempt only
+        assert FaultSpec("worker-crash", at=(1,), attempts=None).triggers(0, 1, 5)
+
+    def test_rate_is_seed_deterministic(self):
+        spec = FaultSpec("cell-error", rate=0.5, attempts=None)
+        pattern = [spec.triggers(0, index, 0) for index in range(64)]
+        assert pattern == [spec.triggers(0, index, 0) for index in range(64)]
+        assert any(pattern) and not all(pattern)
+
+    def test_visit_counter_for_indexless_sites(self):
+        plan = FaultPlan([FaultSpec("torn-write", at=(1,))])
+        assert plan.fire("store-write") is None  # visit 0
+        assert plan.fire("store-write") is not None  # visit 1
+        assert plan.fire("store-write") is None  # visit 2
+
+    def test_installed_restores_previous(self):
+        assert active_plan() is None
+        plan = FaultPlan([FaultSpec("cell-error")])
+        with plan.installed():
+            assert active_plan() is plan
+        assert active_plan() is None
+
+
+class TestParallelMap:
+    def test_matches_serial(self):
+        items = list(range(23))
+        assert parallel_map(lambda x: x * x, items, 4) == [x * x for x in items]
+
+    def test_worker_crash_salvages_completed_chunks(self):
+        items = list(range(10))
+        plan = FaultPlan.parse("worker-crash:at=0")
+        with plan.installed():
+            out = parallel_map(lambda x: x + 1, items, 4)
+        assert out == [x + 1 for x in items]
+
+    def test_poisoned_item_falls_back_to_serial(self):
+        # crashes the worker on every attempt: retries exhaust, the
+        # serial pass completes the map (injected faults only fire in
+        # forked workers, so the serial pass is clean)
+        items = list(range(6))
+        plan = FaultPlan.parse("worker-crash:at=2,attempts=all")
+        with plan.installed():
+            out = parallel_map(lambda x: x * 3, items, 3)
+        assert out == [x * 3 for x in items]
+
+    def test_slow_chunk_timeout_recovers(self):
+        items = list(range(6))
+        plan = FaultPlan.parse("slow-chunk:at=0,seconds=30")
+        start = time.monotonic()
+        with plan.installed():
+            out = parallel_map(lambda x: x, items, 3, timeout=0.2)
+        assert out == items
+        assert time.monotonic() - start < 10  # never waited out the sleep
+
+    def test_function_exception_propagates(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("boom")
+            return x
+
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(boom, list(range(5)), 3)
+
+
+class TestSweepRecovery:
+    """A worker crash mid-sweep never changes the verdict."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        graph = nx.circulant_graph(8, [1, 2])
+        grid = ScenarioGrid(max_failures=1)
+        clean = sweep_resilience(graph, ArborescenceRouting(), grid)
+        return graph, grid, clean
+
+    def test_clean_parallel_matches_serial(self, case):
+        graph, grid, clean = case
+        parallel = sweep_resilience(graph, ArborescenceRouting(), grid, processes=2)
+        assert self._verdict_tuple(parallel.verdict) == self._verdict_tuple(clean.verdict)
+
+    def test_crashed_worker_verdict_is_bit_identical(self, case):
+        graph, grid, clean = case
+        plan = FaultPlan.parse("worker-crash:at=0")
+        with plan.installed():
+            crashed = sweep_resilience(graph, ArborescenceRouting(), grid, processes=2)
+        assert self._verdict_tuple(crashed.verdict) == self._verdict_tuple(clean.verdict)
+        assert len(crashed.units) == len(clean.units)
+
+    @staticmethod
+    def _verdict_tuple(verdict):
+        return (
+            verdict.resilient,
+            verdict.scenarios_checked,
+            verdict.exhaustive,
+            str(verdict.counterexample),
+        )
+
+    def test_deadline_cuts_cleanly(self, case):
+        graph, grid, clean = case
+        cut = sweep_resilience(graph, ArborescenceRouting(), grid, deadline=Budget(2))
+        assert cut.verdict.resilient
+        assert not cut.verdict.exhaustive
+        assert len(cut.units) == 2
+        # completed units are whole: they match the uncut run's prefix
+        for (unit, verdict), (clean_unit, clean_verdict) in zip(cut.units, clean.units):
+            assert unit == clean_unit
+            assert verdict.scenarios_checked == clean_verdict.scenarios_checked
+
+    def test_expired_deadline_runs_nothing(self, case):
+        graph, grid, _ = case
+        result = sweep_resilience(graph, ArborescenceRouting(), grid, deadline=Deadline(0.0))
+        assert result.verdict.scenarios_checked == 0
+        assert not result.verdict.exhaustive
+        assert result.units == []
+
+
+GRID_KWARGS = dict(
+    topologies=["ring"],
+    schemes=["arborescence", "greedy"],
+    failure_models=[FailureModel(sizes=(0, 1), samples=2, seed=0)],
+    metrics=("resilience", "congestion", "stretch", "table_space"),
+    matrix="permutation",
+    matrix_seed=0,
+)
+
+
+@pytest.fixture()
+def frozen_clock(monkeypatch):
+    """Pin record runtimes so resumed and clean runs are byte-comparable."""
+    monkeypatch.setattr(time, "perf_counter", lambda: 0.0)
+
+
+class TestGridRecovery:
+    def test_kill_and_resume_is_byte_identical(self, tmp_path, frozen_clock):
+        clean_store = ResultStore(tmp_path / "clean.json")
+        run_grid(session=ExperimentSession(), store=clean_store, **GRID_KWARGS)
+
+        chaos_store = ResultStore(tmp_path / "chaos.json")
+        journal_path = tmp_path / "journal.jsonl"
+        plan = FaultPlan.parse("grid-kill:at=1")
+        with plan.installed():
+            with pytest.raises(GridKill):
+                run_grid(
+                    session=ExperimentSession(),
+                    store=chaos_store,
+                    resume=journal_path,
+                    **GRID_KWARGS,
+                )
+        # the kill happened mid-grid: cell 0 journaled, store unwritten
+        assert len(CellJournal(journal_path)) == 1
+        assert not chaos_store.path.exists()
+
+        resumed = run_grid(
+            session=ExperimentSession(),
+            store=chaos_store,
+            resume=journal_path,
+            **GRID_KWARGS,
+        )
+        assert resumed.resumed_cells == 1
+        assert chaos_store.path.read_bytes() == clean_store.path.read_bytes()
+
+    def test_resume_skips_all_completed_cells(self, tmp_path, frozen_clock):
+        journal_path = tmp_path / "journal.jsonl"
+        first = run_grid(session=ExperimentSession(), resume=journal_path, **GRID_KWARGS)
+        assert first.resumed_cells == 0
+        second = run_grid(session=ExperimentSession(), resume=journal_path, **GRID_KWARGS)
+        assert second.resumed_cells == 2
+        assert [r.to_dict() for r in second.records] == [r.to_dict() for r in first.records]
+
+    def test_cell_error_becomes_typed_record(self):
+        plan = FaultPlan.parse("cell-error:at=0")
+        with plan.installed():
+            result = run_grid(session=ExperimentSession(), **GRID_KWARGS)
+        errors = result.errors
+        assert len(errors) == 1
+        assert errors[0].status == "error"
+        assert errors[0].experiment == "error"
+        assert InjectedFault.__name__ in errors[0].note
+        assert "InjectedFault" in errors[0].params["traceback"]
+        # the grid kept going: the second scheme's cell is complete
+        assert any(r.status == "ok" and r.scheme == "greedy" for r in result.records)
+
+    def test_errored_cells_are_journaled_and_replayed(self, tmp_path, frozen_clock):
+        journal_path = tmp_path / "journal.jsonl"
+        plan = FaultPlan.parse("cell-error:at=0")
+        with plan.installed():
+            first = run_grid(session=ExperimentSession(), resume=journal_path, **GRID_KWARGS)
+        assert len(first.errors) == 1
+        replay = run_grid(session=ExperimentSession(), resume=journal_path, **GRID_KWARGS)
+        assert replay.resumed_cells == 2
+        assert [r.to_dict() for r in replay.records] == [r.to_dict() for r in first.records]
+
+    def test_deadline_stops_between_cells(self):
+        result = run_grid(session=ExperimentSession(), deadline=Budget(1), **GRID_KWARGS)
+        assert not result.exhaustive
+        # exactly the first cell's records are present
+        assert {record.scheme for record in result.records} == {"arborescence"}
+
+    def test_session_deadline_is_the_default(self):
+        session = ExperimentSession(deadline=Budget(1))
+        result = run_grid(session=session, **GRID_KWARGS)
+        assert not result.exhaustive
+
+    def test_expired_deadline_yields_empty_grid(self):
+        result = run_grid(session=ExperimentSession(), deadline=Deadline(0.0), **GRID_KWARGS)
+        assert result.records == []
+        assert not result.exhaustive
+
+
+class TestLoadSweepDeadline:
+    def test_partial_prefix_matches_full_run(self):
+        from repro.experiments import resolve_topology, scheme
+        from repro.traffic import TrafficEngine, permutation, sample_failure_grid
+
+        graph = resolve_topology("grid(3, 3)")
+        algorithm = scheme("arborescence").instantiate()
+        demands = permutation(graph, seed=1)
+        grid = sample_failure_grid(graph, [0, 1, 2], 2, seed=0)
+        failure_sets = [failures for size in sorted(grid) for failures in grid[size]]
+        engine = TrafficEngine(graph, algorithm)
+        full = engine.load_sweep(demands, failure_sets)
+        partial = engine.load_sweep(demands, failure_sets, deadline=Budget(3))
+        assert len(partial) == 3
+        for cut, complete in zip(partial, full):
+            assert cut.loads == complete.loads
+        assert engine.load_sweep(demands, failure_sets, deadline=Deadline(0.0)) == []
