@@ -78,6 +78,18 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
             numpy_seconds = time.perf_counter() - start
             for fast, slow in zip(numpy_reports, batched):
                 assert fast.loads == slow.loads, "numpy router diverged from batched loads"
+        # telemetry-on rerun of the batched sweep: identical loads, and
+        # the overhead ratio is tracked in BENCH_engine.json
+        from repro import obs
+
+        telemetry = obs.Telemetry()  # metrics registry, no trace file
+        with obs.installed(telemetry):
+            start = time.perf_counter()
+            instrumented = TrafficEngine(graph, algorithm).load_sweep(demands, covered)
+            telemetry_seconds = time.perf_counter() - start
+        for fast, slow in zip(instrumented, batched):
+            assert fast.loads == slow.loads, "telemetry changed batched loads"
+        assert telemetry.registry.value("repro_traffic_load_reports_total") == len(covered)
         start = time.perf_counter()
         naive = [
             per_packet_loads(graph, algorithm, demands, failures)
@@ -93,6 +105,8 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
             "per_packet_seconds": per_packet_seconds,
             "batched_seconds": batched_seconds,
             "speedup": per_packet_seconds / batched_seconds,
+            "telemetry_seconds": telemetry_seconds,
+            "telemetry_overhead": telemetry_seconds / batched_seconds,
             "worst_max_load": max(report.max_load for report in batched),
             "min_delivered_fraction": min(report.delivered_fraction for report in batched),
         }
@@ -131,6 +145,8 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
                         "speedup": data["speedup"],
                         "per_packet_seconds": data["per_packet_seconds"],
                         "batched_seconds": data["batched_seconds"],
+                        "telemetry_seconds": data["telemetry_seconds"],
+                        "telemetry_overhead": data["telemetry_overhead"],
                         "flows_routed": data["flows_routed"],
                         "worst_max_load": data["worst_max_load"],
                         **{

@@ -45,6 +45,8 @@ BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 GADGET_MIN_SPEEDUP = 3.0
 #: the vectorized backend must beat the scalar engine on the gadget
 NUMPY_MIN_SPEEDUP = 1.0
+#: telemetry-on must cost at most 3% over telemetry-off on the gadget
+TELEMETRY_MAX_OVERHEAD = 1.03
 #: how many eligible zoo topologies to verify (bounds naive runtime)
 ZOO_TOPOLOGY_CAP = 4
 
@@ -66,16 +68,54 @@ def sixteen_link_gadget(n: int = 10):
     return graph
 
 
+def _interleaved_best_pair(rounds: int, baseline, variant):
+    """Best-of-N for two workloads with ALTERNATING runs.
+
+    Container clock drift between back-to-back timing blocks runs ±8%,
+    far above the 3% telemetry bar — timing all baseline runs before
+    all variant runs folds that drift into the ratio.  Alternating
+    baseline/variant within each round samples the same drift for both,
+    so the minima stay comparable.
+    """
+    best_base = best_var = None
+    result_base = result_var = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result_base = baseline()
+        elapsed = time.perf_counter() - start
+        best_base = elapsed if best_base is None else min(best_base, elapsed)
+        start = time.perf_counter()
+        result_var = variant()
+        elapsed = time.perf_counter() - start
+        best_var = elapsed if best_var is None else min(best_var, elapsed)
+    return best_base, result_base, best_var, result_var
+
+
 def bench_gadget(n: int = 10) -> dict:
+    from repro import obs
     from repro.core.engine.vectorized import numpy_available
 
     graph = sixteen_link_gadget(n)
     algorithm = touring_as_destination(scheme("right-hand").instantiate())
-    start = time.perf_counter()
-    fast = check_perfect_resilience_destination(
-        graph, algorithm, destinations=[0], session=ExperimentSession()
+
+    def engine_run():
+        # a fresh session per run keeps every timing cold-cache
+        return check_perfect_resilience_destination(
+            graph, algorithm, destinations=[0], session=ExperimentSession()
+        )
+
+    telemetry = obs.Telemetry()  # metrics registry, no trace file
+
+    def telemetry_run():
+        with obs.installed(telemetry):
+            return engine_run()
+
+    engine_seconds, fast, telemetry_seconds, instrumented = _interleaved_best_pair(
+        3, engine_run, telemetry_run
     )
-    engine_seconds = time.perf_counter() - start
+    assert instrumented.resilient and instrumented.exhaustive
+    assert instrumented.scenarios_checked == fast.scenarios_checked
+    assert telemetry.registry.value("repro_engine_walks_total", kind="covers") > 0
     numpy_seconds = None
     if numpy_available():
         start = time.perf_counter()
@@ -101,6 +141,8 @@ def bench_gadget(n: int = 10) -> dict:
         "naive_seconds": naive_seconds,
         "engine_seconds": engine_seconds,
         "speedup": naive_seconds / engine_seconds,
+        "telemetry_seconds": telemetry_seconds,
+        "telemetry_overhead": telemetry_seconds / engine_seconds,
     }
     if numpy_seconds is not None:
         # only ever recorded as real numbers: a no-numpy machine must
@@ -179,6 +221,7 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
         "thresholds": {
             "gadget_min_speedup": GADGET_MIN_SPEEDUP,
             "numpy_min_speedup": NUMPY_MIN_SPEEDUP,
+            "telemetry_max_overhead": TELEMETRY_MAX_OVERHEAD,
         },
         "gadget": gadget,
         "zoo": zoo,
@@ -206,6 +249,8 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
                         "speedup": gadget["speedup"],
                         "naive_seconds": gadget["naive_seconds"],
                         "engine_seconds": gadget["engine_seconds"],
+                        "telemetry_seconds": gadget["telemetry_seconds"],
+                        "telemetry_overhead": gadget["telemetry_overhead"],
                         "scenarios": gadget["scenarios"],
                     },
                     runtime_seconds=gadget["naive_seconds"] + gadget["engine_seconds"],
@@ -269,6 +314,11 @@ def format_report(results: dict) -> str:
         )
     else:
         numpy_line = "numpy backend: not installed (scalar engine only)\n"
+    numpy_line += (
+        f"telemetry-on gadget sweep: {gadget['telemetry_seconds']:.2f} s, "
+        f"{(gadget['telemetry_overhead'] - 1) * 100:+.1f}% vs telemetry-off "
+        f"(bar: <= {(TELEMETRY_MAX_OVERHEAD - 1) * 100:.0f}%)\n"
+    )
     return (
         "Engine speedup: naive simulator vs indexed+memoized engine\n"
         f"(gadget = exhaustive {gadget['links']}-link destination check; "
@@ -284,6 +334,9 @@ def test_engine_speedup(report):
     assert results["gadget"]["speedup"] >= GADGET_MIN_SPEEDUP, results["gadget"]
     # zoo verification must never get slower than the naive path
     assert results["zoo"]["speedup"] >= 1.0, results["zoo"]
+    assert (
+        results["gadget"]["telemetry_overhead"] <= TELEMETRY_MAX_OVERHEAD
+    ), results["gadget"]
     if results["gadget"].get("numpy_seconds") is not None:
         assert (
             results["gadget"]["numpy_vs_engine_speedup"] >= NUMPY_MIN_SPEEDUP

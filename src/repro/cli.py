@@ -14,7 +14,11 @@ Commands:
   load attack);
 * ``experiments`` — the unified grid runner: topologies × schemes ×
   failure models, resolved by registry name, emitting typed
-  ``ExperimentRecord`` rows (JSON/CSV).
+  ``ExperimentRecord`` rows (JSON/CSV); ``--trace`` / bare ``--metrics``
+  / ``--metrics-out`` turn on the telemetry layer and ``--progress``
+  prints a per-cell heartbeat;
+* ``stats`` — render a telemetry artifact (span trace JSONL or metrics
+  snapshot JSON) as a human-readable hotspot report.
 
 Schemes and topologies are resolved through
 :mod:`repro.experiments.registry` — the CLI holds no private lists.
@@ -309,6 +313,16 @@ def _split_names(raw: str) -> list[str]:
     return names
 
 
+def _print_progress(info: dict) -> None:
+    total = info["total"] if info["total"] is not None else "?"
+    eta = f", eta {info['eta']:.0f}s" if info["eta"] is not None else ""
+    replayed = f", {info['replayed']} replayed" if info["replayed"] else ""
+    print(
+        f"[grid] {info['done']}/{total} cells, {info['errors']} errors{replayed}{eta}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_experiments(args) -> int:
     from .experiments import (
         FailureModel,
@@ -339,6 +353,12 @@ def _cmd_experiments(args) -> int:
         )
         return 0
 
+    # bare --metrics is the telemetry-dump flag (const=True); with a
+    # value it is still the metric-family list
+    dump_metrics = args.metrics is True
+    metrics_spec = (
+        "resilience,congestion,stretch,table_space" if dump_metrics else args.metrics
+    )
     if args.quick:
         # CI smoke: a tiny fixed 2-topology x 3-scheme grid, every
         # metric, permutation matrix, seed 0 — nothing overridable
@@ -351,7 +371,7 @@ def _cmd_experiments(args) -> int:
                 ("--schemes", args.schemes is not None),
                 ("--sizes", args.sizes is not None),
                 ("--samples", args.samples != 5),
-                ("--metrics", args.metrics != "resilience,congestion,stretch,table_space"),
+                ("--metrics", metrics_spec != "resilience,congestion,stretch,table_space"),
                 ("--matrix", args.matrix != "permutation"),
                 ("--seed", args.seed != 0),
             )
@@ -379,16 +399,27 @@ def _cmd_experiments(args) -> int:
             print(f"invalid --sizes {args.sizes!r}", file=sys.stderr)
             return 2
         model = FailureModel(sizes=sizes, samples=args.samples, seed=args.seed)
-        metrics = [token for token in args.metrics.split(",") if token]
+        metrics = [token for token in metrics_spec.split(",") if token]
         matrix = args.matrix
         seed = args.seed
     session = _build_session(args.backend)
     if session is None:
         return 2
     store = ResultStore(args.out) if args.out else None
-    from .runtime import Deadline, FaultPlan, GridKill
+    from .runtime import CellJournal, Deadline, FaultPlan, GridKill
 
     deadline = Deadline(args.deadline) if args.deadline is not None else None
+    resume = args.resume
+    if resume:
+        journal = CellJournal(resume)
+        staleness = journal.staleness_seconds()
+        if len(journal) and staleness is not None:
+            print(
+                f"resuming from {resume}: {len(journal)} journaled cells, "
+                f"newest {staleness:.0f}s old",
+                file=sys.stderr,
+            )
+        resume = journal
     if args.inject_faults:
         try:
             plan_context = FaultPlan.parse(args.inject_faults, seed=args.fault_seed).installed()
@@ -397,8 +428,14 @@ def _cmd_experiments(args) -> int:
             return 2
     else:
         plan_context = contextlib.nullcontext()
+    from . import obs
+
+    telemetry = None
+    if args.trace or dump_metrics or args.metrics_out:
+        telemetry = obs.Telemetry(trace_path=args.trace)
+    install = obs.installed(telemetry) if telemetry is not None else contextlib.nullcontext()
     try:
-        with plan_context:
+        with install, plan_context:
             result = run_grid(
                 topologies,
                 schemes,
@@ -409,7 +446,8 @@ def _cmd_experiments(args) -> int:
                 session=session,
                 store=store,
                 deadline=deadline,
-                resume=args.resume,
+                resume=resume,
+                progress=_print_progress if args.progress else None,
             )
     except (KeyError, ValueError) as error:
         print(f"cannot run grid: {error}", file=sys.stderr)
@@ -422,6 +460,11 @@ def _cmd_experiments(args) -> int:
                 file=sys.stderr,
             )
         return 3
+    finally:
+        # flush the trace even when the grid dies (a torn tail is
+        # tolerated by the reader, but dangling spans are closed here)
+        if telemetry is not None:
+            telemetry.close()
     print(
         f"experiment grid: {len(topologies)} topologies x "
         f"{'all' if schemes is None else len(schemes)} schemes, {model.label}"
@@ -450,7 +493,33 @@ def _cmd_experiments(args) -> int:
     if args.csv:
         rows = write_records_csv(result.records, args.csv)
         print(f"wrote {rows} CSV rows to {args.csv}")
+    if args.trace:
+        print(f"trace written to {args.trace} (render with: repro stats {args.trace})")
+    if args.metrics_out:
+        telemetry.registry.write_snapshot(args.metrics_out)
+        print(f"metrics snapshot written to {args.metrics_out}")
+    if dump_metrics:
+        print(telemetry.registry.render_prometheus(), end="")
     return 0 if result.records else 1
+
+
+def _cmd_stats(args) -> int:
+    from . import obs
+
+    try:
+        if args.validate:
+            events = obs.validate_trace(args.file)
+            spans = sum(1 for event in events if event["event"] == "end")
+            print(f"{args.file}: valid trace ({len(events)} events, {spans} spans)")
+            return 0
+        print(obs.render_report(args.file, top=args.top), end="")
+    except obs.TraceError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as error:
+        print(f"cannot render {args.file}: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -536,7 +605,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated scheme names (default: every registered scheme)",
     )
-    p.add_argument("--metrics", default="resilience,congestion,stretch,table_space")
+    p.add_argument(
+        "--metrics",
+        nargs="?",
+        const=True,
+        default="resilience,congestion,stretch,table_space",
+        help="metric families to run (comma list); bare --metrics keeps the "
+        "default families and additionally dumps the telemetry counters as "
+        "Prometheus text after the run",
+    )
     p.add_argument("--matrix", default="permutation")
     p.add_argument("--sizes", default=None, help="failure-set sizes, e.g. 0,1,2,4")
     p.add_argument("--samples", type=int, default=5, help="failure sets per size")
@@ -589,7 +666,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="seed for rate-based fault injection decisions",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write telemetry spans (append-only JSONL) to PATH; render "
+        "with 'repro stats PATH'",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot (JSON) to PATH; render with "
+        "'repro stats PATH'",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a per-cell heartbeat (done/total, errors, ETA) to stderr",
+    )
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "stats",
+        help="render a telemetry trace or metrics snapshot as a hotspot report",
+    )
+    p.add_argument(
+        "file",
+        help="trace JSONL (from experiments --trace) or metrics snapshot "
+        "JSON (from experiments --metrics-out)",
+    )
+    p.add_argument("--top", type=int, default=20, help="span rows to show")
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="only validate the trace against the event schema and exit",
+    )
+    p.set_defaults(func=_cmd_stats)
     return parser
 
 

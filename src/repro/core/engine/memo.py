@@ -11,6 +11,8 @@ invocation.
 
 from __future__ import annotations
 
+from repro import obs as _obs
+
 from ..model import ForwardingPattern
 from ..simulator import Outcome, RouteResult, TourResult
 from .indexed import IndexedNetwork
@@ -18,6 +20,46 @@ from .indexed import IndexedNetwork
 #: decision-table sentinels (real next hops are node indices >= 0)
 DROP = -1
 ILLEGAL = -2
+
+
+def _record_walk(
+    telemetry, kind: str, table: dict, before: int, lookups: int | None, walks: int = 1
+) -> None:
+    """Batch walk counters into the active telemetry.
+
+    Called once per walk for the standalone entry points — never per
+    step — and once per *sweep* by the hot mask loops in ``sweep.py``,
+    which accumulate ``walks`` in a local int and flush here (a registry
+    update per walk would dwarf a sub-microsecond covers walk).  Misses
+    are exact either way: every table miss inserts exactly one entry,
+    so the table-size delta *is* the miss count.  Hits derive from the
+    walk's own step count where the caller exposes one
+    (``lookups=None`` otherwise).
+    """
+    if not walks:
+        return
+    telemetry.count(
+        "repro_engine_walks_total", walks, help="scalar mask walks, by kind", kind=kind
+    )
+    misses = len(table) - before
+    if misses:
+        telemetry.count(
+            "repro_engine_memo_misses_total", misses, help="memo decision-table misses"
+        )
+    if lookups is not None:
+        telemetry.count(
+            "repro_engine_walk_steps_total", lookups, help="scalar walk steps, by kind", kind=kind
+        )
+        hits = lookups - misses
+        if hits > 0:
+            telemetry.count(
+                "repro_engine_memo_hits_total", hits, help="memo decision-table hits"
+            )
+    telemetry.gauge_max(
+        "repro_engine_memo_table_entries_max",
+        len(table),
+        help="largest memo decision table observed",
+    )
 
 
 class MemoizedPattern:
@@ -70,6 +112,25 @@ def route_indexed(
     Returns the identical :class:`RouteResult` (outcome, label path,
     step count) the naive walk would produce.
     """
+    telemetry = _obs.active()
+    if telemetry is None:
+        return _route_indexed(network, pattern, source, destination, fmask)
+    before = len(pattern.table)
+    result = _route_indexed(network, pattern, source, destination, fmask)
+    # every loop iteration does one table lookup; drop/illegal exits
+    # happen before the step increment, so they add one lookup
+    lookups = result.steps + (1 if result.outcome in (Outcome.DROPPED, Outcome.ILLEGAL) else 0)
+    _record_walk(telemetry, "route", pattern.table, before, lookups)
+    return result
+
+
+def _route_indexed(
+    network: IndexedNetwork,
+    pattern: MemoizedPattern,
+    source: int,
+    destination: int,
+    fmask: int,
+) -> RouteResult:
     labels = network.labels
     if source == destination:
         return RouteResult(Outcome.DELIVERED, [labels[source]], 0)
@@ -126,6 +187,25 @@ def route_covers(
     destination or pattern) changes.  On a ``False`` answer, re-run
     :func:`route_indexed` for the exact counterexample trace.
     """
+    telemetry = _obs.active()
+    if telemetry is None:
+        return _route_covers(network, pattern, source, destination, fmask, delivered)
+    before = len(pattern.table)
+    covered = _route_covers(network, pattern, source, destination, fmask, delivered)
+    # no step count here (the walk exits early through the shared
+    # delivered set); misses stay exact via the table delta
+    _record_walk(telemetry, "covers", pattern.table, before, None)
+    return covered
+
+
+def _route_covers(
+    network: IndexedNetwork,
+    pattern: MemoizedPattern,
+    source: int,
+    destination: int,
+    fmask: int,
+    delivered: set[int],
+) -> bool:
     if source == destination:
         return True
     incident = network.incident_mask
@@ -170,6 +250,21 @@ def tour_indexed(
     fmask: int,
 ) -> TourResult:
     """Mask-based twin of :func:`repro.core.simulator.tour`."""
+    telemetry = _obs.active()
+    if telemetry is None:
+        return _tour_indexed(network, pattern, start, fmask)
+    before = len(pattern.table)
+    result = _tour_indexed(network, pattern, start, fmask)
+    _record_walk(telemetry, "tour", pattern.table, before, len(result.path))
+    return result
+
+
+def _tour_indexed(
+    network: IndexedNetwork,
+    pattern: MemoizedPattern,
+    start: int,
+    fmask: int,
+) -> TourResult:
     labels = network.labels
     incident = network.incident_mask
     stride = network.n + 1
@@ -213,6 +308,21 @@ def tour_recurrent_indices(
     The allocation-light core of :func:`tour_indexed` for yes/no
     coverage checks: no label translation, no path materialization.
     """
+    telemetry = _obs.active()
+    if telemetry is None:
+        return _tour_recurrent_indices(network, pattern, start, fmask)
+    before = len(pattern.table)
+    result = _tour_recurrent_indices(network, pattern, start, fmask)
+    _record_walk(telemetry, "tour", pattern.table, before, None)
+    return result
+
+
+def _tour_recurrent_indices(
+    network: IndexedNetwork,
+    pattern: MemoizedPattern,
+    start: int,
+    fmask: int,
+) -> set[int] | None:
     incident = network.incident_mask
     stride = network.n + 1
     current = start

@@ -29,6 +29,9 @@ from typing import Any
 
 import networkx as nx
 
+from repro import obs as _obs
+from repro.obs import diff_snapshots
+
 from ...graphs.connectivity import component_of
 from ...graphs.edges import FailureSet, Node, sorted_nodes
 from ...runtime.deadline import Deadline
@@ -44,7 +47,13 @@ from ..simulator import Network, RouteResult
 from ..simulator import route as naive_route
 from .components import ComponentTracker
 from .indexed import IndexedNetwork
-from .memo import MemoizedPattern, route_covers, route_indexed, tour_recurrent_indices
+from .memo import (
+    MemoizedPattern,
+    _record_walk,
+    _route_covers,
+    _tour_recurrent_indices,
+    route_indexed,
+)
 
 
 class EngineState:
@@ -201,7 +210,7 @@ _FORK_PAYLOAD: Callable[[Any], Any] | None = None
 _POLL_SECONDS = 0.02
 
 
-def _fork_call(task: tuple[int, Any, Any]) -> tuple[int, Any]:
+def _fork_call(task: tuple[int, Any, Any]) -> tuple[int, Any, Any]:
     index, item, fault = task
     if fault is not None:
         # injected-fault verdicts are decided in the parent (fork copies
@@ -211,7 +220,16 @@ def _fork_call(task: tuple[int, Any, Any]) -> tuple[int, Any]:
         elif fault.kind == "slow-chunk":
             time.sleep(fault.seconds)
     assert _FORK_PAYLOAD is not None
-    return index, _FORK_PAYLOAD(item)
+    telemetry = _obs.active()
+    if telemetry is None or telemetry.registry is None:
+        return index, _FORK_PAYLOAD(item), None
+    # the forked worker inherited the parent's registry at fork time:
+    # snapshot before/after the payload and ship only the delta home
+    # with the result (the parent merges it, so worker-side counters
+    # equal what a serial run would have recorded)
+    before = telemetry.registry.snapshot()
+    value = _FORK_PAYLOAD(item)
+    return index, value, diff_snapshots(before, telemetry.registry.snapshot())
 
 
 def parallel_map(
@@ -250,58 +268,96 @@ def parallel_map(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return [function(item) for item in items]
+    telemetry = _obs.active()
     previous = _FORK_PAYLOAD
     _FORK_PAYLOAD = function
     results: dict[int, Any] = {}
-    try:
-        for attempt in range(retries + 1):
-            pending = [i for i in range(len(items)) if i not in results]
-            if not pending:
-                break
-            if attempt:
-                time.sleep(backoff * attempt)
-            tasks = [(i, items[i], _fault_fire("worker", i, attempt)) for i in pending]
-            try:
-                pool = context.Pool(min(processes, len(pending)))
-            except OSError:  # pragma: no cover - fork failed (resource limits)
-                break
-            broken = False
-            try:
-                with pool:
-                    # _maintain_pool silently respawns dead workers, so a
-                    # changed pid set is the durable sign of an abnormal
-                    # death (workers never exit on their own before close)
-                    initial_pids = {worker.pid for worker in pool._pool}
-                    iterator = pool.imap_unordered(_fork_call, tasks)
-                    received = 0
-                    waited = 0.0
-                    while received < len(tasks):
-                        try:
-                            index, value = iterator.next(timeout=_POLL_SECONDS)
-                        except multiprocessing.TimeoutError:
-                            waited += _POLL_SECONDS
-                            workers = pool._pool
-                            died = {w.pid for w in workers} != initial_pids or any(
-                                w.exitcode not in (None, 0) for w in workers
-                            )
-                            if died or (timeout is not None and waited >= timeout):
-                                broken = True
-                                break
-                            continue
-                        results[index] = value
-                        received += 1
+    with _obs.span("parallel_map", items=len(items), processes=processes):
+        try:
+            for attempt in range(retries + 1):
+                pending = [i for i in range(len(items)) if i not in results]
+                if not pending:
+                    break
+                if attempt:
+                    time.sleep(backoff * attempt)
+                    if telemetry is not None:
+                        telemetry.count(
+                            "repro_parallel_retries_total",
+                            help="parallel_map retry rounds after a broken pool",
+                        )
+                        telemetry.point("parallel_retry", attempt=attempt, pending=len(pending))
+                tasks = [(i, items[i], _fault_fire("worker", i, attempt)) for i in pending]
+                try:
+                    pool = context.Pool(min(processes, len(pending)))
+                except OSError:  # pragma: no cover - fork failed (resource limits)
+                    break
+                broken = False
+                try:
+                    with pool:
+                        # _maintain_pool silently respawns dead workers, so a
+                        # changed pid set is the durable sign of an abnormal
+                        # death (workers never exit on their own before close)
+                        initial_pids = {worker.pid for worker in pool._pool}
+                        iterator = pool.imap_unordered(_fork_call, tasks)
+                        received = 0
                         waited = 0.0
-            except (
-                pickle.PicklingError,
-                multiprocessing.pool.MaybeEncodingError,
-            ):  # pragma: no cover - unpicklable items/results: serial semantics win
-                break
-            if not broken:
-                break
-    finally:
-        _FORK_PAYLOAD = previous
-    for index in range(len(items)):
-        if index not in results:
+                        while received < len(tasks):
+                            try:
+                                index, value, delta = iterator.next(timeout=_POLL_SECONDS)
+                            except multiprocessing.TimeoutError:
+                                waited += _POLL_SECONDS
+                                workers = pool._pool
+                                died = {w.pid for w in workers} != initial_pids or any(
+                                    w.exitcode not in (None, 0) for w in workers
+                                )
+                                if died or (timeout is not None and waited >= timeout):
+                                    broken = True
+                                    if telemetry is not None:
+                                        reason = "worker_died" if died else "timeout"
+                                        telemetry.count(
+                                            "repro_parallel_pool_breaks_total",
+                                            help="parallel_map pools abandoned, by reason",
+                                            reason=reason,
+                                        )
+                                        telemetry.point(
+                                            "parallel_pool_broken",
+                                            reason=reason,
+                                            received=received,
+                                            tasks=len(tasks),
+                                        )
+                                    break
+                                continue
+                            results[index] = value
+                            received += 1
+                            waited = 0.0
+                            if delta is not None and telemetry is not None and telemetry.registry is not None:
+                                # the worker's metrics delta rides home
+                                # with its result; merging keeps parent
+                                # counters equal to a serial run's
+                                telemetry.registry.merge(delta)
+                            if telemetry is not None:
+                                telemetry.count(
+                                    "repro_parallel_chunks_total",
+                                    help="parallel_map chunk results received from workers",
+                                )
+                except (
+                    pickle.PicklingError,
+                    multiprocessing.pool.MaybeEncodingError,
+                ):  # pragma: no cover - unpicklable items/results: serial semantics win
+                    break
+                if not broken:
+                    break
+        finally:
+            _FORK_PAYLOAD = previous
+        missing = [index for index in range(len(items)) if index not in results]
+        if missing and telemetry is not None:
+            telemetry.count(
+                "repro_parallel_serial_fallback_total",
+                len(missing),
+                help="items completed by the serial fallback pass",
+            )
+            telemetry.point("parallel_serial_fallback", items=len(missing))
+        for index in missing:
             results[index] = function(items[index])
     return [results[index] for index in range(len(items))]
 
@@ -334,6 +390,33 @@ def sweep_pattern_resilience(
     samples, seed)`` of the default failure enumeration, so both
     backends resolve the identical scenario family.
     """
+    telemetry = _obs.active()
+    if telemetry is None:
+        return _sweep_pattern_resilience(
+            state, pattern, destination, sources, failure_sets, exhaustive, backend, default_params
+        )
+    with telemetry.span("pattern_sweep", destination=destination, backend=backend):
+        verdict = _sweep_pattern_resilience(
+            state, pattern, destination, sources, failure_sets, exhaustive, backend, default_params
+        )
+    telemetry.count(
+        "repro_engine_scenarios_total",
+        verdict.scenarios_checked,
+        help="(source, destination, failure set) scenarios evaluated",
+    )
+    return verdict
+
+
+def _sweep_pattern_resilience(
+    state: EngineState,
+    pattern: ForwardingPattern,
+    destination: Node,
+    sources: Iterable[Node] | None = None,
+    failure_sets: Iterable[FailureSet] | None = None,
+    exhaustive: bool | None = None,
+    backend: str = "engine",
+    default_params: tuple = DEFAULT_FAILURE_PARAMS,
+) -> Any:
     from ..resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict, default_failure_sets
 
     if backend == "numpy":
@@ -350,6 +433,13 @@ def sweep_pattern_resilience(
                 default_params=default_params,
             )
         except VectorizedUnsupported as unsupported:
+            telemetry = _obs.active()
+            if telemetry is not None:
+                telemetry.count(
+                    "repro_numpy_fallbacks_total",
+                    help="vectorized attempts that fell back to the scalar engine",
+                    site="pattern",
+                )
             if unsupported.failure_sets is not None:
                 # a consumed one-shot iterator, reconstructed for us
                 failure_sets = unsupported.failure_sets
@@ -377,47 +467,62 @@ def sweep_pattern_resilience(
     # incremental peel would cache every random mask's prefixes forever
     use_tracker = network.m <= EXHAUSTIVE_LINK_LIMIT
     checked = 0
-    for failures in failure_iter:
-        fmask = network.mask_of(failures) if dest_idx is not None else None
-        if fmask is None:
-            # Links outside the graph (or an un-indexed destination):
-            # keep the naive path's semantics to the letter.
-            component = sorted_nodes(component_of(state.graph, destination, failures))
-            naive = state.naive_network
+    # walk accounting is batched over the WHOLE sweep (one registry
+    # flush in the finally below): a covers walk is sub-microsecond, so
+    # even a per-walk counter update would dominate it
+    telemetry = _obs.active()
+    covers_walks = 0
+    memo_before = len(memo.table)
+    try:
+        for failures in failure_iter:
+            fmask = network.mask_of(failures) if dest_idx is not None else None
+            if fmask is None:
+                # Links outside the graph (or an un-indexed destination):
+                # keep the naive path's semantics to the letter.
+                component = sorted_nodes(component_of(state.graph, destination, failures))
+                naive = state.naive_network
+                for source in component:
+                    if source == destination or (wanted is not None and source not in wanted):
+                        continue
+                    checked += 1
+                    result = naive_route(naive, pattern, source, destination, failures)
+                    if not result.delivered:
+                        return Verdict(
+                            False,
+                            checked,
+                            Counterexample(source, destination, failures, result),
+                            exhaustive,
+                        )
+                continue
+            if use_tracker:
+                component = tracker.component_sorted(fmask, dest_idx)
+            else:
+                component = sorted_nodes(
+                    node_labels[i] for i in network.component_of_indices(fmask, dest_idx)
+                )
+            delivered_states: set[int] = set()
             for source in component:
                 if source == destination or (wanted is not None and source not in wanted):
                     continue
                 checked += 1
-                result = naive_route(naive, pattern, source, destination, failures)
-                if not result.delivered:
+                covers_walks += 1
+                if not _route_covers(
+                    network, memo, index[source], dest_idx, fmask, delivered_states
+                ):
+                    # re-walk for the exact trace (decisions are all cached)
+                    result = route_indexed(network, memo, index[source], dest_idx, fmask)
                     return Verdict(
                         False,
                         checked,
                         Counterexample(source, destination, failures, result),
                         exhaustive,
                     )
-            continue
-        if use_tracker:
-            component = tracker.component_sorted(fmask, dest_idx)
-        else:
-            component = sorted_nodes(
-                node_labels[i] for i in network.component_of_indices(fmask, dest_idx)
+        return Verdict(True, checked, exhaustive=exhaustive)
+    finally:
+        if telemetry is not None:
+            _record_walk(
+                telemetry, "covers", memo.table, memo_before, None, walks=covers_walks
             )
-        delivered_states: set[int] = set()
-        for source in component:
-            if source == destination or (wanted is not None and source not in wanted):
-                continue
-            checked += 1
-            if not route_covers(network, memo, index[source], dest_idx, fmask, delivered_states):
-                # re-walk for the exact trace (decisions are all cached)
-                result = route_indexed(network, memo, index[source], dest_idx, fmask)
-                return Verdict(
-                    False,
-                    checked,
-                    Counterexample(source, destination, failures, result),
-                    exhaustive,
-                )
-    return Verdict(True, checked, exhaustive=exhaustive)
 
 
 # ---------------------------------------------------------------------------
@@ -464,14 +569,26 @@ def sweep_resilience(
 
         return SweepResult(Verdict(True, 0, exhaustive=False), [])
     if isinstance(algorithm, TouringAlgorithm):
-        return _sweep_touring(graph, algorithm, grid, state, backend, deadline)
-    if isinstance(algorithm, SourceDestinationAlgorithm):
-        return _sweep_source_destination(
-            graph, algorithm, grid, processes, state, backend, deadline
+        model = "touring"
+    elif isinstance(algorithm, SourceDestinationAlgorithm):
+        model = "source-destination"
+    elif isinstance(algorithm, DestinationAlgorithm):
+        model = "destination"
+    else:
+        raise TypeError(f"not a routing algorithm: {algorithm!r}")
+    telemetry = _obs.active()
+    if telemetry is not None:
+        telemetry.count(
+            "repro_engine_sweeps_total", help="sweep_resilience calls, by model", model=model
         )
-    if isinstance(algorithm, DestinationAlgorithm):
+    with _obs.span("sweep_resilience", model=model, backend=backend, processes=processes):
+        if model == "touring":
+            return _sweep_touring(graph, algorithm, grid, state, backend, deadline)
+        if model == "source-destination":
+            return _sweep_source_destination(
+                graph, algorithm, grid, processes, state, backend, deadline
+            )
         return _sweep_destination(graph, algorithm, grid, processes, state, backend, deadline)
-    raise TypeError(f"not a routing algorithm: {algorithm!r}")
 
 
 def _sweep_destination(
@@ -704,6 +821,13 @@ def _sweep_touring(
             )
             return SweepResult(verdict, [(None, verdict)])
         except VectorizedUnsupported as unsupported:
+            telemetry = _obs.active()
+            if telemetry is not None:
+                telemetry.count(
+                    "repro_numpy_fallbacks_total",
+                    help="vectorized attempts that fell back to the scalar engine",
+                    site="touring",
+                )
             if unsupported.failure_sets is not None:
                 # a one-shot generator was consumed before the fallback:
                 # the exception carries the reconstructed family
@@ -719,42 +843,52 @@ def _sweep_touring(
         failure_iter = factory()
     index = network.index
     checked = 0
-    for failures in failure_iter:
-        if deadline is not None and deadline.expired():
-            # cut between failure buckets: the covered prefix is whole
-            exhaustive = False
-            break
-        fmask = network.mask_of(failures)
-        for start in starts:
-            checked += 1
-            if fmask is None or start not in index:
-                from ..simulator import tours_component
+    # same sweep-level walk batching as the pattern sweep above: one
+    # registry flush for the whole mask loop, never one per tour
+    telemetry = _obs.active()
+    tour_walks = 0
+    memo_before = len(memo.table)
+    try:
+        for failures in failure_iter:
+            if deadline is not None and deadline.expired():
+                # cut between failure buckets: the covered prefix is whole
+                exhaustive = False
+                break
+            fmask = network.mask_of(failures)
+            for start in starts:
+                checked += 1
+                if fmask is None or start not in index:
+                    from ..simulator import tours_component
 
-                covered = tours_component(state.naive_network, pattern, start, failures)
-            else:
-                start_idx = index[start]
-                if use_tracker:
-                    component: frozenset[int] | set[int] = tracker.component_index_set(
-                        fmask, start_idx
+                    covered = tours_component(state.naive_network, pattern, start, failures)
+                else:
+                    start_idx = index[start]
+                    if use_tracker:
+                        component: frozenset[int] | set[int] = tracker.component_index_set(
+                            fmask, start_idx
+                        )
+                    else:
+                        component = set(network.component_of_indices(fmask, start_idx))
+                    if len(component) == 1:
+                        covered = True
+                    else:
+                        tour_walks += 1
+                        recurrent = _tour_recurrent_indices(network, memo, start_idx, fmask)
+                        covered = recurrent is not None and recurrent >= component
+                if not covered:
+                    verdict = Verdict(
+                        False,
+                        checked,
+                        Counterexample(
+                            start, None, failures, None, note="tour does not cover component"
+                        ),
+                        exhaustive,
                     )
-                else:
-                    component = set(network.component_of_indices(fmask, start_idx))
-                if len(component) == 1:
-                    covered = True
-                else:
-                    recurrent = tour_recurrent_indices(network, memo, start_idx, fmask)
-                    covered = recurrent is not None and recurrent >= component
-            if not covered:
-                verdict = Verdict(
-                    False,
-                    checked,
-                    Counterexample(
-                        start, None, failures, None, note="tour does not cover component"
-                    ),
-                    exhaustive,
-                )
-                return SweepResult(verdict, [(None, verdict)])
-        if deadline is not None:
-            deadline.charge()
-    verdict = Verdict(True, checked, exhaustive=exhaustive)
-    return SweepResult(verdict, [(None, verdict)])
+                    return SweepResult(verdict, [(None, verdict)])
+            if deadline is not None:
+                deadline.charge()
+        verdict = Verdict(True, checked, exhaustive=exhaustive)
+        return SweepResult(verdict, [(None, verdict)])
+    finally:
+        if telemetry is not None:
+            _record_walk(telemetry, "tour", memo.table, memo_before, None, walks=tour_walks)

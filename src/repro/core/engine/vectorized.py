@@ -45,6 +45,8 @@ try:  # numpy is optional: the module must import (and gate) without it
 except ModuleNotFoundError:  # pragma: no cover - exercised by the no-numpy CI job
     np = None
 
+from repro import obs as _obs
+
 from ...graphs.connectivity import component_of
 from ...graphs.edges import FailureSet, Node, sorted_nodes
 from ..resilience import DEFAULT_FAILURE_PARAMS
@@ -433,12 +435,26 @@ def _table_for(network, memo, chunk, recover_batch=None, with_links=False) -> _D
     iterator: its reconstructed family rides the exception so the
     scalar fallback can re-walk it."""
     try:
-        return _DecisionTable(network, memo, chunk, with_links=with_links)
+        table = _DecisionTable(network, memo, chunk, with_links=with_links)
     except Exception:
         recovered = (
             reconstruct_failure_sets(recover_batch) if recover_batch is not None else None
         )
         raise VectorizedUnsupported(recovered) from None
+    telemetry = _obs.active()
+    if telemetry is not None:
+        # one update per chunk — the only instrumentation granularity
+        # the vectorized hot path ever pays for
+        telemetry.count("repro_numpy_chunks_total", help="mask chunks walked")
+        telemetry.count(
+            "repro_numpy_masks_total", len(chunk.masks), help="failure masks walked in chunks"
+        )
+        telemetry.count(
+            "repro_numpy_table_entries_total",
+            len(table.decisions),
+            help="dense decision-table entries built",
+        )
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -466,7 +482,11 @@ def _walk_delivered(network: IndexedNetwork, table: _DecisionTable, destination:
     offsets = table.offsets
     decisions = table.decisions
     compact = table.compact
+    lane_steps = 0
+    steps_run = 0
     for _ in range(network.state_bound):
+        lane_steps += len(walk)
+        steps_run += 1
         decision = decisions[offsets[state] + compact[mrow, node]]
         arrived = decision == destination
         if arrived.any():
@@ -480,6 +500,21 @@ def _walk_delivered(network: IndexedNetwork, table: _DecisionTable, destination:
         state = node * stride + previous + 1
         mrow = mrow[cont]
         walk = walk[cont]
+    telemetry = _obs.active()
+    if telemetry is not None:
+        # batched per chunk walk: lane_steps / walked_lanes is the
+        # compaction ratio (1.0 would mean no walk ever finished early)
+        telemetry.count("repro_numpy_walks_total", len(rows), help="vectorized mask walks")
+        telemetry.count(
+            "repro_numpy_lane_steps_total",
+            lane_steps,
+            help="vectorized walk-steps actually advanced (post-compaction)",
+        )
+        telemetry.count(
+            "repro_numpy_dense_steps_total",
+            len(rows) * steps_run,
+            help="walk-steps a compaction-free walker would have advanced",
+        )
     return delivered, rows, sources
 
 
@@ -494,6 +529,13 @@ def _naive_set_check(state, pattern, destination, wanted, failures):
     the scalar engine's naive-fallback branch.  Returns
     ``(scenarios checked within this set, Counterexample | None)``."""
     from ..resilience import Counterexample
+
+    telemetry = _obs.active()
+    if telemetry is not None:
+        telemetry.count(
+            "repro_numpy_naive_sets_total",
+            help="non-maskable failure sets evaluated scalar inside numpy sweeps",
+        )
 
     component = sorted_nodes(component_of(state.graph, destination, failures))
     naive = state.naive_network

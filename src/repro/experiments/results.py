@@ -46,6 +46,12 @@ class ExperimentRecord:
     record instead of an aborted grid).  ``metrics`` holds scalar
     results, ``series`` ordered per-point dicts (a curve), ``params``
     whatever identifies the workload (matrix, sizes, seed, ...).
+
+    ``telemetry`` is an optional free-form mapping for observability
+    sidecars (counter snapshots, span summaries).  The grid runner
+    never populates it — records are byte-identical with telemetry on
+    or off — and serialization omits it when empty, so stores written
+    before the field existed round-trip unchanged.
     """
 
     experiment: str
@@ -58,6 +64,7 @@ class ExperimentRecord:
     params: dict = field(default_factory=dict)
     runtime_seconds: float = 0.0
     note: str = ""
+    telemetry: dict = field(default_factory=dict)
     version: int = RECORD_VERSION
 
     def __post_init__(self) -> None:
@@ -83,7 +90,10 @@ class ExperimentRecord:
         )
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        if not data["telemetry"]:
+            del data["telemetry"]
+        return data
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro import obs as _obs
+
 from ..runtime.deadline import Deadline
 from ..runtime.faults import GridKill, InjectedFault, fire
 from ..runtime.journal import CellJournal
@@ -172,6 +174,7 @@ def run_grid(
     store: ResultStore | None = None,
     deadline: Deadline | None = None,
     resume: str | pathlib.Path | CellJournal | None = None,
+    progress=None,
 ) -> GridResult:
     """Evaluate every (topology × scheme × failure model) cell.
 
@@ -195,6 +198,11 @@ def run_grid(
     * ``deadline`` (defaulting to the session's) is checked between
       cells; on expiry the grid stops cleanly with
       ``exhaustive=False``.  Completed cells are always whole.
+    * ``progress`` is an opt-in heartbeat: a callable invoked after
+      every cell (computed or replayed) with a dict of ``done``,
+      ``total``, ``errors``, ``replayed``, ``elapsed`` seconds and an
+      ``eta`` estimate (``None`` until the first cell lands).  It never
+      touches records — purely an observer.
     """
     unknown = set(metrics) - set(METRICS)
     if unknown:
@@ -209,10 +217,42 @@ def run_grid(
         journal = CellJournal(resume)
     failure_models = list(failure_models) if failure_models is not None else [FailureModel()]
     resolved_schemes = _resolve_schemes(schemes)
+    resolved_topologies = _resolve_topologies(topologies)
     result = GridResult()
     needs_matrix = "congestion" in metrics or "stretch" in metrics
     cell_index = 0
-    for topology_name, graph in _resolve_topologies(topologies):
+    telemetry = _obs.active()
+    grid_start = time.perf_counter()
+    error_cells = 0
+    total_cells: int | None = None
+    if progress is not None:
+        # the heartbeat's denominator: every applicable (topology,
+        # scheme, model) cell — applicability predicates are cheap and
+        # pure, so probing them twice is safe
+        total_cells = sum(
+            len(failure_models)
+            for _, graph in resolved_topologies
+            for spec in resolved_schemes
+            if spec.applicable(graph)
+        )
+
+    def _heartbeat() -> None:
+        elapsed = time.perf_counter() - grid_start
+        eta = None
+        if cell_index and total_cells is not None:
+            eta = elapsed / cell_index * max(total_cells - cell_index, 0)
+        progress(
+            {
+                "done": cell_index,
+                "total": total_cells,
+                "errors": error_cells,
+                "replayed": result.resumed_cells,
+                "elapsed": elapsed,
+                "eta": eta,
+            }
+        )
+
+    for topology_name, graph in resolved_topologies:
         if not result.exhaustive:
             break
         # one seeded grid per (topology, failure model) and one demand
@@ -232,6 +272,13 @@ def run_grid(
                 # deterministic, instant: not journaled, no cell index
                 reason = f"requires {spec.requires}"
                 result.skipped.append((topology_name, spec.name, reason))
+                if telemetry is not None:
+                    telemetry.count(
+                        "repro_grid_cells_total",
+                        len(failure_models),
+                        help="grid cells by status",
+                        status="skipped",
+                    )
                 for model in failure_models:
                     result.records.append(
                         ExperimentRecord(
@@ -258,6 +305,14 @@ def run_grid(
                     )
                     result.resumed_cells += 1
                     cell_index += 1
+                    if telemetry is not None:
+                        telemetry.count(
+                            "repro_grid_cells_total",
+                            help="grid cells by status",
+                            status="replayed",
+                        )
+                    if progress is not None:
+                        _heartbeat()
                     continue
                 fault = fire("cell", cell_index)
                 if fault is not None and fault.kind == "grid-kill":
@@ -265,38 +320,58 @@ def run_grid(
                     # be able to catch a simulated hard crash
                     raise GridKill(f"injected grid kill at cell {cell_index}: {key}")
                 start = time.perf_counter()
-                try:
-                    if fault is not None and fault.kind == "cell-error":
-                        raise InjectedFault(f"injected cell error at cell {cell_index}")
-                    cell_records = _run_cell(
-                        session,
-                        topology_name,
-                        graph,
-                        spec,
-                        spec.instantiate(),
-                        model,
-                        grids[model],
-                        metrics,
-                        demands,
-                        matrix_name,
-                        include_static=index == 0,
-                    )
-                except Exception as error:  # noqa: BLE001 - any cell bug becomes a record
-                    cell_records = [
-                        ExperimentRecord(
-                            experiment="error",
-                            topology=topology_name,
-                            scheme=spec.name,
-                            failure_model=model.label,
-                            status="error",
-                            note=f"{type(error).__name__}: {error}",
-                            params={
-                                "matrix": matrix_name,
-                                "traceback": traceback.format_exc(),
-                            },
-                            runtime_seconds=time.perf_counter() - start,
+                with _obs.span(
+                    "grid_cell",
+                    topology=topology_name,
+                    scheme=spec.name,
+                    failure_model=model.label,
+                ):
+                    try:
+                        if fault is not None and fault.kind == "cell-error":
+                            raise InjectedFault(f"injected cell error at cell {cell_index}")
+                        cell_records = _run_cell(
+                            session,
+                            topology_name,
+                            graph,
+                            spec,
+                            spec.instantiate(),
+                            model,
+                            grids[model],
+                            metrics,
+                            demands,
+                            matrix_name,
+                            include_static=index == 0,
                         )
-                    ]
+                    except Exception as error:  # noqa: BLE001 - any cell bug becomes a record
+                        cell_records = [
+                            ExperimentRecord(
+                                experiment="error",
+                                topology=topology_name,
+                                scheme=spec.name,
+                                failure_model=model.label,
+                                status="error",
+                                note=f"{type(error).__name__}: {error}",
+                                params={
+                                    "matrix": matrix_name,
+                                    "traceback": traceback.format_exc(),
+                                },
+                                runtime_seconds=time.perf_counter() - start,
+                            )
+                        ]
+                cell_failed = any(record.status == "error" for record in cell_records)
+                if cell_failed:
+                    error_cells += 1
+                if telemetry is not None:
+                    telemetry.count(
+                        "repro_grid_cells_total",
+                        help="grid cells by status",
+                        status="error" if cell_failed else "ok",
+                    )
+                    telemetry.observe(
+                        "repro_grid_cell_seconds",
+                        time.perf_counter() - start,
+                        help="wall-clock seconds per computed grid cell",
+                    )
                 if journal is not None:
                     # journal before publishing: the invariant is that
                     # every cell whose records are visible is journaled,
@@ -305,6 +380,8 @@ def run_grid(
                     journal.append(key, [record.to_dict() for record in cell_records])
                 result.records.extend(cell_records)
                 cell_index += 1
+                if progress is not None:
+                    _heartbeat()
                 if deadline is not None:
                     deadline.charge()
     if store is not None:

@@ -27,6 +27,8 @@ from collections import OrderedDict
 
 import networkx as nx
 
+from repro import obs as _obs
+
 from ..core.engine.sweep import EngineState
 from ..core.engine.vectorized import numpy_available, require_numpy
 
@@ -77,6 +79,25 @@ class ExperimentSession:
         self.deadline = deadline
         self._states: OrderedDict[int, tuple[tuple, EngineState]] = OrderedDict()
         self._traffic: OrderedDict[tuple, object] = OrderedDict()
+        #: live cache statistics — plain ints so ``repr(session)`` works
+        #: without telemetry; mirrored into the active registry on update
+        self.stats: dict[str, int] = {
+            "state_hits": 0,
+            "state_misses": 0,
+            "state_evictions": 0,
+            "traffic_hits": 0,
+            "traffic_misses": 0,
+            "traffic_evictions": 0,
+        }
+
+    def _bump(self, cache: str, event: str) -> None:
+        self.stats[f"{cache}_{event}"] += 1
+        telemetry = _obs.active()
+        if telemetry is not None:
+            telemetry.count(
+                f"repro_session_{cache}_cache_{event}_total",
+                help=f"session {cache} cache {event}",
+            )
 
     @property
     def use_engine(self) -> bool:
@@ -107,8 +128,10 @@ class ExperimentSession:
         cached = self._states.get(key)
         if cached is not None and cached[0] == fingerprint and cached[1].graph is graph:
             self._states.move_to_end(key)
+            self._bump("state", "hits")
             return cached[1]
         state = EngineState(graph)
+        self._bump("state", "misses")
         if key in self._states:
             # same slot (a mutated graph being re-indexed): replace in
             # place — evicting an unrelated entry would shrink the cache
@@ -117,6 +140,7 @@ class ExperimentSession:
             return state
         while len(self._states) >= STATE_CACHE_LIMIT:
             self._states.popitem(last=False)
+            self._bump("state", "evictions")
         self._states[key] = (fingerprint, state)
         return state
 
@@ -138,8 +162,10 @@ class ExperimentSession:
         cached = self._traffic.get(key)
         if cached is not None and cached.state is state and cached.algorithm is algorithm:
             self._traffic.move_to_end(key)
+            self._bump("traffic", "hits")
             return cached
         engine = TrafficEngine(state, algorithm, backend=self.backend)
+        self._bump("traffic", "misses")
         if key in self._traffic:
             # stale entry under the same key (mutated graph, or a
             # recycled id pair): replace in place, never evict a neighbor
@@ -148,6 +174,7 @@ class ExperimentSession:
             return engine
         while len(self._traffic) >= STATE_CACHE_LIMIT:
             self._traffic.popitem(last=False)
+            self._bump("traffic", "evictions")
         self._traffic[key] = engine
         return engine
 
@@ -156,10 +183,15 @@ class ExperimentSession:
         self._states.clear()
         self._traffic.clear()
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+    def __repr__(self) -> str:
+        stats = self.stats
         return (
             f"ExperimentSession(backend={self.backend!r}, processes={self.processes}, "
-            f"states={len(self._states)})"
+            f"states={len(self._states)}, traffic={len(self._traffic)}, "
+            f"state hits={stats['state_hits']}/misses={stats['state_misses']}"
+            f"/evictions={stats['state_evictions']}, "
+            f"traffic hits={stats['traffic_hits']}/misses={stats['traffic_misses']}"
+            f"/evictions={stats['traffic_evictions']})"
         )
 
 

@@ -1,0 +1,350 @@
+"""A process-local metrics registry: labeled counters, gauges, histograms.
+
+Zero dependencies, deterministic by construction:
+
+* families are created on first use and keyed by name; every sample is
+  keyed by its sorted ``(label, value)`` pairs, so snapshots and the
+  Prometheus text exposition render in one canonical order regardless
+  of instrumentation order;
+* histogram bucket bounds are **fixed at family creation** (defaults in
+  :data:`DEFAULT_BUCKETS`) — two registries observing the same events
+  produce identical snapshots, which is what makes the snapshot/merge
+  workflow sound;
+* :meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.merge` /
+  :func:`diff_snapshots` give forked workers a way to ship *only what
+  they measured* back with their chunk results: the worker diffs its
+  registry against the snapshot taken at task entry and the parent
+  merges the delta — counters and histograms add, gauges keep the
+  maximum (they record high-water marks, e.g. memo-table sizes).
+
+The registry is instrumentation plumbing, not policy: it never touches
+experiment results, and nothing here reads clocks — durations arrive
+from callers as plain observations.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+
+#: default histogram bucket upper bounds (seconds-flavoured, +Inf implied)
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical sample identity: sorted (name, value) pairs."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """One named metric family: a kind, a help line, labeled samples."""
+
+    def __init__(self, name: str, kind: str, help: str = "", buckets=None):
+        if kind not in _KINDS:
+            raise ValueError(f"metric kind must be one of {_KINDS}, got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        if kind == "histogram":
+            bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+            if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+                raise ValueError(f"histogram buckets must strictly increase: {bounds}")
+            self.buckets = bounds
+        else:
+            self.buckets = None
+        #: label key -> float value (counter/gauge) or
+        #: [bucket counts incl. +Inf, sum, count] (histogram)
+        self.samples: dict[tuple, object] = {}
+
+    # -- updates -----------------------------------------------------------
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if self.kind != "counter":
+            raise TypeError(f"{self.name} is a {self.kind}, not a counter")
+        if value < 0:
+            raise ValueError(f"counters only go up: {self.name} += {value}")
+        key = _label_key(labels)
+        self.samples[key] = self.samples.get(key, 0.0) + value
+
+    def set(self, value: float, **labels) -> None:
+        if self.kind != "gauge":
+            raise TypeError(f"{self.name} is a {self.kind}, not a gauge")
+        self.samples[_label_key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels) -> None:
+        """Gauge high-water mark: keep the larger of old and new."""
+        if self.kind != "gauge":
+            raise TypeError(f"{self.name} is a {self.kind}, not a gauge")
+        key = _label_key(labels)
+        current = self.samples.get(key)
+        if current is None or value > current:
+            self.samples[key] = float(value)
+
+    def observe(self, value: float, **labels) -> None:
+        if self.kind != "histogram":
+            raise TypeError(f"{self.name} is a {self.kind}, not a histogram")
+        key = _label_key(labels)
+        state = self.samples.get(key)
+        if state is None:
+            state = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            self.samples[key] = state
+        counts, _, _ = state
+        counts[bisect_left(self.buckets, value)] += 1
+        state[1] += value
+        state[2] += 1
+
+    # -- reads -------------------------------------------------------------
+
+    def value(self, **labels) -> float:
+        """The scalar value of one sample (0 when never touched)."""
+        if self.kind == "histogram":
+            raise TypeError(f"{self.name} is a histogram; read .samples")
+        return float(self.samples.get(_label_key(labels), 0.0))
+
+
+class MetricsRegistry:
+    """All metric families of one process (or one shipped worker delta)."""
+
+    def __init__(self):
+        self._families: dict[str, _Family] = {}
+
+    # -- family creation ---------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str, buckets=None) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> _Family:
+        return self._family(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> _Family:
+        return self._family(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> _Family:
+        return self._family(name, "histogram", help, buckets)
+
+    # -- convenience updates (the instrumentation call surface) ------------
+
+    def count(self, name: str, value: float = 1.0, help: str = "", **labels) -> None:
+        self.counter(name, help).inc(value, **labels)
+
+    def set_gauge(self, name: str, value: float, help: str = "", **labels) -> None:
+        self.gauge(name, help).set(value, **labels)
+
+    def gauge_max(self, name: str, value: float, help: str = "", **labels) -> None:
+        self.gauge(name, help).set_max(value, **labels)
+
+    def observe(self, name: str, value: float, help: str = "", **labels) -> None:
+        self.histogram(name, help).observe(value, **labels)
+
+    def value(self, name: str, **labels) -> float:
+        """Scalar read (0.0 for families or samples never touched)."""
+        family = self._families.get(name)
+        return 0.0 if family is None else family.value(**labels)
+
+    def families(self) -> list[str]:
+        return sorted(self._families)
+
+    # -- snapshot / merge / diff -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A canonical, JSON-able copy of every family.
+
+        Families and samples are sorted, so two registries that measured
+        the same events serialize byte-identically.
+        """
+        families = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = []
+            for key in sorted(family.samples):
+                value = family.samples[key]
+                entry: dict = {"labels": [list(pair) for pair in key]}
+                if family.kind == "histogram":
+                    counts, total, count = value
+                    entry["counts"] = list(counts)
+                    entry["sum"] = total
+                    entry["count"] = count
+                else:
+                    entry["value"] = value
+                samples.append(entry)
+            families[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+            if family.kind == "histogram":
+                families[name]["buckets"] = list(family.buckets)
+        return {"families": families}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges keep max."""
+        for name, data in snapshot.get("families", {}).items():
+            kind = data["kind"]
+            family = self._family(name, kind, data.get("help", ""), data.get("buckets"))
+            if kind == "histogram" and list(family.buckets) != list(data["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ; cannot merge"
+                )
+            for sample in data["samples"]:
+                key = tuple(tuple(pair) for pair in sample["labels"])
+                if kind == "counter":
+                    family.samples[key] = family.samples.get(key, 0.0) + sample["value"]
+                elif kind == "gauge":
+                    current = family.samples.get(key)
+                    if current is None or sample["value"] > current:
+                        family.samples[key] = sample["value"]
+                else:
+                    state = family.samples.get(key)
+                    if state is None:
+                        state = [[0] * (len(family.buckets) + 1), 0.0, 0]
+                        family.samples[key] = state
+                    for i, c in enumerate(sample["counts"]):
+                        state[0][i] += c
+                    state[1] += sample["sum"]
+                    state[2] += sample["count"]
+
+    # -- exposition --------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry (canonical order)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.samples):
+                value = family.samples[key]
+                if family.kind == "histogram":
+                    counts, total, count = value
+                    cumulative = 0
+                    for bound, bucket_count in zip(family.buckets, counts):
+                        cumulative += bucket_count
+                        lines.append(
+                            f"{name}_bucket{_render_labels(key, le=_format_bound(bound))}"
+                            f" {cumulative}"
+                        )
+                    cumulative += counts[-1]
+                    lines.append(f'{name}_bucket{_render_labels(key, le="+Inf")} {cumulative}')
+                    lines.append(f"{name}_sum{_render_labels(key)} {_format_value(total)}")
+                    lines.append(f"{name}_count{_render_labels(key)} {count}")
+                else:
+                    lines.append(f"{name}{_render_labels(key)} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_snapshot(self, path) -> None:
+        """Write the snapshot as JSON (the ``repro stats`` input format)."""
+        import pathlib
+
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+
+
+def _render_labels(key: tuple, **extra) -> str:
+    pairs = list(key) + sorted(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isfinite(value) and value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """``after - before``, the worker-delta a forked task ships home.
+
+    Counters and histogram counts/sums subtract (both only grow within
+    one process, so the difference is exactly the work done between the
+    two snapshots); gauges keep the *after* value (merging by max then
+    does the right high-water-mark thing in the parent).  Samples that
+    did not change are dropped, so idle families cost nothing on the
+    wire.
+    """
+    before_families = before.get("families", {})
+    out_families: dict = {}
+    for name, data in after.get("families", {}).items():
+        base = before_families.get(name, {})
+        base_samples = {
+            tuple(tuple(pair) for pair in sample["labels"]): sample
+            for sample in base.get("samples", [])
+        }
+        kind = data["kind"]
+        samples = []
+        for sample in data["samples"]:
+            key = tuple(tuple(pair) for pair in sample["labels"])
+            prior = base_samples.get(key)
+            if kind == "counter":
+                delta = sample["value"] - (prior["value"] if prior else 0.0)
+                if delta:
+                    samples.append({"labels": sample["labels"], "value": delta})
+            elif kind == "gauge":
+                if prior is None or sample["value"] != prior["value"]:
+                    samples.append(dict(sample))
+            else:
+                prior_counts = prior["counts"] if prior else [0] * len(sample["counts"])
+                counts = [c - p for c, p in zip(sample["counts"], prior_counts)]
+                count = sample["count"] - (prior["count"] if prior else 0)
+                if count:
+                    samples.append(
+                        {
+                            "labels": sample["labels"],
+                            "counts": counts,
+                            "sum": sample["sum"] - (prior["sum"] if prior else 0.0),
+                            "count": count,
+                        }
+                    )
+        if samples:
+            entry = {"kind": kind, "help": data.get("help", ""), "samples": samples}
+            if kind == "histogram":
+                entry["buckets"] = data["buckets"]
+            out_families[name] = entry
+    return {"families": out_families}
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot JSON file (raises ValueError on malformed input)."""
+    import pathlib
+
+    text = pathlib.Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"not a metrics snapshot: {error}") from None
+    if not isinstance(data, dict) or "families" not in data:
+        raise ValueError('not a metrics snapshot: missing "families" key')
+    return data

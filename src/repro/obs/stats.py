@@ -1,0 +1,151 @@
+"""Render telemetry artifacts as human-readable hotspot reports.
+
+Two input shapes, both produced by ``repro experiments``:
+
+* a **trace file** (span JSONL from :class:`repro.obs.trace.TraceWriter`)
+  — aggregated per span name into call counts, total/mean/max self and
+  wall time, sorted by total time: the "where did the run go" view;
+* a **metrics snapshot** (JSON from
+  :meth:`repro.obs.metrics.MetricsRegistry.write_snapshot`) — rendered
+  as the Prometheus text exposition plus derived cache hit rates.
+
+``repro stats FILE`` sniffs which one it got.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .metrics import MetricsRegistry, load_snapshot
+from .trace import TraceError, validate_trace
+
+
+def sniff_kind(path: str | Path) -> str:
+    """``"trace"`` for JSONL span files, ``"metrics"`` for snapshots."""
+    text = Path(path).read_text(encoding="utf-8").lstrip()
+    if not text:
+        raise ValueError(f"{path}: empty file")
+    if text.startswith("{") and '"families"' in text.split("\n", 1)[0] + text[:200]:
+        # a snapshot is one pretty-printed object whose first key is
+        # "families"; a trace line is a compact object with "event"
+        first = text.split("\n", 1)[0]
+        if '"event"' not in first:
+            return "metrics"
+    return "trace"
+
+
+def aggregate_spans(events: list[dict]) -> list[dict]:
+    """Per-name span aggregates, sorted by total duration descending.
+
+    ``self`` time is a span's duration minus its direct children's —
+    the hotspot column: a cell whose time is all inside sweeps has
+    near-zero self time.
+    """
+    open_child_time: dict[int, float] = {}
+    rows: dict[str, dict] = {}
+    points: dict[str, int] = {}
+    for event in events:
+        kind = event["event"]
+        if kind == "point":
+            points[event["name"]] = points.get(event["name"], 0) + 1
+            continue
+        if kind != "end":
+            continue
+        name = event["name"]
+        dur = event["dur"]
+        child_time = open_child_time.pop(event["span"], 0.0)
+        parent = event.get("parent")
+        if parent is not None:
+            open_child_time[parent] = open_child_time.get(parent, 0.0) + dur
+        row = rows.setdefault(
+            name, {"name": name, "count": 0, "total": 0.0, "self": 0.0, "max": 0.0}
+        )
+        row["count"] += 1
+        row["total"] += dur
+        row["self"] += max(0.0, dur - child_time)
+        row["max"] = max(row["max"], dur)
+    out = sorted(rows.values(), key=lambda row: (-row["total"], row["name"]))
+    for name in sorted(points):
+        out.append(
+            {"name": name, "count": points[name], "total": None, "self": None, "max": None}
+        )
+    return out
+
+
+def render_trace_report(path: str | Path, top: int = 20) -> str:
+    """The hotspot table for a trace file (validates it first)."""
+    events = validate_trace(path)
+    rows = aggregate_spans(events)
+    span_rows = [row for row in rows if row["total"] is not None][:top]
+    point_rows = [row for row in rows if row["total"] is None]
+    lines = [f"trace: {path} — {len(events)} events, {len(span_rows)} span kinds"]
+    if span_rows:
+        header = f"{'span':<28} {'count':>7} {'total s':>9} {'self s':>9} {'mean ms':>9} {'max s':>9}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in span_rows:
+            mean_ms = row["total"] / row["count"] * 1000.0
+            lines.append(
+                f"{row['name']:<28} {row['count']:>7} {row['total']:>9.3f} "
+                f"{row['self']:>9.3f} {mean_ms:>9.3f} {row['max']:>9.3f}"
+            )
+    if point_rows:
+        lines.append("")
+        lines.append("events:")
+        for row in point_rows:
+            lines.append(f"  {row['name']:<28} {row['count']:>7}")
+    return "\n".join(lines) + "\n"
+
+
+#: (hits family, misses family, label) pairs the report derives rates for
+_RATE_PAIRS = (
+    ("repro_engine_memo_hits_total", "repro_engine_memo_misses_total", "memo table"),
+    (
+        "repro_session_state_cache_hits_total",
+        "repro_session_state_cache_misses_total",
+        "session state cache",
+    ),
+    (
+        "repro_session_traffic_cache_hits_total",
+        "repro_session_traffic_cache_misses_total",
+        "session traffic cache",
+    ),
+)
+
+
+def _family_total(snapshot: dict, name: str) -> float:
+    family = snapshot.get("families", {}).get(name)
+    if family is None:
+        return 0.0
+    return sum(sample.get("value", 0.0) for sample in family["samples"])
+
+
+def render_metrics_report(path: str | Path) -> str:
+    """Prometheus exposition of a snapshot, plus derived hit rates."""
+    snapshot = load_snapshot(path)
+    registry = MetricsRegistry()
+    registry.merge(snapshot)
+    lines = [registry.render_prometheus().rstrip("\n")]
+    rates = []
+    for hits_name, misses_name, label in _RATE_PAIRS:
+        hits = _family_total(snapshot, hits_name)
+        misses = _family_total(snapshot, misses_name)
+        if hits or misses:
+            rates.append(f"  {label}: {hits / (hits + misses):.1%} hit rate "
+                         f"({hits:.0f} hits / {misses:.0f} misses)")
+    if rates:
+        lines.append("")
+        lines.append("derived:")
+        lines.extend(rates)
+    return "\n".join(lines) + "\n"
+
+
+def render_report(path: str | Path, top: int = 20) -> str:
+    """Sniff ``path`` and render the matching report."""
+    kind = sniff_kind(path)
+    if kind == "metrics":
+        return render_metrics_report(path)
+    try:
+        return render_trace_report(path, top=top)
+    except TraceError as error:
+        raise ValueError(f"{path}: invalid trace — {error}") from None

@@ -1,0 +1,270 @@
+"""Structured span tracing to append-only JSONL.
+
+A :class:`TraceWriter` emits one JSON object per line to a trace file,
+using the same append/flush/fsync discipline as the runtime cell
+journal (reimplemented here, not imported — ``repro.obs`` sits below
+``repro.runtime`` in the layer order, so the journal can itself be
+traced without an import cycle).
+
+Three event shapes share one schema::
+
+    {"event": "start", "span": 3, "parent": 1, "name": "cell",
+     "t": 12.345, "attrs": {...}}
+    {"event": "end",   "span": 3, "parent": 1, "name": "cell",
+     "t": 12.391, "dur": 0.046, "attrs": {...}}
+    {"event": "point", "span": 4, "parent": 3, "name": "fault_fired",
+     "t": 12.350, "attrs": {...}}
+
+Span ids are process-local monotonically increasing ints; ``parent``
+follows the writer's span stack (``null`` at top level).  ``t`` is
+``time.monotonic()`` — durations are exact, wall-clock timestamps are
+deliberately absent so traces stay diffable.  ``attrs`` values are
+plain JSON scalars.
+
+Forked ``parallel_map`` workers inherit an open writer; a pid guard
+makes every emit in a child process a no-op, so the trace file is only
+ever written by the process that opened it (child work is still
+visible through the chunk spans and merged metrics the parent emits).
+
+:func:`validate_trace` re-reads a trace file and checks the structural
+invariants (balanced start/end, stack-consistent parents, monotone
+timestamps, non-negative durations) — the CI smoke and the ``repro
+stats --validate`` path both call it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+_EVENTS = ("start", "end", "point")
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class TraceError(ValueError):
+    """A trace file violates the event schema or span invariants."""
+
+
+class TraceWriter:
+    """Append-only JSONL span writer with a span stack.
+
+    Use as a context manager, or call :meth:`close` explicitly::
+
+        with TraceWriter(path) as trace:
+            with trace.span("grid", cells=12):
+                ...
+                trace.point("fault_fired", kind="grid-kill")
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+        self._next_span = 1
+        self._stack: list[tuple[int, str, float]] = []  # (span id, name, start t)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        if os.getpid() == self._pid:
+            while self._stack:  # crash-robustness: close dangling spans
+                self.end()
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        handle = self._handle
+        if handle is None or os.getpid() != self._pid:
+            return  # closed, or a forked child holding the parent's writer
+        handle.write(json.dumps(event) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def start(self, name: str, **attrs) -> int:
+        """Open a span; returns its id.  Pair with :meth:`end`."""
+        span_id = self._next_span
+        self._next_span += 1
+        parent = self._stack[-1][0] if self._stack else None
+        now = time.monotonic()
+        self._stack.append((span_id, name, now))
+        self._emit(
+            {
+                "event": "start",
+                "span": span_id,
+                "parent": parent,
+                "name": name,
+                "t": now,
+                "attrs": _clean(attrs),
+            }
+        )
+        return span_id
+
+    def end(self, **attrs) -> None:
+        """Close the innermost open span (end attrs merge with none)."""
+        if not self._stack:
+            raise TraceError("end() with no open span")
+        span_id, name, started = self._stack.pop()
+        parent = self._stack[-1][0] if self._stack else None
+        now = time.monotonic()
+        self._emit(
+            {
+                "event": "end",
+                "span": span_id,
+                "parent": parent,
+                "name": name,
+                "t": now,
+                "dur": now - started,
+                "attrs": _clean(attrs),
+            }
+        )
+
+    def point(self, name: str, **attrs) -> None:
+        """An instantaneous event inside the current span (or top level)."""
+        span_id = self._next_span
+        self._next_span += 1
+        parent = self._stack[-1][0] if self._stack else None
+        self._emit(
+            {
+                "event": "point",
+                "span": span_id,
+                "parent": parent,
+                "name": name,
+                "t": time.monotonic(),
+                "attrs": _clean(attrs),
+            }
+        )
+
+    def span(self, name: str, **attrs) -> "_SpanContext":
+        """Context-manager sugar around :meth:`start` / :meth:`end`."""
+        return _SpanContext(self, name, attrs)
+
+
+class _SpanContext:
+    def __init__(self, writer: TraceWriter, name: str, attrs: dict):
+        self._writer = writer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> None:
+        self._writer.start(self._name, **self._attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._writer.end()
+        else:
+            self._writer.end(error=exc_type.__name__)
+
+
+def _clean(attrs: dict) -> dict:
+    """Coerce attr values to JSON scalars (repr anything exotic)."""
+    return {
+        key: value if isinstance(value, _SCALARS) else repr(value)
+        for key, value in attrs.items()
+    }
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a trace file into a list of events (torn tail tolerated).
+
+    Like the cell journal, a final line without a newline means the
+    writer died mid-emit; it is skipped, not an error.
+    """
+    events: list[dict] = []
+    raw = Path(path).read_text(encoding="utf-8")
+    for line in raw.splitlines(keepends=True):
+        if not line.endswith("\n"):
+            break
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            raise TraceError(f"unparseable trace line: {line!r}") from None
+        events.append(event)
+    return events
+
+
+def validate_trace(path: str | Path) -> list[dict]:
+    """Check a trace file against the schema; return its events.
+
+    Raises :class:`TraceError` on the first violation: unknown event
+    type, missing fields, unbalanced or misnested start/end, a parent
+    that is not the enclosing open span, non-monotone timestamps, or a
+    duration that disagrees with the span's own start/end times.
+    """
+    events = read_trace(path)
+    open_spans: dict[int, tuple[str, float]] = {}
+    stack: list[int] = []
+    last_t = None
+    for index, event in enumerate(events):
+        where = f"trace line {index + 1}"
+        if not isinstance(event, dict):
+            raise TraceError(f"{where}: not an object")
+        kind = event.get("event")
+        if kind not in _EVENTS:
+            raise TraceError(f"{where}: unknown event {kind!r}")
+        for field in ("span", "name", "t", "attrs"):
+            if field not in event:
+                raise TraceError(f"{where}: missing field {field!r}")
+        if not isinstance(event["attrs"], dict):
+            raise TraceError(f"{where}: attrs must be an object")
+        t = event["t"]
+        if last_t is not None and t < last_t:
+            raise TraceError(f"{where}: timestamp went backwards ({t} < {last_t})")
+        last_t = t
+        expected_parent = stack[-1] if stack else None
+        if kind == "start":
+            if event.get("parent") != expected_parent:
+                raise TraceError(
+                    f"{where}: parent {event.get('parent')} != enclosing span "
+                    f"{expected_parent}"
+                )
+            span_id = event["span"]
+            if span_id in open_spans:
+                raise TraceError(f"{where}: span {span_id} started twice")
+            open_spans[span_id] = (event["name"], t)
+            stack.append(span_id)
+        elif kind == "end":
+            if not stack:
+                raise TraceError(f"{where}: end with no open span")
+            span_id = stack.pop()
+            if event["span"] != span_id:
+                raise TraceError(
+                    f"{where}: end of span {event['span']} but innermost open "
+                    f"span is {span_id}"
+                )
+            name, started = open_spans.pop(span_id)
+            if event["name"] != name:
+                raise TraceError(
+                    f"{where}: span {span_id} started as {name!r}, "
+                    f"ended as {event['name']!r}"
+                )
+            dur = event.get("dur")
+            if dur is None or dur < 0:
+                raise TraceError(f"{where}: bad duration {dur!r}")
+            if abs((t - started) - dur) > 1e-6:
+                raise TraceError(
+                    f"{where}: dur {dur} disagrees with span times "
+                    f"({t} - {started})"
+                )
+        else:  # point
+            if event.get("parent") != expected_parent:
+                raise TraceError(
+                    f"{where}: parent {event.get('parent')} != enclosing span "
+                    f"{expected_parent}"
+                )
+    if stack:
+        raise TraceError(f"unbalanced trace: spans {stack} never ended")
+    return events

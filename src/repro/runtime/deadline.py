@@ -25,6 +25,8 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 
+from repro import obs
+
 
 class Deadline:
     """A wall-clock deadline: expires ``seconds`` after construction.
@@ -59,12 +61,26 @@ class Deadline:
     def expired(self) -> bool:
         """Has the limit been reached?  Latches: never un-expires."""
         if not self._expired and self.seconds is not None and self.elapsed >= self.seconds:
-            self._expired = True
+            self._latch("time")
         return self._expired
 
     def expire(self) -> None:
         """Latch the deadline as expired immediately."""
+        self._latch("manual")
+
+    def _latch(self, reason: str) -> None:
+        """Flip to expired exactly once (the telemetry-visible transition)."""
+        if self._expired:
+            return
         self._expired = True
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.count(
+                "repro_deadline_expirations_total",
+                help="deadline/budget latch transitions, by reason",
+                reason=reason,
+            )
+            telemetry.point("deadline_expired", reason=reason, elapsed=self.elapsed)
 
     def charge(self, units: int = 1) -> bool:
         """Account ``units`` of completed work; ``True`` while not expired.
@@ -105,9 +121,16 @@ class Budget(Deadline):
 
     def expired(self) -> bool:
         if not self._expired and self.spent >= self.units:
-            self._expired = True
+            self._latch("units")
         return super().expired()
 
     def charge(self, units: int = 1) -> bool:
         self.spent += units
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.count(
+                "repro_budget_charged_units_total",
+                units,
+                help="work units charged against budgets",
+            )
         return not self.expired()

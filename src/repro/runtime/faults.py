@@ -50,6 +50,8 @@ import random
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
+from repro import obs
+
 
 class InjectedFault(RuntimeError):
     """A recoverable injected failure (becomes a typed error record)."""
@@ -210,4 +212,16 @@ def active_plan() -> FaultPlan | None:
 def fire(site: str, index: int | None = None, attempt: int = 0) -> FaultSpec | None:
     """Site hook: ask the active plan (no-op when none is installed)."""
     plan = _ACTIVE
-    return None if plan is None else plan.fire(site, index, attempt)
+    if plan is None:
+        return None
+    spec = plan.fire(site, index, attempt)
+    if spec is not None:
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.count(
+                "repro_faults_fired_total",
+                help="injected faults that triggered, by kind",
+                kind=spec.kind,
+            )
+            telemetry.point("fault_fired", kind=spec.kind, site=site, attempt=attempt)
+    return spec

@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any
+
+from repro import obs
 
 from .faults import TornWrite, fire
 
@@ -66,15 +69,23 @@ def atomic_write_text(path: str | Path, text: str) -> None:
 class CellJournal:
     """Append-only JSONL journal of completed work keyed by string.
 
-    Each line is ``{"key": <str>, "payload": <json>}``.  Appends are
-    flushed and fsynced so a kill loses at most the line being written;
-    loading tolerates exactly that torn tail by truncating the file at
-    the last complete, parseable line.
+    Each line is ``{"key": <str>, "payload": <json>, "ts": <unix>}``.
+    Appends are flushed and fsynced so a kill loses at most the line
+    being written; loading tolerates exactly that torn tail by
+    truncating the file at the last complete, parseable line.
+
+    ``ts`` is the wall-clock time the line was appended.  It lives
+    beside the payload, never inside it, so replayed payloads stay
+    byte-identical to what the original writer produced; its only job
+    is :meth:`staleness_seconds` — letting a resumed run report how old
+    the journal it is trusting actually is.  Lines without ``ts``
+    (journals written before the field existed) still load.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._entries: dict[str, Any] = {}
+        self._last_ts: float | None = None
         self._load()
 
     def _load(self) -> None:
@@ -92,10 +103,20 @@ class CellJournal:
             except (json.JSONDecodeError, KeyError, TypeError):
                 break
             self._entries[key] = payload
+            ts = entry.get("ts") if isinstance(entry, dict) else None
+            if isinstance(ts, (int, float)):
+                self._last_ts = ts if self._last_ts is None else max(self._last_ts, ts)
             valid_bytes += len(line.encode("utf-8"))
         if valid_bytes != len(raw.encode("utf-8")):
             with open(self.path, "r+b") as handle:
                 handle.truncate(valid_bytes)
+            telemetry = obs.active()
+            if telemetry is not None:
+                telemetry.count(
+                    "repro_journal_truncations_total",
+                    help="torn journal tails truncated on load",
+                )
+                telemetry.point("journal_truncated", path=str(self.path))
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
@@ -107,20 +128,41 @@ class CellJournal:
         """The journaled payload for ``key`` (KeyError if absent)."""
         return self._entries[key]
 
+    @property
+    def last_ts(self) -> float | None:
+        """Wall-clock time of the newest entry, or ``None`` (empty / pre-ts)."""
+        return self._last_ts
+
+    def staleness_seconds(self, now: float | None = None) -> float | None:
+        """Age of the newest journal entry, or ``None`` if unknowable."""
+        if self._last_ts is None:
+            return None
+        return max(0.0, (time.time() if now is None else now) - self._last_ts)
+
     def append(self, key: str, payload: Any) -> None:
         """Durably record ``key`` as done (overwrites a replayed key).
 
         Keys are NOT sorted on purpose: replayed payloads must preserve
         the writer's dict ordering bit for bit, so a resumed run can
         reproduce the uninterrupted run's artifacts byte-identically.
+        The wall-clock ``ts`` rides outside the payload for the same
+        reason — replay reads payloads only.
         """
-        line = json.dumps({"key": key, "payload": payload}) + "\n"
+        ts = time.time()
+        line = json.dumps({"key": key, "payload": payload, "ts": ts}) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
         self._entries[key] = payload
+        self._last_ts = ts if self._last_ts is None else max(self._last_ts, ts)
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.count(
+                "repro_journal_appends_total", help="cell journal lines appended"
+            )
+            telemetry.point("journal_append", key=key)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CellJournal({str(self.path)!r}, entries={len(self)})"

@@ -38,6 +38,8 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from repro import obs as _obs
+
 from ..core.engine.memo import DROP, MemoizedPattern
 from ..core.engine.sweep import EngineState
 from ..core.model import (
@@ -408,26 +410,47 @@ class TrafficEngine:
         whole.
         """
         sets = list(failure_sets)
-        if self.backend == "numpy":
-            from ..core.engine.vectorized import VectorizedUnsupported, traffic_load_sweep
+        telemetry = _obs.active()
+        with _obs.span(
+            "load_sweep", demands=len(demands), failure_sets=len(sets), backend=self.backend
+        ):
+            if self.backend == "numpy":
+                from ..core.engine.vectorized import VectorizedUnsupported, traffic_load_sweep
 
-            try:
+                try:
+                    if deadline is not None and deadline.expired():
+                        return []
+                    reports = traffic_load_sweep(self, demands, sets)
+                    if deadline is not None:
+                        deadline.charge(len(sets))
+                    if telemetry is not None:
+                        telemetry.count(
+                            "repro_traffic_load_reports_total",
+                            len(reports),
+                            help="per-failure-set load reports produced",
+                        )
+                    return reports
+                except VectorizedUnsupported:
+                    if telemetry is not None:
+                        telemetry.count(
+                            "repro_numpy_fallbacks_total",
+                            help="vectorized attempts that fell back to the scalar engine",
+                            site="traffic",
+                        )
+            reports = []
+            for failures in sets:
                 if deadline is not None and deadline.expired():
-                    return []
-                reports = traffic_load_sweep(self, demands, sets)
+                    break
+                reports.append(self.load(demands, failures))
                 if deadline is not None:
-                    deadline.charge(len(sets))
-                return reports
-            except VectorizedUnsupported:
-                pass
-        reports = []
-        for failures in sets:
-            if deadline is not None and deadline.expired():
-                break
-            reports.append(self.load(demands, failures))
-            if deadline is not None:
-                deadline.charge()
-        return reports
+                    deadline.charge()
+            if telemetry is not None:
+                telemetry.count(
+                    "repro_traffic_load_reports_total",
+                    len(reports),
+                    help="per-failure-set load reports produced",
+                )
+            return reports
 
     def _validate_demands(self, demands: TrafficMatrix) -> None:
         index = self.state.network.index

@@ -111,3 +111,53 @@ class TestTraffic:
                 "--sizes", "0,1", "--samples", "2",
             ) == 0
             assert "congestion sweep" in capsys.readouterr().out
+
+
+class TestTelemetryCli:
+    ARGS = (
+        "experiments", "--topologies", "ring", "--schemes", "greedy",
+        "--sizes", "0,1", "--samples", "2",
+    )
+
+    def test_trace_metrics_and_progress(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = run_cli(*self.ARGS, "--trace", str(trace), "--metrics", "--progress")
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "repro_grid_cells_total" in captured.out
+        assert "repro_engine_walks_total" in captured.out
+        assert "[grid] 1/1 cells, 0 errors" in captured.err
+        from repro.obs import validate_trace
+
+        names = {event["name"] for event in validate_trace(trace)}
+        assert "grid_cell" in names
+
+    def test_stats_renders_trace_and_snapshot(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        snapshot = tmp_path / "m.json"
+        assert run_cli(
+            *self.ARGS, "--trace", str(trace), "--metrics-out", str(snapshot)
+        ) == 0
+        capsys.readouterr()
+        assert run_cli("stats", str(trace)) == 0
+        assert "grid_cell" in capsys.readouterr().out
+        assert run_cli("stats", str(trace), "--validate") == 0
+        assert "valid trace" in capsys.readouterr().out
+        assert run_cli("stats", str(snapshot)) == 0
+        assert "repro_grid_cells_total" in capsys.readouterr().out
+
+    def test_stats_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "end", "span": 1, "name": "x", "t": 0.0, "attrs": {}}\n')
+        assert run_cli("stats", str(bad)) != 0
+        assert capsys.readouterr().err
+
+    def test_resume_reports_staleness(self, tmp_path, capsys):
+        journal = tmp_path / "cells.jsonl"
+        assert run_cli(*self.ARGS, "--resume", str(journal)) == 0
+        capsys.readouterr()
+        assert run_cli(*self.ARGS, "--resume", str(journal)) == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.err
+        assert "journaled cells, newest" in captured.err
+        assert "resumed 1 cells" in captured.out

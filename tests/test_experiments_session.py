@@ -133,6 +133,39 @@ class TestStateOwnership:
         assert session.traffic_engine(graph, GreedyLowestNeighbor()) is not engine
         assert not session._states and not session._traffic
 
+    def test_stats_and_repr_track_cache_traffic(self):
+        session = ExperimentSession()
+        graph = cycle_graph(6)
+        session.state(graph)  # miss
+        session.state(graph)  # hit
+        graph.add_edge(0, 3)
+        session.state(graph)  # miss (re-index after mutation)
+        assert session.stats["state_misses"] == 2
+        assert session.stats["state_hits"] == 1
+        text = repr(session)
+        assert "backend='engine'" in text
+        assert "states=1" in text
+        assert "state hits=1/misses=2/evictions=0" in text
+        assert "traffic hits=0/misses=0/evictions=0" in text
+
+    def test_stats_count_evictions(self):
+        from repro.experiments.session import STATE_CACHE_LIMIT
+
+        session = ExperimentSession()
+        graphs = [cycle_graph(4) for _ in range(STATE_CACHE_LIMIT + 2)]
+        for graph in graphs:
+            session.state(graph)
+        assert session.stats["state_evictions"] == 2
+        assert session.stats["state_misses"] == len(graphs)
+
+    def test_naive_backend_counts_nothing(self):
+        session = naive_session()
+        before = dict(session.stats)
+        graph = cycle_graph(5)
+        session.state(graph)
+        session.state(graph)
+        assert session.stats == before
+
     def test_invalid_backend(self):
         with pytest.raises(ValueError):
             ExperimentSession(backend="turbo")

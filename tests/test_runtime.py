@@ -124,6 +124,39 @@ class TestCellJournal:
         replay.append("c", 3)
         assert CellJournal(path).payload("c") == 3
 
+    def test_ts_rides_outside_the_payload(self, tmp_path):
+        """The wall-clock stamp never leaks into replayed payloads."""
+        import json
+
+        path = tmp_path / "journal.jsonl"
+        journal = CellJournal(path)
+        journal.append("a", {"x": 1})
+        line = json.loads(path.read_text().splitlines()[0])
+        assert set(line) == {"key", "payload", "ts"}
+        assert CellJournal(path).payload("a") == {"x": 1}
+
+    def test_staleness_reflects_newest_entry(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CellJournal(path)
+        assert journal.last_ts is None
+        assert journal.staleness_seconds() is None
+        journal.append("a", 1)
+        journal.append("b", 2)
+        replay = CellJournal(path)
+        assert replay.last_ts == journal.last_ts
+        assert replay.staleness_seconds(now=replay.last_ts + 30) == 30
+        # clock skew never yields a negative age
+        assert replay.staleness_seconds(now=replay.last_ts - 5) == 0.0
+
+    def test_pre_ts_journals_still_load(self, tmp_path):
+        import json
+
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"key": "old", "payload": 7}) + "\n")
+        journal = CellJournal(path)
+        assert journal.payload("old") == 7
+        assert journal.last_ts is None
+
     def test_corrupt_line_stops_replay(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         journal = CellJournal(path)
