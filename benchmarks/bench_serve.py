@@ -1,0 +1,367 @@
+"""Service benchmark: cold vs warm query latency and concurrent throughput.
+
+Starts a real ``repro serve`` subprocess (warm ``ExperimentSession``,
+disk-backed answer cache) and drives it with the Lazy-Pirate client:
+
+* **cold vs warm** — the same gadget verdict query (a seeded
+  multi-size failure sweep on a maximal-outerplanar gadget under
+  right-hand touring) first against a fresh server (pays graph build +
+  ``EngineState`` + decision tables + the full sweep) and then
+  repeatedly against the warm server (answer served from the memoized
+  ``ResultStore``).  The tracked ``cold_vs_warm_speedup`` must stay
+  above 2x — this is the whole point of a persistent service;
+* **throughput** — a concurrent load generator: several client threads
+  issuing a mix of distinct explicit-mask verdicts (exercises the
+  coalescing worker) and repeated warm hits, reporting requests/s and
+  p50/p99 latency.
+
+Results merge into ``BENCH_serve.json`` at the repo root (a new
+trajectory, same ``ResultStore`` machinery as ``BENCH_engine.json``).
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import threading
+import time
+
+from repro.analysis import simple_table
+from repro.experiments import ExperimentRecord, ResultStore
+from repro.serve import QueryClient
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_SERVE_JSON = REPO_ROOT / "BENCH_serve.json"
+
+#: the acceptance bar: a warm answer must be at least this much faster
+COLD_VS_WARM_MIN_SPEEDUP = 2.0
+#: the gadget verdict workload (full run)
+GADGET_TOPOLOGY = "maximal-outerplanar(12)"
+GADGET_SCHEME = "right-hand"
+GADGET_SIZES = [2, 3, 4]
+GADGET_SAMPLES = 600
+#: warm-phase repetitions and load-generator shape
+WARM_REPEATS = 30
+LOAD_THREADS = 4
+LOAD_REQUESTS_PER_THREAD = 25
+
+
+class ServeProcess:
+    """A ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, store_path: pathlib.Path):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--store",
+                str(store_path),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self.port: int | None = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"listening on [\d.]+:(\d+)", line)
+            if match:
+                self.port = int(match.group(1))
+                break
+        if self.port is None:
+            self.stop()
+            raise RuntimeError("repro serve did not come up")
+
+    def stop(self) -> int:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hard failure
+                self.proc.kill()
+                self.proc.wait()
+        return self.proc.returncode
+
+    def __enter__(self) -> "ServeProcess":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[round(q * (len(ordered) - 1))]
+
+
+def _gadget_params(quick: bool) -> dict:
+    if quick:
+        return {
+            "topology": "maximal-outerplanar(8)",
+            "scheme": GADGET_SCHEME,
+            "sizes": [2, 3],
+            "samples": 100,
+            "seed": 0,
+        }
+    return {
+        "topology": GADGET_TOPOLOGY,
+        "scheme": GADGET_SCHEME,
+        "sizes": GADGET_SIZES,
+        "samples": GADGET_SAMPLES,
+        "seed": 0,
+    }
+
+
+def bench_cold_vs_warm(port: int, quick: bool) -> dict:
+    params = _gadget_params(quick)
+    with QueryClient(port=port, timeout=120, retries=2) as client:
+        start = time.perf_counter()
+        cold_reply = client.request("verdict", params)
+        cold_seconds = time.perf_counter() - start
+        assert cold_reply["ok"] and not cold_reply["cached"], cold_reply
+        warm_latencies = []
+        repeats = 5 if quick else WARM_REPEATS
+        for _ in range(repeats):
+            start = time.perf_counter()
+            warm_reply = client.request("verdict", params)
+            warm_latencies.append(time.perf_counter() - start)
+            assert warm_reply["ok"] and warm_reply["cached"], warm_reply
+        # byte-identical answer, served without recomputation
+        assert warm_reply["result"] == cold_reply["result"]
+    warm_p50 = _percentile(warm_latencies, 0.50)
+    return {
+        "workload": f"verdict {params['topology']} / {params['scheme']} "
+        f"sizes={params['sizes']} samples={params['samples']}",
+        "scenarios_checked": cold_reply["result"]["verdict"]["scenarios_checked"],
+        "cold_seconds": cold_seconds,
+        "warm_p50_seconds": warm_p50,
+        "warm_p99_seconds": _percentile(warm_latencies, 0.99),
+        "warm_repeats": repeats,
+        "cold_vs_warm_speedup": cold_seconds / warm_p50,
+    }
+
+
+def bench_throughput(port: int, quick: bool) -> dict:
+    """Concurrent load generator: distinct + repeated verdict queries."""
+    topology = "maximal-outerplanar(8)" if quick else GADGET_TOPOLOGY
+    threads = 2 if quick else LOAD_THREADS
+    per_thread = 5 if quick else LOAD_REQUESTS_PER_THREAD
+    # the distinct-query pool: single-link explicit masks, one identity
+    # per link, cycled by every thread (first pass computes, later
+    # passes and sibling threads coalesce/hit)
+    from repro.experiments.registry import resolve_topology
+    from repro.serve.protocol import failure_set_to_json
+
+    links = sorted(resolve_topology(topology).edges())
+    pool = [failure_set_to_json(frozenset({link})) for link in links]
+    latencies: list[list[float]] = [[] for _ in range(threads)]
+    errors: list[Exception] = []
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(slot: int) -> None:
+        try:
+            with QueryClient(port=port, timeout=120, retries=2) as client:
+                barrier.wait(timeout=60)
+                for i in range(per_thread):
+                    mask = pool[(slot * per_thread + i) % len(pool)]
+                    start = time.perf_counter()
+                    reply = client.request(
+                        "verdict",
+                        {
+                            "topology": topology,
+                            "scheme": GADGET_SCHEME,
+                            "failure_sets": [mask],
+                        },
+                    )
+                    latencies[slot].append(time.perf_counter() - start)
+                    assert reply["ok"], reply
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    pool_threads = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(threads)
+    ]
+    for thread in pool_threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for thread in pool_threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    flat = [sample for slot in latencies for sample in slot]
+    return {
+        "threads": threads,
+        "requests": len(flat),
+        "seconds": elapsed,
+        "requests_per_second": len(flat) / elapsed,
+        "p50_seconds": _percentile(flat, 0.50),
+        "p99_seconds": _percentile(flat, 0.99),
+    }
+
+
+def bench_store() -> ResultStore:
+    """The serve performance trajectory (new ``BENCH_`` artifact)."""
+    return ResultStore(BENCH_SERVE_JSON)
+
+
+def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) -> dict:
+    import tempfile
+
+    from repro.runtime import Deadline
+
+    deadline = Deadline(deadline_seconds) if deadline_seconds is not None else None
+    with tempfile.TemporaryDirectory() as scratch:
+        with ServeProcess(pathlib.Path(scratch) / "answers.json") as server:
+            verdict = bench_cold_vs_warm(server.port, quick)
+            partial = False
+            if deadline is not None and deadline.expired():
+                # phases are the deadline's units: the throughput phase
+                # is skipped whole, never truncated mid-measurement
+                throughput = None
+                partial = True
+            else:
+                throughput = bench_throughput(server.port, quick)
+            exit_code = server.stop()
+    assert exit_code == 0, f"serve exited {exit_code}"
+    results = {
+        "benchmark": "serve",
+        "cpu_count": os.cpu_count(),
+        "thresholds": {"cold_vs_warm_min_speedup": COLD_VS_WARM_MIN_SPEEDUP},
+        "verdict": verdict,
+        "throughput": throughput,
+    }
+    if partial:
+        results["partial"] = True
+        print("deadline cut the benchmark: partial results, skipping BENCH merge")
+        return results
+    if not quick:
+        # --quick is a CI smoke on a smaller workload: never let its
+        # numbers masquerade as the tracked full-benchmark record
+        store = bench_store()
+        store.merge_raw(results)
+        store.merge(
+            [
+                ExperimentRecord(
+                    experiment="bench_serve_cold_vs_warm",
+                    topology=GADGET_TOPOLOGY,
+                    scheme=GADGET_SCHEME,
+                    failure_model=f"random(sizes={'/'.join(map(str, GADGET_SIZES))},"
+                    f"samples={GADGET_SAMPLES},seed=0)",
+                    metrics={
+                        "cold_seconds": verdict["cold_seconds"],
+                        "warm_p50_seconds": verdict["warm_p50_seconds"],
+                        "warm_p99_seconds": verdict["warm_p99_seconds"],
+                        "cold_vs_warm_speedup": verdict["cold_vs_warm_speedup"],
+                        "scenarios_checked": verdict["scenarios_checked"],
+                    },
+                    runtime_seconds=verdict["cold_seconds"],
+                ),
+                ExperimentRecord(
+                    experiment="bench_serve_throughput",
+                    topology=GADGET_TOPOLOGY,
+                    scheme=GADGET_SCHEME,
+                    failure_model="explicit(single-link pool)",
+                    metrics={
+                        "requests_per_second": throughput["requests_per_second"],
+                        "p50_seconds": throughput["p50_seconds"],
+                        "p99_seconds": throughput["p99_seconds"],
+                        "threads": throughput["threads"],
+                        "requests": throughput["requests"],
+                    },
+                    runtime_seconds=throughput["seconds"],
+                ),
+            ]
+        )
+    return results
+
+
+def format_report(results: dict) -> str:
+    verdict = results["verdict"]
+    throughput = results["throughput"]
+    rows = [
+        [
+            "cold (fresh server)",
+            f"{verdict['cold_seconds'] * 1000:.1f}",
+            "-",
+            "full sweep + state build",
+        ],
+        [
+            "warm (answer cache)",
+            f"{verdict['warm_p50_seconds'] * 1000:.1f}",
+            f"{verdict['warm_p99_seconds'] * 1000:.1f}",
+            f"{verdict['cold_vs_warm_speedup']:.1f}x faster",
+        ],
+    ]
+    if throughput is not None:
+        rows.append(
+            [
+                f"concurrent x{throughput['threads']}",
+                f"{throughput['p50_seconds'] * 1000:.1f}",
+                f"{throughput['p99_seconds'] * 1000:.1f}",
+                f"{throughput['requests_per_second']:.0f} req/s",
+            ]
+        )
+    else:
+        rows.append(["concurrent", "-", "-", "- (deadline cut)"])
+    return (
+        "repro serve: cold vs warm latency and concurrent throughput\n"
+        f"(workload: {verdict['workload']}; "
+        f"bar: warm >= {COLD_VS_WARM_MIN_SPEEDUP:.0f}x faster than cold)\n"
+        + simple_table(["phase", "p50 ms", "p99 ms", "note"], rows)
+    )
+
+
+def test_serve_cold_vs_warm(report):
+    results = run_benchmark()
+    report("serve", format_report(results))
+    assert (
+        results["verdict"]["cold_vs_warm_speedup"] >= COLD_VS_WARM_MIN_SPEEDUP
+    ), results["verdict"]
+    assert results["throughput"]["requests_per_second"] > 0, results["throughput"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: smaller gadget and load, no BENCH_serve.json write",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="skip phases once this many seconds have elapsed; partial "
+        "results are reported but never merged into BENCH_serve.json",
+    )
+    cli_args = parser.parse_args()
+    results = run_benchmark(quick=cli_args.quick, deadline_seconds=cli_args.deadline)
+    print(format_report(results))
+    if not cli_args.quick and not results.get("partial"):
+        print(f"machine-readable results: {BENCH_SERVE_JSON}")

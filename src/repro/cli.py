@@ -503,6 +503,141 @@ def _cmd_experiments(args) -> int:
     return 0 if result.records else 1
 
 
+def _cmd_serve(args) -> int:
+    session = _build_session(args.backend)
+    if session is None:
+        return 2
+    from . import obs
+    from .experiments import ResultStore
+    from .serve import QueryService
+    from .serve.server import serve
+
+    store = ResultStore(args.store) if args.store else None
+    service = QueryService(session=session, store=store)
+
+    def ready(server) -> None:
+        print(f"repro serve: listening on {args.host}:{server.bound_port}", flush=True)
+        if server.bound_metrics_port is not None:
+            print(
+                f"repro serve: metrics on "
+                f"http://{args.host}:{server.bound_metrics_port}/metrics",
+                flush=True,
+            )
+        if store is not None:
+            print(f"repro serve: answer cache at {store.path}", flush=True)
+
+    # the same Telemetry install seam the experiments command uses: the
+    # registry always exists (it feeds /metrics), the trace is opt-in
+    telemetry = obs.Telemetry(trace_path=args.trace)
+    try:
+        with obs.installed(telemetry):
+            return serve(
+                service=service,
+                host=args.host,
+                port=args.port,
+                metrics_port=args.metrics_port,
+                ready=ready,
+            )
+    finally:
+        telemetry.close()
+
+
+def _json_failure_sets(tokens: list[str]) -> list:
+    """``["0-1,1-2", "3-4"]`` -> protocol failure-set JSON (2 sets)."""
+    from .serve.protocol import failure_set_to_json
+
+    sets = []
+    for token in tokens:
+        sets.append(failure_set_to_json(_parse_failures(token.split(","))))
+    return sets
+
+
+def _cmd_query(args) -> int:
+    import json as _json
+
+    from .serve import QueryClient, RemoteError, ServeTimeout
+
+    params: dict = {}
+    budget = args.budget
+    if args.op in ("verdict", "load"):
+        if not args.topology or not args.scheme:
+            print(f"{args.op} needs --topology and --scheme", file=sys.stderr)
+            return 2
+        params = {"topology": args.topology, "scheme": args.scheme}
+        if args.failures:
+            params["failure_sets"] = _json_failure_sets(args.failures)
+            if args.destination is not None and args.op == "verdict":
+                params["destination"] = _maybe_int(args.destination)
+        else:
+            sizes = (
+                [int(token) for token in args.sizes.split(",")] if args.sizes else None
+            )
+            params.update({"sizes": sizes, "samples": args.samples, "seed": args.seed})
+        if args.op == "load":
+            params.update({"matrix": args.matrix, "matrix_seed": args.seed})
+    elif args.op == "grid":
+        if not args.topology:
+            print("grid needs --topology (comma-separated names)", file=sys.stderr)
+            return 2
+        sizes = [int(token) for token in args.sizes.split(",")] if args.sizes else None
+        params = {
+            "topologies": _split_names(args.topology),
+            "schemes": _split_names(args.scheme) if args.scheme else None,
+            "sizes": sizes,
+            "samples": args.samples,
+            "seed": args.seed,
+            "matrix": args.matrix,
+            "matrix_seed": args.seed,
+        }
+    client = QueryClient(
+        host=args.host, port=args.port, timeout=args.timeout, retries=args.retries
+    )
+    try:
+        reply = client.request(args.op, params, budget_seconds=budget)
+    except RemoteError as error:
+        print(f"service error: {error}", file=sys.stderr)
+        return 1
+    except (ServeTimeout, OSError) as error:
+        print(f"cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 3
+    finally:
+        client.close()
+    if args.json:
+        print(_json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    result = reply.get("result", {})
+    flags = " [partial]" if reply.get("partial") else ""
+    flags += " [cached]" if reply.get("cached") else ""
+    if args.op == "ping":
+        print(f"pong: uptime {result.get('uptime_seconds', 0):.1f}s")
+    elif args.op in ("stats", "shutdown"):
+        print(_json.dumps(result, indent=2, sort_keys=True))
+    elif args.op == "verdict":
+        verdict = result["verdict"]
+        state = "resilient" if verdict["resilient"] else "NOT resilient"
+        print(
+            f"{args.scheme} on {args.topology}: {state} "
+            f"({verdict['scenarios_checked']} scenarios, "
+            f"exhaustive={verdict['exhaustive']}){flags}"
+        )
+        if verdict["counterexample"]:
+            print(f"  counterexample: {verdict['counterexample']}")
+    elif args.op == "load":
+        record = result["record"]
+        print(
+            f"{args.scheme} on {args.topology} ({record['params']['matrix']}): "
+            f"{record['metrics']['completed_sets']}/{record['metrics']['failure_sets']} "
+            f"failure sets, worst max_load={record['metrics']['worst_max_load']}, "
+            f"min delivered={record['metrics']['min_delivered_fraction']:.3f}{flags}"
+        )
+    elif args.op == "grid":
+        from .experiments import ExperimentRecord, records_table
+
+        records = [ExperimentRecord.from_dict(entry) for entry in result["records"]]
+        print(records_table(records) + flags)
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from . import obs
 
@@ -686,6 +821,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a per-cell heartbeat (done/total, errors, ETA) to stderr",
     )
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent resilience-query service (warm caches, "
+        "batched sweeps, Lazy-Pirate request-reply)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421, help="TCP port (0 = ephemeral)")
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve GET /metrics (Prometheus text) on this port (0 = ephemeral)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="disk-backed ResultStore used as the memoized answer cache "
+        "(pre-populate it with 'repro experiments --out PATH')",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["engine", "naive", "numpy"],
+        default="engine",
+        help="session backend for the warm engine caches",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write per-request telemetry spans (JSONL) to PATH",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="query a running 'repro serve' (reliable Lazy-Pirate client)",
+    )
+    p.add_argument(
+        "op",
+        choices=["ping", "stats", "verdict", "load", "grid", "shutdown"],
+        help="operation to run against the service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--timeout", type=float, default=10.0, help="per-attempt reply timeout")
+    p.add_argument("--retries", type=int, default=3, help="reconnect-and-resend attempts")
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request compute budget; a cut sweep returns a partial answer",
+    )
+    p.add_argument("--topology", default=None, help="registry name (comma list for grid)")
+    p.add_argument("--scheme", default=None, help="scheme name (comma list for grid)")
+    p.add_argument(
+        "--failures",
+        action="append",
+        default=None,
+        metavar="SET",
+        help="explicit failure set 'u-v,x-y' (repeat for several sets)",
+    )
+    p.add_argument(
+        "--destination", default=None, help="destination node for explicit verdicts"
+    )
+    p.add_argument("--sizes", default=None, help="failure-model sizes, e.g. 1,2")
+    p.add_argument("--samples", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--matrix", default="permutation")
+    p.add_argument("--json", action="store_true", help="print the raw reply envelope")
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
         "stats",

@@ -129,6 +129,16 @@ class ResultStore:
 
     def __init__(self, path: str | pathlib.Path):
         self.path = pathlib.Path(path)
+        # identity index cached against the file's (mtime_ns, size)
+        # stamp, so hot callers (the serve answer cache, repeated
+        # merges) pay one parse per on-disk generation instead of one
+        # scan per call.  An external writer bumps the stamp and the
+        # cache rebuilds transparently.
+        self._cache_stamp: tuple[int, int] | None = None
+        self._cache_document: dict | None = None
+        self._cache_index: dict[tuple, int] = {}
+        self._cache_parsed: dict[int, ExperimentRecord] = {}
+        self._cache_duplicates = False
 
     # -- raw document ------------------------------------------------------
 
@@ -141,13 +151,62 @@ class ResultStore:
             return {}
         return document if isinstance(document, dict) else {}
 
+    def _stamp(self) -> tuple[int, int] | None:
+        try:
+            info = self.path.stat()
+        except OSError:
+            return None
+        return (info.st_mtime_ns, info.st_size)
+
+    @staticmethod
+    def _entry_key(entry: dict) -> tuple[str, str, str, str, str]:
+        """A raw record dict's merge identity, without a full parse."""
+        params = entry.get("params") or {}
+        return (
+            entry.get("experiment", ""),
+            entry.get("topology", ""),
+            entry.get("scheme", ""),
+            entry.get("failure_model", ""),
+            str(params.get("matrix", "")),
+        )
+
+    def _load_state(self) -> dict:
+        """The cached (document, identity index), rebuilt if the file changed."""
+        stamp = self._stamp()
+        if self._cache_document is None or stamp != self._cache_stamp:
+            self._adopt(self.load_document(), stamp)
+        return self._cache_document
+
+    def _adopt(self, document: dict, stamp: tuple[int, int] | None) -> None:
+        raw = document.get("records", [])
+        index: dict[tuple, int] = {}
+        duplicates = False
+        for position, entry in enumerate(raw):
+            key = self._entry_key(entry)
+            if key in index:
+                duplicates = True
+            index[key] = position
+        self._cache_stamp = stamp
+        self._cache_document = document
+        self._cache_index = index
+        self._cache_parsed = {}
+        self._cache_duplicates = duplicates
+
+    def _record_at(self, position: int) -> ExperimentRecord:
+        record = self._cache_parsed.get(position)
+        if record is None:
+            record = ExperimentRecord.from_dict(self._cache_document["records"][position])
+            self._cache_parsed[position] = record
+        return record
+
     def _write_document(self, document: dict) -> None:
         # atomic replace: a crash mid-write can never tear the store
         atomic_write_text(self.path, json.dumps(document, indent=2, sort_keys=False) + "\n")
+        self._adopt(document, self._stamp())
 
     def merge_raw(self, sections: dict) -> dict:
         """Merge top-level sections, keeping every other key intact."""
-        document = self.load_document()
+        document = self._load_state()
         document.update(sections)
         self._write_document(document)
         return document
@@ -155,24 +214,64 @@ class ResultStore:
     # -- records -----------------------------------------------------------
 
     def load_records(self) -> list[ExperimentRecord]:
-        raw = self.load_document().get("records", [])
-        return [ExperimentRecord.from_dict(entry) for entry in raw]
+        document = self._load_state()
+        return [self._record_at(position) for position in range(len(document.get("records", [])))]
+
+    def identities(self) -> list[tuple[str, str, str, str, str]]:
+        """Every stored record identity, in record order (O(1) per call)."""
+        self._load_state()
+        return list(self._cache_index)
+
+    def lookup(self, identity: tuple) -> ExperimentRecord | None:
+        """The stored record with this :meth:`ExperimentRecord.key`, or None.
+
+        O(1) in the number of stored records — this is the serve answer
+        cache's hot path.  On the (legacy) off-chance the on-disk list
+        holds duplicate keys, the index points at the last occurrence,
+        matching :meth:`merge`'s newest-wins collapse.
+        """
+        self._load_state()
+        position = self._cache_index.get(tuple(identity))
+        return self._record_at(position) if position is not None else None
 
     def merge(self, records: list[ExperimentRecord]) -> list[ExperimentRecord]:
         """Merge records by identity key: same-key records are replaced
         (newest wins), all others are kept.  Returns the merged list."""
-        document = self.load_document()
-        merged: dict[tuple, ExperimentRecord] = {
-            record.key(): record
-            for record in (
-                ExperimentRecord.from_dict(entry) for entry in document.get("records", [])
-            )
-        }
+        document = self._load_state()
+        if self._cache_duplicates:
+            # a store written before the index existed may hold
+            # duplicate keys: collapse exactly the way the pre-index
+            # merge did (first position, newest value)
+            merged: dict[tuple, ExperimentRecord] = {
+                record.key(): record
+                for record in (
+                    ExperimentRecord.from_dict(entry) for entry in document.get("records", [])
+                )
+            }
+            for record in records:
+                merged[record.key()] = record
+            ordered = list(merged.values())
+            document["records"] = [record.to_dict() for record in ordered]
+            self._write_document(document)
+            return ordered
+        raw = document.setdefault("records", [])
+        index = self._cache_index
+        parsed = self._cache_parsed
         for record in records:
-            merged[record.key()] = record
-        ordered = list(merged.values())
-        document["records"] = [record.to_dict() for record in ordered]
-        self._write_document(document)
+            key = record.key()
+            position = index.get(key)
+            if position is None:
+                index[key] = len(raw)
+                parsed[len(raw)] = record
+                raw.append(record.to_dict())
+            else:
+                raw[position] = record.to_dict()
+                parsed[position] = record
+        ordered = [self._record_at(position) for position in range(len(raw))]
+        # skip _adopt's rebuild: the index/parsed caches were maintained
+        # incrementally above and match what we are writing
+        atomic_write_text(self.path, json.dumps(document, indent=2, sort_keys=False) + "\n")
+        self._cache_stamp = self._stamp()
         return ordered
 
     # -- CSV export --------------------------------------------------------

@@ -1,0 +1,746 @@
+"""The query engine behind ``repro serve`` (transport-independent).
+
+:class:`QueryService` answers the protocol's compute ops — ``verdict``,
+``load``, ``grid`` — against one long-lived, warm
+:class:`~repro.experiments.session.ExperimentSession`:
+
+* **Warm caches.**  Topologies are resolved once per name and kept (a
+  stable graph identity is what makes the session's fingerprint-keyed
+  ``EngineState`` / ``TrafficEngine`` caches hit), built forwarding
+  patterns and their decision tables are cached per (topology, scheme,
+  destination), and every evaluated failure mask's outcome is memoized
+  — a mask asked twice is never walked twice.
+* **Answer cache.**  When constructed with a disk-backed
+  :class:`~repro.experiments.results.ResultStore`, every computed
+  answer is merged in as a typed
+  :class:`~repro.experiments.results.ExperimentRecord` and every
+  request first consults the store's O(1) identity index — a store
+  pre-populated by an offline ``run_grid`` serves those answers without
+  recomputation.  Partial (deadline-cut) answers are never cached.
+* **Identical answers.**  The compute paths are the very seams
+  ``run_grid`` and the checkers use (``sweep_resilience`` /
+  ``TrafficEngine.load_sweep`` on session-owned state), so service
+  answers are byte-identical to the offline surfaces — the differential
+  tests pin this.
+* **Batching.**  :meth:`run_batch` answers a group of concurrent
+  requests in one go: load queries for the same (topology, scheme,
+  matrix) are unioned into a *single* ``load_sweep`` call and sliced
+  per request (per-mask reports are batch-composition independent);
+  verdict queries for the same (topology, scheme, destination) share
+  one pattern, one decision table and the mask-outcome memo, so each
+  distinct mask across the whole group is walked once.
+
+Every envelope may carry ``budget_seconds``; it is threaded as a
+:class:`~repro.runtime.deadline.Deadline` into the sweeps, and a cut
+sweep comes back as a best-effort answer flagged ``partial``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+
+from repro import obs as _obs
+
+from ..core.engine.memo import MemoizedPattern, _route_covers, route_indexed
+from ..core.engine.sweep import ScenarioGrid, sweep_resilience
+from ..core.model import DestinationAlgorithm
+from ..core.resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict
+from ..experiments.registry import SchemeNotApplicable, scheme as scheme_by_name
+from ..experiments.results import ExperimentRecord, ResultStore
+from ..experiments.runner import METRICS, FailureModel, run_grid
+from ..experiments.session import ExperimentSession
+from ..graphs.connectivity import component_of
+from ..graphs.edges import sorted_nodes
+from ..runtime.deadline import Deadline
+from .protocol import (
+    Request,
+    error_response,
+    failure_set_to_json,
+    failure_sets_from_json,
+    failure_sets_to_json,
+    node_from_json,
+    node_to_json,
+    ok_response,
+)
+
+#: resolved topologies kept warm, per registry name (FIFO)
+GRAPH_CACHE_LIMIT = 32
+#: (topology, scheme, destination) pattern/decision-table entries kept warm
+PATTERN_CACHE_LIMIT = 128
+#: memoized per-mask outcomes kept per pattern entry
+MASK_MEMO_LIMIT = 65536
+
+
+class QueryError(ValueError):
+    """A request whose params cannot be served (bad names, bad shapes)."""
+
+
+def _require(params: dict, name: str) -> object:
+    value = params.get(name)
+    if value is None:
+        raise QueryError(f"missing required param {name!r}")
+    return value
+
+
+def _failure_model(params: dict) -> FailureModel:
+    sizes = params.get("sizes")
+    if sizes is not None:
+        if not isinstance(sizes, list) or not all(isinstance(s, int) for s in sizes):
+            raise QueryError(f"sizes must be a list of integers, got {sizes!r}")
+        sizes = tuple(sizes)
+    samples = params.get("samples", 10)
+    seed = params.get("seed", 0)
+    if not isinstance(samples, int) or not isinstance(seed, int):
+        raise QueryError("samples and seed must be integers")
+    return FailureModel(sizes=sizes, samples=samples, seed=seed)
+
+
+def _explicit_label(masks, destination) -> str:
+    """Deterministic failure-model label for an explicit mask list.
+
+    The digest covers the canonical JSON of the masks (and the
+    destination), so the same query from any process maps to the same
+    answer-cache identity.
+    """
+    canonical = json.dumps(
+        {"masks": failure_sets_to_json(masks), "destination": node_to_json(destination)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    return f"explicit(n={len(masks)},sha={digest})"
+
+
+def _verdict_to_json(verdict: Verdict) -> dict:
+    return {
+        "resilient": bool(verdict.resilient),
+        "scenarios_checked": verdict.scenarios_checked,
+        "exhaustive": bool(verdict.exhaustive),
+        "counterexample": str(verdict.counterexample) if verdict.counterexample else None,
+    }
+
+
+def serialize_report(report, failures) -> dict:
+    """Canonical JSON form of one :class:`~repro.traffic.load.LoadReport`.
+
+    Lossless on the accounting fields and the integer per-link loads;
+    shared by the service and the differential tests, so "byte-identical
+    to offline ``load_sweep``" is checked against one serializer.
+    """
+    return {
+        "failures": failure_set_to_json(failures),
+        "loads": [
+            [node_to_json(u), node_to_json(v), load]
+            for (u, v), load in sorted(report.loads.items(), key=lambda item: repr(item[0]))
+        ],
+        "demands": report.demands,
+        "total_volume": report.total_volume,
+        "delivered_volume": report.delivered_volume,
+        "dropped_volume": report.dropped_volume,
+        "looped_volume": report.looped_volume,
+        "disconnected_volume": report.disconnected_volume,
+        "delivered_hops": report.delivered_hops,
+        "stretch_volume": report.stretch_volume,
+        "max_load": report.max_load,
+        "p99_load": report.p99_load,
+        "delivered_fraction": report.delivered_fraction,
+        "mean_stretch": report.mean_stretch,
+    }
+
+
+class _PatternEntry:
+    """One warm (pattern, decision table, mask-outcome memo) triple."""
+
+    __slots__ = ("pattern", "memo", "outcomes")
+
+    def __init__(self, pattern, memo):
+        self.pattern = pattern
+        self.memo = memo
+        #: mask -> (scenarios checked in that mask, Counterexample | None)
+        self.outcomes: OrderedDict = OrderedDict()
+
+
+class QueryService:
+    """Evaluates protocol requests against one warm session (see module doc)."""
+
+    def __init__(
+        self,
+        session: ExperimentSession | None = None,
+        store: ResultStore | None = None,
+    ):
+        self.session = session if session is not None else ExperimentSession()
+        self.store = store
+        self.started = time.monotonic()
+        self.stats_counters = {
+            "store_hits": 0,
+            "store_misses": 0,
+            "mask_memo_hits": 0,
+            "mask_memo_misses": 0,
+            "batches": 0,
+            "batched_requests": 0,
+        }
+        self._graphs: OrderedDict[str, object] = OrderedDict()
+        self._patterns: OrderedDict[tuple, _PatternEntry] = OrderedDict()
+
+    # -- warm resolution ---------------------------------------------------
+
+    def graph(self, topology: str):
+        """The topology's graph, resolved once and kept (stable identity)."""
+        cached = self._graphs.get(topology)
+        if cached is not None:
+            self._graphs.move_to_end(topology)
+            return cached
+        from ..experiments.registry import resolve_topology
+
+        try:
+            graph = resolve_topology(topology)
+        except KeyError as error:
+            raise QueryError(str(error).strip('"')) from None
+        while len(self._graphs) >= GRAPH_CACHE_LIMIT:
+            self._graphs.popitem(last=False)
+        self._graphs[topology] = graph
+        return graph
+
+    def _scheme(self, name: str):
+        try:
+            return scheme_by_name(name)
+        except KeyError as error:
+            raise QueryError(str(error).strip('"')) from None
+
+    def _pattern_entry(self, topology: str, spec, graph, destination) -> _PatternEntry:
+        key = (topology, spec.name, destination)
+        entry = self._patterns.get(key)
+        if entry is not None:
+            self._patterns.move_to_end(key)
+            return entry
+        pattern = spec.instantiate().build(graph, destination)
+        state = self.session.state(graph)
+        entry = _PatternEntry(pattern, MemoizedPattern(state.network, pattern))
+        while len(self._patterns) >= PATTERN_CACHE_LIMIT:
+            self._patterns.popitem(last=False)
+        self._patterns[key] = entry
+        return entry
+
+    # -- the batched mask walk --------------------------------------------
+
+    def _mask_outcome(self, state, entry: _PatternEntry, destination, failures):
+        """(scenarios checked, counterexample | None) for ONE failure mask.
+
+        Replicates the per-mask block of the engine's
+        ``_sweep_pattern_resilience`` exactly — same component order,
+        same shared delivered-state early exit, same naive fallback for
+        masks naming links outside the graph — so folding per-mask
+        outcomes reproduces the sweep verdict bit for bit (pinned by a
+        differential test).  Outcomes are memoized per pattern entry:
+        this is the coalescing seam that lets concurrent queries share
+        walks.
+        """
+        cached = entry.outcomes.get(failures)
+        if cached is not None:
+            self.stats_counters["mask_memo_hits"] += 1
+            return cached
+        self.stats_counters["mask_memo_misses"] += 1
+        network = state.network
+        index = network.index
+        dest_idx = index.get(destination)
+        fmask = network.mask_of(failures) if dest_idx is not None else None
+        checked = 0
+        outcome = None
+        if fmask is None:
+            from ..core.simulator import route as naive_route
+
+            component = sorted_nodes(component_of(state.graph, destination, failures))
+            naive = state.naive_network
+            for source in component:
+                if source == destination:
+                    continue
+                checked += 1
+                result = naive_route(naive, entry.pattern, source, destination, failures)
+                if not result.delivered:
+                    outcome = Counterexample(source, destination, failures, result)
+                    break
+        else:
+            if network.m <= EXHAUSTIVE_LINK_LIMIT:
+                component = state.tracker.component_sorted(fmask, dest_idx)
+            else:
+                component = sorted_nodes(
+                    network.labels[i] for i in network.component_of_indices(fmask, dest_idx)
+                )
+            delivered_states: set[int] = set()
+            for source in component:
+                if source == destination:
+                    continue
+                checked += 1
+                if not _route_covers(
+                    network, entry.memo, index[source], dest_idx, fmask, delivered_states
+                ):
+                    result = route_indexed(network, entry.memo, index[source], dest_idx, fmask)
+                    outcome = Counterexample(source, destination, failures, result)
+                    break
+        while len(entry.outcomes) >= MASK_MEMO_LIMIT:
+            entry.outcomes.popitem(last=False)
+        entry.outcomes[failures] = (checked, outcome)
+        return (checked, outcome)
+
+    def _masked_verdict(self, topology, spec, graph, destination, masks) -> Verdict:
+        """Fold memoized per-mask outcomes into the sweep's exact verdict."""
+        state = self.session.state(graph)
+        entry = self._pattern_entry(topology, spec, graph, destination)
+        checked = 0
+        for failures in masks:
+            count, counterexample = self._mask_outcome(state, entry, destination, failures)
+            checked += count
+            if counterexample is not None:
+                return Verdict(False, checked, counterexample, exhaustive=False)
+        return Verdict(True, checked, exhaustive=False)
+
+    # -- ops ---------------------------------------------------------------
+
+    def verdict(self, params: dict, deadline: Deadline | None = None):
+        """One resilience verdict; returns ``(record, partial)``.
+
+        With a failure-model spec this is exactly ``run_grid``'s
+        resilience cell (same grid, same checker path, same record
+        shape); with an explicit ``failure_sets`` list it is exactly
+        ``sweep_resilience`` over those masks.
+        """
+        topology = str(_require(params, "topology"))
+        spec = self._scheme(str(_require(params, "scheme")))
+        graph = self.graph(topology)
+        if not spec.applicable(graph):
+            raise SchemeNotApplicable(f"{spec.name} requires {spec.requires}")
+        algorithm = spec.instantiate()
+        explicit = params.get("failure_sets")
+        start = time.perf_counter()
+        if explicit is not None:
+            masks = failure_sets_from_json(explicit)
+            destination = params.get("destination")
+            if destination is not None:
+                destination = node_from_json(destination)
+                if destination not in graph:
+                    raise QueryError(f"destination {destination!r} is not a node of {topology}")
+            label = _explicit_label(masks, destination)
+            if (
+                destination is not None
+                and isinstance(algorithm, DestinationAlgorithm)
+                and deadline is None
+            ):
+                # the coalescing fast path: per-mask outcomes are
+                # memoized, so repeated/overlapping queries share walks
+                verdict = self._masked_verdict(topology, spec, graph, destination, masks)
+            else:
+                grid = ScenarioGrid(
+                    destinations=[destination] if destination is not None else None,
+                    failure_sets=masks,
+                )
+                verdict = sweep_resilience(
+                    graph,
+                    algorithm,
+                    grid,
+                    state=self.session.state(graph),
+                    backend=self.session.backend,
+                    deadline=deadline,
+                ).verdict
+            record_params = {"model": spec.arity, "destination": node_to_json(destination)}
+        else:
+            model = _failure_model(params)
+            label = model.label
+            grid_sets = model.grid(graph)
+            failure_sets = [failures for size in sorted(grid_sets) for failures in grid_sets[size]]
+            # the exact seam run_grid's resilience metric uses (the
+            # checkers reduce to this sweep on engine backends), plus
+            # the per-request deadline
+            verdict = sweep_resilience(
+                graph,
+                algorithm,
+                ScenarioGrid(failure_sets=failure_sets),
+                state=self.session.state(graph),
+                backend=self.session.backend,
+                deadline=deadline,
+            ).verdict
+            record_params = {"model": spec.arity}
+        partial = deadline is not None and deadline.expired()
+        record = ExperimentRecord(
+            experiment="resilience",
+            topology=topology,
+            scheme=spec.name,
+            failure_model=label,
+            metrics={
+                "resilient": bool(verdict.resilient),
+                "scenarios_checked": verdict.scenarios_checked,
+                "exhaustive": bool(verdict.exhaustive),
+            },
+            params=record_params,
+            runtime_seconds=time.perf_counter() - start,
+            note=str(verdict.counterexample) if verdict.counterexample else "",
+        )
+        return record, partial
+
+    def _load_workload(self, params: dict):
+        """Resolve a load request's (graph, engine, demands, sets, labels)."""
+        from ..traffic.matrices import build_named_matrix
+
+        topology = str(_require(params, "topology"))
+        spec = self._scheme(str(_require(params, "scheme")))
+        graph = self.graph(topology)
+        if not spec.applicable(graph):
+            raise SchemeNotApplicable(f"{spec.name} requires {spec.requires}")
+        matrix = params.get("matrix", "permutation")
+        matrix_seed = params.get("matrix_seed", 0)
+        destination = params.get("destination")
+        try:
+            demands, matrix_name = build_named_matrix(
+                graph,
+                matrix,
+                seed=matrix_seed,
+                destination=node_from_json(destination) if destination is not None else None,
+            )
+        except ValueError as error:
+            raise QueryError(str(error)) from None
+        explicit = params.get("failure_sets")
+        if explicit is not None:
+            sets = failure_sets_from_json(explicit)
+            label = _explicit_label(sets, None)
+        else:
+            model = _failure_model(params)
+            grid_sets = model.grid(graph)
+            sets = [failures for size in sorted(grid_sets) for failures in grid_sets[size]]
+            label = model.label
+        algorithm = spec.instantiate()
+        engine = self.session.traffic_engine(graph, algorithm)
+        return topology, spec, engine, demands, matrix_name, matrix_seed, sets, label
+
+    def _load_record(
+        self, topology, spec, matrix_name, matrix_seed, label, sets, reports, elapsed
+    ) -> tuple[ExperimentRecord, bool]:
+        series = [
+            serialize_report(report, failures) for report, failures in zip(reports, sets)
+        ]
+        partial = len(reports) < len(sets)
+        metrics = {
+            "failure_sets": len(sets),
+            "completed_sets": len(reports),
+            "worst_max_load": max((r.max_load for r in reports), default=0),
+            "min_delivered_fraction": min((r.delivered_fraction for r in reports), default=0.0),
+        }
+        record = ExperimentRecord(
+            experiment="load",
+            topology=topology,
+            scheme=spec.name,
+            failure_model=label,
+            metrics=metrics,
+            series=series,
+            params={"matrix": matrix_name, "matrix_seed": matrix_seed},
+            runtime_seconds=elapsed,
+        )
+        return record, partial
+
+    def load(self, params: dict, deadline: Deadline | None = None):
+        """Per-failure-set load reports for one (topology, scheme, matrix).
+
+        Exactly ``TrafficEngine.load_sweep`` on the session's cached
+        engine; a deadline cut returns the completed prefix (partial).
+        """
+        topology, spec, engine, demands, matrix_name, matrix_seed, sets, label = (
+            self._load_workload(params)
+        )
+        start = time.perf_counter()
+        reports = engine.load_sweep(demands, sets, deadline=deadline)
+        return self._load_record(
+            topology, spec, matrix_name, matrix_seed, label, sets, reports,
+            time.perf_counter() - start,
+        )
+
+    def grid(self, params: dict, deadline: Deadline | None = None):
+        """A small ``run_grid`` (records returned, optional store merge)."""
+        topologies = _require(params, "topologies")
+        if not isinstance(topologies, list) or not topologies:
+            raise QueryError("topologies must be a non-empty list of registry names")
+        schemes = params.get("schemes")
+        if schemes is not None and not isinstance(schemes, list):
+            raise QueryError("schemes must be a list of registry names (or omitted)")
+        metrics = params.get("metrics", list(METRICS))
+        if not isinstance(metrics, list):
+            raise QueryError("metrics must be a list")
+        model = _failure_model(params)
+        try:
+            result = run_grid(
+                topologies,
+                schemes,
+                failure_models=[model],
+                metrics=metrics,
+                matrix=params.get("matrix", "permutation"),
+                matrix_seed=params.get("matrix_seed", 0),
+                session=self.session,
+                store=self.store,
+                deadline=deadline,
+            )
+        except (KeyError, ValueError) as error:
+            raise QueryError(str(error)) from None
+        return result
+
+    # -- answer cache ------------------------------------------------------
+
+    def cache_identity(self, request: Request) -> tuple | None:
+        """The store identity a request's answer lives under (None: uncached).
+
+        Computed without touching the engine, so the server can answer
+        a hot query straight off the store index.  Only whole-answer
+        ops cache; ``grid`` responses are a stream of per-cell records
+        (merged into the store, but keyed per cell, not per request).
+        """
+        params = request.params
+        try:
+            if request.op == "verdict":
+                topology = str(_require(params, "topology"))
+                scheme_name = str(_require(params, "scheme"))
+                explicit = params.get("failure_sets")
+                if explicit is not None:
+                    masks = failure_sets_from_json(explicit)
+                    destination = params.get("destination")
+                    label = _explicit_label(
+                        masks,
+                        node_from_json(destination) if destination is not None else None,
+                    )
+                else:
+                    label = _failure_model(params).label
+                return ("resilience", topology, scheme_name, label, "")
+            if request.op == "load":
+                topology = str(_require(params, "topology"))
+                scheme_name = str(_require(params, "scheme"))
+                matrix = params.get("matrix", "permutation")
+                destination = params.get("destination")
+                explicit = params.get("failure_sets")
+                if explicit is not None:
+                    label = _explicit_label(failure_sets_from_json(explicit), None)
+                else:
+                    label = _failure_model(params).label
+                # the record's params["matrix"] is the *resolved* name
+                # (all-to-one embeds its sink) — mirror that here
+                if matrix == "all-to-one":
+                    graph = self.graph(topology)
+                    sink = (
+                        node_from_json(destination)
+                        if destination is not None
+                        else sorted_nodes(graph.nodes)[-1]
+                    )
+                    matrix = f"all-to-one({sink})"
+                return ("load", topology, scheme_name, label, matrix)
+        except (QueryError, ValueError):
+            return None  # malformed params fail properly at compute time
+        return None
+
+    def cached_record(self, identity: tuple) -> ExperimentRecord | None:
+        if self.store is None:
+            return None
+        record = self.store.lookup(identity)
+        if record is None:
+            self.stats_counters["store_misses"] += 1
+            return None
+        self.stats_counters["store_hits"] += 1
+        telemetry = _obs.active()
+        if telemetry is not None:
+            telemetry.count(
+                "repro_serve_cache_hits_total",
+                help="answers served from the ResultStore without recomputation",
+                tier="store",
+            )
+        return record
+
+    def remember(self, record: ExperimentRecord) -> None:
+        if self.store is not None:
+            self.store.merge([record])
+
+    # -- request execution -------------------------------------------------
+
+    def result_from_record(self, op: str, record: ExperimentRecord) -> dict:
+        """The response ``result`` object for a record (fresh or cached).
+
+        One constructor for both paths, so a cache hit and a fresh
+        compute produce the same answer shape.
+        """
+        if op == "verdict":
+            return {
+                "verdict": {
+                    "resilient": record.metrics["resilient"],
+                    "scenarios_checked": record.metrics["scenarios_checked"],
+                    "exhaustive": record.metrics["exhaustive"],
+                    "counterexample": record.note or None,
+                },
+                "record": record.to_dict(),
+            }
+        if op == "load":
+            return {"reports": record.series, "record": record.to_dict()}
+        raise ValueError(f"no record-backed result for op {op!r}")
+
+    def execute(self, request: Request) -> dict:
+        """Answer one request (no cross-request batching): a response dict."""
+        return self.run_batch([request])[0]
+
+    def run_batch(self, requests: list[Request]) -> list[dict]:
+        """Answer a coalesced group of compute requests in one pass.
+
+        Load requests with explicit mask lists for the same (topology,
+        scheme, matrix) become ONE ``load_sweep`` over the union of
+        masks (reports are per-mask, independent of batch composition,
+        so slicing per request is exact); identical requests are
+        deduplicated; verdict groups share the warm pattern/mask-memo
+        path.  Per-request failures become per-request error envelopes
+        — one bad request never poisons its batch siblings.
+        """
+        telemetry = _obs.active()
+        if telemetry is not None and len(requests) > 1:
+            telemetry.count(
+                "repro_serve_batches_total", help="coalesced request batches executed"
+            )
+            telemetry.count(
+                "repro_serve_batched_requests_total",
+                len(requests),
+                help="requests answered via a coalesced batch",
+            )
+        if len(requests) > 1:
+            self.stats_counters["batches"] += 1
+            self.stats_counters["batched_requests"] += len(requests)
+        responses: dict[int, dict] = {}
+        #: canonical params -> response (identical queries compute once)
+        seen: dict[str, dict] = {}
+        union_load = self._union_load_plan(requests, responses)
+        for position, request in enumerate(requests):
+            if position in responses:
+                continue  # answered by the union plan
+            fingerprint = json.dumps(
+                {"op": request.op, "params": request.params, "b": request.budget_seconds},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            duplicate = seen.get(fingerprint)
+            if duplicate is not None:
+                responses[position] = dict(duplicate, id=request.id)
+                continue
+            # per-request tracing lives here, on the (single) compute
+            # thread, where the TraceWriter's span stack is sequential
+            with _obs.span("serve_request", op=request.op, request=request.id):
+                response = self._execute_one(request)
+            seen[fingerprint] = response
+            responses[position] = response
+        return [responses[position] for position in range(len(requests))]
+
+    def _union_load_plan(self, requests: list[Request], responses: dict[int, dict]) -> None:
+        """Answer same-workload explicit-mask load requests via ONE sweep."""
+        groups: dict[tuple, list[int]] = {}
+        for position, request in enumerate(requests):
+            if (
+                request.op == "load"
+                and request.budget_seconds is None
+                and isinstance(request.params.get("failure_sets"), list)
+            ):
+                key = tuple(
+                    json.dumps(request.params.get(name), sort_keys=True)
+                    for name in ("topology", "scheme", "matrix", "matrix_seed", "destination")
+                )
+                groups.setdefault(key, []).append(position)
+        for positions in groups.values():
+            if len(positions) < 2:
+                continue
+            try:
+                first = requests[positions[0]]
+                topology, spec, engine, demands, matrix_name, matrix_seed, _, _ = (
+                    self._load_workload(first.params)
+                )
+                per_request = [
+                    failure_sets_from_json(requests[p].params["failure_sets"])
+                    for p in positions
+                ]
+                union: list = []
+                seen_masks = set()
+                for sets in per_request:
+                    for failures in sets:
+                        if failures not in seen_masks:
+                            seen_masks.add(failures)
+                            union.append(failures)
+                start = time.perf_counter()
+                reports = engine.load_sweep(demands, union)
+                elapsed = time.perf_counter() - start
+                by_mask = dict(zip(union, reports))
+                for position, sets in zip(positions, per_request):
+                    request = requests[position]
+                    label = _explicit_label(sets, None)
+                    record, partial = self._load_record(
+                        topology, spec, matrix_name, matrix_seed, label, sets,
+                        [by_mask[failures] for failures in sets], elapsed,
+                    )
+                    self.remember(record)
+                    responses[position] = ok_response(
+                        request.id, self.result_from_record("load", record), partial=partial
+                    )
+            except Exception as error:  # noqa: BLE001 - fall back to per-request paths
+                for position in positions:
+                    responses.pop(position, None)
+
+    def _execute_one(self, request: Request) -> dict:
+        deadline = (
+            Deadline(request.budget_seconds) if request.budget_seconds is not None else None
+        )
+        try:
+            identity = self.cache_identity(request)
+            if identity is not None and deadline is None:
+                record = self.cached_record(identity)
+                if record is not None:
+                    return ok_response(
+                        request.id,
+                        self.result_from_record(request.op, record),
+                        cached=True,
+                    )
+            if request.op == "verdict":
+                record, partial = self.verdict(request.params, deadline)
+                if not partial:
+                    self.remember(record)
+                return ok_response(
+                    request.id, self.result_from_record("verdict", record), partial=partial
+                )
+            if request.op == "load":
+                record, partial = self.load(request.params, deadline)
+                if not partial:
+                    self.remember(record)
+                return ok_response(
+                    request.id, self.result_from_record("load", record), partial=partial
+                )
+            if request.op == "grid":
+                result = self.grid(request.params, deadline)
+                return ok_response(
+                    request.id,
+                    {
+                        "records": [record.to_dict() for record in result.records],
+                        "skipped": [list(entry) for entry in result.skipped],
+                        "exhaustive": bool(result.exhaustive),
+                    },
+                    partial=not result.exhaustive,
+                )
+            raise QueryError(f"op {request.op!r} is not a compute op")
+        except (QueryError, SchemeNotApplicable) as error:
+            return error_response(request.id, type(error).__name__, str(error))
+        except Exception as error:  # noqa: BLE001 - any compute bug becomes an error reply
+            return error_response(request.id, type(error).__name__, str(error))
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        counters = dict(self.stats_counters)
+        counters.update(
+            {
+                "uptime_seconds": time.monotonic() - self.started,
+                "backend": self.session.backend,
+                "session": dict(self.session.stats),
+                "graphs_cached": len(self._graphs),
+                "patterns_cached": len(self._patterns),
+                "masks_memoized": sum(
+                    len(entry.outcomes) for entry in self._patterns.values()
+                ),
+                "store_path": str(self.store.path) if self.store is not None else None,
+                "store_records": len(self.store.identities()) if self.store is not None else 0,
+            }
+        )
+        return counters
