@@ -10,7 +10,18 @@ Two workloads, both straight from the paper's experimental core:
   the tracked ``numpy_vs_engine_speedup`` must stay above 1;
 * **zoo** — the routing-bound component of the §VIII case study:
   exhaustively verifying Cor-5 ``TourToDestination`` patterns on the
-  small Topology Zoo instances that support them.
+  small Topology Zoo instances that support them;
+* **multiword** — a 256-link fat-tree(8) arborescence sweep, four
+  64-bit words past the old single-word mask ceiling: the multi-word
+  vectorized backend against the warm scalar engine on a bounded
+  failure-set family that stays resilient (so both backends sweep the
+  whole family instead of early-exiting).  Pattern construction is
+  backend-independent and excluded from the timing;
+* **parallel_grid** — a small ``run_grid`` executed serially and with
+  ``processes=2`` warm forked workers.  Byte-identity of the stitched
+  records (wall clock normalised out) is asserted on every machine;
+  the scaling ratio is only recorded where ``cpu_count > 1``, because
+  on a single core the fork fan-out pays overhead for no parallelism.
 
 Results are printed, written to ``benchmarks/results/`` like every other
 benchmark, and additionally dumped machine-readable to
@@ -32,8 +43,10 @@ from repro.core.resilience import check_pattern_resilience, check_perfect_resili
 from repro.experiments import (
     ExperimentRecord,
     ExperimentSession,
+    FailureModel,
     ResultStore,
     naive_session,
+    run_grid,
     scheme,
     topology,
 )
@@ -45,6 +58,8 @@ BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 GADGET_MIN_SPEEDUP = 3.0
 #: the vectorized backend must beat the scalar engine on the gadget
 NUMPY_MIN_SPEEDUP = 1.0
+#: multi-word masks must beat the warm scalar engine past 64 links
+MULTIWORD_MIN_SPEEDUP = 1.5
 #: telemetry-on must cost at most 3% over telemetry-off on the gadget
 TELEMETRY_MAX_OVERHEAD = 1.03
 #: how many eligible zoo topologies to verify (bounds naive runtime)
@@ -197,6 +212,117 @@ def bench_zoo(cap: int = ZOO_TOPOLOGY_CAP) -> dict:
     }
 
 
+def bench_multiword(samples: int = 400, rounds: int = 3) -> dict | None:
+    """Fat-tree(8) arborescence sweep: multi-word numpy vs warm scalar.
+
+    256 links means four 64-bit mask words — the workload the old
+    single-word backend had to hand back to the scalar engine.  The
+    failure-set family is bounded to ``max_failures=3`` so the pattern
+    stays resilient and *both* backends sweep every set (an early
+    counterexample would hand the scalar engine its early-exit win and
+    measure nothing about mask walks).  Arborescence pattern
+    construction dominates cold end-to-end time and is identical on
+    both backends, so it is built once up front and excluded.
+    """
+    from repro import obs
+    from repro.core.engine import mask_words
+    from repro.core.engine.vectorized import numpy_available
+    from repro.core.resilience import sampled_failure_sets
+    from repro.experiments.registry import resolve_topology
+
+    if not numpy_available():
+        return None
+    graph = resolve_topology("fattree(8)")
+    links = graph.number_of_edges()
+    assert links > 64, "the workload must live past the single-word ceiling"
+    destination = sorted(graph.nodes, key=repr)[0]
+    pattern = scheme("arborescence").instantiate().build(graph, destination)
+    failure_sets = list(sampled_failure_sets(graph, samples=samples, max_failures=3, seed=0))
+
+    scalar_session = ExperimentSession(backend="engine")
+    numpy_session = ExperimentSession(backend="numpy")
+    telemetry = obs.Telemetry()
+
+    def scalar_run():
+        return check_pattern_resilience(
+            graph, pattern, destination, failure_sets=failure_sets, session=scalar_session
+        )
+
+    def numpy_run():
+        with obs.installed(telemetry):
+            return check_pattern_resilience(
+                graph, pattern, destination, failure_sets=failure_sets, session=numpy_session
+            )
+
+    # warm both sessions' per-graph state so the timing isolates the sweep
+    scalar_run()
+    numpy_run()
+    scalar_seconds, scalar_verdict, numpy_seconds, numpy_verdict = _interleaved_best_pair(
+        rounds, scalar_run, numpy_run
+    )
+    assert scalar_verdict.resilient and numpy_verdict.resilient
+    assert scalar_verdict.exhaustive == numpy_verdict.exhaustive
+    assert scalar_verdict.scenarios_checked == numpy_verdict.scenarios_checked
+    # a fallback would mean the "numpy" timing silently ran scalar code
+    assert "repro_numpy_fallbacks_total" not in telemetry.registry.families()
+    assert telemetry.registry.value("repro_numpy_chunks_total") > 0
+    return {
+        "graph": "fattree(8)",
+        "links": links,
+        "mask_words": mask_words(links),
+        "failure_sets": len(failure_sets),
+        "scenarios": numpy_verdict.scenarios_checked,
+        "scalar_seconds": scalar_seconds,
+        "numpy_seconds": numpy_seconds,
+        "numpy_vs_scalar_speedup": scalar_seconds / numpy_seconds,
+    }
+
+
+def bench_parallel_grid(processes: int = 2) -> dict:
+    """Warm-worker ``run_grid`` fan-out vs the serial loop.
+
+    Byte-identity (records compared with ``runtime_seconds`` zeroed —
+    wall clock is the only legal diff) is asserted unconditionally.
+    The speedup ratio is only recorded on real multi-core hosts.
+    """
+    grid_kwargs = dict(
+        topologies=["ring(12)"],
+        schemes=["arborescence", "greedy"],
+        failure_models=[FailureModel(sizes=(0, 1, 2), samples=3, seed=0)],
+    )
+    start = time.perf_counter()
+    serial = run_grid(session=ExperimentSession(), **grid_kwargs)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_grid(
+        session=ExperimentSession(processes=processes), **grid_kwargs
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    def normalized(result):
+        dicts = []
+        for record in result.records:
+            data = record.to_dict()
+            data["runtime_seconds"] = 0.0  # wall clock is the only legal diff
+            dicts.append(data)
+        return dicts
+
+    byte_identical = normalized(serial) == normalized(parallel)
+    assert byte_identical, "parallel run_grid must stitch serial-identical records"
+    results = {
+        "grid": "ring(12) x [arborescence, greedy] x random(sizes=0/1/2,samples=3,seed=0)",
+        "cells": len(serial.records),
+        "processes": processes,
+        "cpu_count": os.cpu_count(),
+        "byte_identical": byte_identical,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+    }
+    if (os.cpu_count() or 1) > 1:
+        results["parallel_speedup"] = serial_seconds / parallel_seconds
+    return results
+
+
 def bench_store() -> ResultStore:
     """The shared cross-PR performance record (both benches merge here)."""
     return ResultStore(BENCH_JSON)
@@ -207,24 +333,39 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
 
     deadline = Deadline(deadline_seconds) if deadline_seconds is not None else None
     gadget = bench_gadget(n=8 if quick else 10)
+    # workloads are the deadline's units here: once the budget is spent,
+    # every remaining workload is skipped whole, never truncated
     partial = False
+    zoo = multiword = parallel_grid = None
     if deadline is not None and deadline.expired():
-        # workloads are the deadline's units here: the gadget ate the
-        # budget, so the zoo workload is skipped whole, never truncated
-        zoo = None
         partial = True
     else:
         zoo = bench_zoo(cap=2 if quick else ZOO_TOPOLOGY_CAP)
+    if not partial:
+        if deadline is not None and deadline.expired():
+            partial = True
+        else:
+            multiword = bench_multiword(
+                samples=120 if quick else 400, rounds=1 if quick else 3
+            )
+    if not partial:
+        if deadline is not None and deadline.expired():
+            partial = True
+        else:
+            parallel_grid = bench_parallel_grid()
     results = {
         "benchmark": "engine_speedup",
         "cpu_count": os.cpu_count(),
         "thresholds": {
             "gadget_min_speedup": GADGET_MIN_SPEEDUP,
             "numpy_min_speedup": NUMPY_MIN_SPEEDUP,
+            "multiword_min_speedup": MULTIWORD_MIN_SPEEDUP,
             "telemetry_max_overhead": TELEMETRY_MAX_OVERHEAD,
         },
         "gadget": gadget,
         "zoo": zoo,
+        "multiword": multiword,
+        "parallel_grid": parallel_grid,
     }
     if partial:
         results["partial"] = True
@@ -289,6 +430,54 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
                     )
                 ]
             )
+        if multiword is not None:
+            store.merge(
+                [
+                    ExperimentRecord(
+                        experiment="bench_multiword_masks",
+                        topology=multiword["graph"],
+                        scheme="arborescence",
+                        failure_model="random(max_failures=3,samples=400,seed=0)",
+                        metrics={
+                            "numpy_vs_scalar_speedup": multiword["numpy_vs_scalar_speedup"],
+                            "scalar_seconds": multiword["scalar_seconds"],
+                            "numpy_seconds": multiword["numpy_seconds"],
+                            "links": multiword["links"],
+                            "mask_words": multiword["mask_words"],
+                            "scenarios": multiword["scenarios"],
+                        },
+                        params={"backend": "numpy"},
+                        runtime_seconds=multiword["scalar_seconds"]
+                        + multiword["numpy_seconds"],
+                    )
+                ]
+            )
+        if parallel_grid is not None:
+            grid_metrics = {
+                "byte_identical": parallel_grid["byte_identical"],
+                "cells": parallel_grid["cells"],
+                "serial_seconds": parallel_grid["serial_seconds"],
+                "parallel_seconds": parallel_grid["parallel_seconds"],
+            }
+            if "parallel_speedup" in parallel_grid:
+                grid_metrics["parallel_speedup"] = parallel_grid["parallel_speedup"]
+            store.merge(
+                [
+                    ExperimentRecord(
+                        experiment="bench_parallel_grid",
+                        topology="ring(12)",
+                        scheme="arborescence+greedy",
+                        failure_model="random(sizes=0/1/2,samples=3,seed=0)",
+                        metrics=grid_metrics,
+                        params={
+                            "processes": parallel_grid["processes"],
+                            "cpu_count": parallel_grid["cpu_count"],
+                        },
+                        runtime_seconds=parallel_grid["serial_seconds"]
+                        + parallel_grid["parallel_seconds"],
+                    )
+                ]
+            )
     return results
 
 
@@ -319,6 +508,28 @@ def format_report(results: dict) -> str:
         f"{(gadget['telemetry_overhead'] - 1) * 100:+.1f}% vs telemetry-off "
         f"(bar: <= {(TELEMETRY_MAX_OVERHEAD - 1) * 100:.0f}%)\n"
     )
+    multiword = results.get("multiword")
+    if multiword is not None:
+        numpy_line += (
+            f"multi-word masks on {multiword['graph']} "
+            f"({multiword['links']} links, {multiword['mask_words']} words): "
+            f"scalar {multiword['scalar_seconds']:.2f} s, "
+            f"numpy {multiword['numpy_seconds']:.2f} s, "
+            f"{multiword['numpy_vs_scalar_speedup']:.1f}x "
+            f"(bar: >= {MULTIWORD_MIN_SPEEDUP:.1f}x)\n"
+        )
+    parallel_grid = results.get("parallel_grid")
+    if parallel_grid is not None:
+        scaling = (
+            f"{parallel_grid['parallel_speedup']:.2f}x over serial"
+            if "parallel_speedup" in parallel_grid
+            else f"scaling not recorded ({parallel_grid['cpu_count']} core)"
+        )
+        numpy_line += (
+            f"parallel run_grid ({parallel_grid['cells']} cells, "
+            f"processes={parallel_grid['processes']}): byte-identical to "
+            f"serial; {scaling}\n"
+        )
     return (
         "Engine speedup: naive simulator vs indexed+memoized engine\n"
         f"(gadget = exhaustive {gadget['links']}-link destination check; "
@@ -341,6 +552,12 @@ def test_engine_speedup(report):
         assert (
             results["gadget"]["numpy_vs_engine_speedup"] >= NUMPY_MIN_SPEEDUP
         ), results["gadget"]
+    if results.get("multiword") is not None:
+        assert (
+            results["multiword"]["numpy_vs_scalar_speedup"] >= MULTIWORD_MIN_SPEEDUP
+        ), results["multiword"]
+    if results.get("parallel_grid") is not None:
+        assert results["parallel_grid"]["byte_identical"], results["parallel_grid"]
 
 
 if __name__ == "__main__":

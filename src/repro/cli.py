@@ -277,15 +277,16 @@ def _cmd_traffic(args) -> int:
     return 0 if curves else 1
 
 
-def _build_session(backend: str | None):
-    """An :class:`ExperimentSession` for ``--backend``, or ``None`` after
-    printing the gating error (numpy requested but not installed)."""
+def _build_session(backend: str | None, processes: int = 1):
+    """An :class:`ExperimentSession` for ``--backend`` (and ``--processes``
+    where the command has one), or ``None`` after printing the gating
+    error (numpy requested but not installed)."""
     from .experiments import ExperimentSession, default_session
 
-    if backend is None or backend == "engine":
+    if (backend is None or backend == "engine") and processes <= 1:
         return default_session()
     try:
-        return ExperimentSession(backend=backend)
+        return ExperimentSession(backend=backend or "engine", processes=max(processes, 1))
     except (RuntimeError, ValueError) as error:
         print(f"cannot use backend {backend!r}: {error}", file=sys.stderr)
         return None
@@ -402,7 +403,7 @@ def _cmd_experiments(args) -> int:
         metrics = [token for token in metrics_spec.split(",") if token]
         matrix = args.matrix
         seed = args.seed
-    session = _build_session(args.backend)
+    session = _build_session(args.backend, args.processes)
     if session is None:
         return 2
     store = ResultStore(args.out) if args.out else None
@@ -504,7 +505,7 @@ def _cmd_experiments(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    session = _build_session(args.backend)
+    session = _build_session(args.backend, args.processes)
     if session is None:
         return 2
     from . import obs
@@ -761,6 +762,16 @@ def build_parser() -> argparse.ArgumentParser:
         "or the vectorized numpy mask walker (identical verdicts; "
         "numpy needs the optional dependency installed)",
     )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan grid cells out across N forked workers sharing the "
+        "parent's warm engine state (records are stitched in grid "
+        "order, identical to a serial run); fault injection forces "
+        "serial execution",
+    )
     p.add_argument("--out", default=None, help="merge records into this JSON result store")
     p.add_argument("--csv", default=None, help="also write the records as CSV")
     p.add_argument("--list", action="store_true", help="list registered schemes/topologies")
@@ -848,6 +859,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["engine", "naive", "numpy"],
         default="engine",
         help="session backend for the warm engine caches",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="default fan-out for grid sweeps the service runs (grid "
+        "requests inherit the session's processes)",
     )
     p.add_argument(
         "--trace",

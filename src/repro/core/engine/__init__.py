@@ -66,10 +66,12 @@ from .sweep import (
     parallel_map,
     sweep_pattern_resilience,
     sweep_resilience,
+    worker_warm,
 )
 from .vectorized import (
     MaskBatch,
     VectorizedUnsupported,
+    mask_words,
     numpy_available,
     require_numpy,
 )
@@ -85,6 +87,7 @@ __all__ = [
     "ScenarioGrid",
     "SweepResult",
     "VectorizedUnsupported",
+    "mask_words",
     "numpy_available",
     "parallel_map",
     "require_numpy",
@@ -92,4 +95,5 @@ __all__ = [
     "sweep_pattern_resilience",
     "sweep_resilience",
     "tour_indexed",
+    "worker_warm",
 ]

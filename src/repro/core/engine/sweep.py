@@ -206,8 +206,33 @@ class SweepResult:
 
 _FORK_PAYLOAD: Callable[[Any], Any] | None = None
 
+#: builds the per-worker warm value (run once per worker, post-fork)
+_FORK_INITIALIZER: Callable[[], Any] | None = None
+
+#: the warm value `_fork_init` built in THIS process (None in the parent)
+_WORKER_WARM: Any = None
+
 #: how often the receive loop wakes up to check worker health / timeout
 _POLL_SECONDS = 0.02
+
+
+def _fork_init() -> None:
+    """Per-worker warm-up, run once right after the fork.
+
+    Builds (or, with fork inheritance, simply adopts) the warm value the
+    caller's ``initializer`` returns — shared engine state, decision
+    tables — so every chunk the worker processes reuses it instead of
+    rebuilding per chunk."""
+    global _WORKER_WARM
+    builder = _FORK_INITIALIZER
+    _WORKER_WARM = builder() if builder is not None else None
+
+
+def worker_warm() -> Any:
+    """The warm value built by this worker's initializer (None when not
+    inside an initialized ``parallel_map`` worker — e.g. the serial
+    path or the final serial fallback pass, which run in the parent)."""
+    return _WORKER_WARM
 
 
 def _fork_call(task: tuple[int, Any, Any]) -> tuple[int, Any, Any]:
@@ -239,6 +264,7 @@ def parallel_map(
     timeout: float | None = None,
     retries: int = 2,
     backoff: float = 0.05,
+    initializer: Callable[[], Any] | None = None,
 ) -> list[Any]:
     """``[function(x) for x in items]`` with a crash-recovering fan-out.
 
@@ -253,6 +279,17 @@ def parallel_map(
     pass completes whatever is still missing, so a poisoned item can
     never lose its siblings' work.
 
+    ``initializer`` is the warm-worker seam: it runs once per worker
+    (right after the fork, never in the parent) and its return value is
+    available to ``function`` via :func:`worker_warm` — e.g. one shared
+    :class:`EngineState` per worker instead of one per chunk.  With the
+    fork start method the initializer typically just returns a value the
+    parent already built (closure capture), so workers adopt the
+    parent's warm caches as copy-on-write pages and pay zero rebuild
+    cost.  The serial path and the final serial fallback pass run in the
+    parent, where :func:`worker_warm` returns None — callers fall back
+    to their own (parent-side) warm state there.
+
     Pools are entered as context managers, so workers are terminated on
     every path — including KeyboardInterrupt and exceptions raised by
     ``function`` itself, which propagate exactly as in the serial loop
@@ -263,14 +300,16 @@ def parallel_map(
     items = list(items)
     if processes <= 1 or len(items) <= 1:
         return [function(item) for item in items]
-    global _FORK_PAYLOAD
+    global _FORK_PAYLOAD, _FORK_INITIALIZER
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return [function(item) for item in items]
     telemetry = _obs.active()
     previous = _FORK_PAYLOAD
+    previous_initializer = _FORK_INITIALIZER
     _FORK_PAYLOAD = function
+    _FORK_INITIALIZER = initializer
     results: dict[int, Any] = {}
     with _obs.span("parallel_map", items=len(items), processes=processes):
         try:
@@ -288,9 +327,14 @@ def parallel_map(
                         telemetry.point("parallel_retry", attempt=attempt, pending=len(pending))
                 tasks = [(i, items[i], _fault_fire("worker", i, attempt)) for i in pending]
                 try:
-                    pool = context.Pool(min(processes, len(pending)))
+                    pool = context.Pool(min(processes, len(pending)), initializer=_fork_init)
                 except OSError:  # pragma: no cover - fork failed (resource limits)
                     break
+                if initializer is not None and telemetry is not None:
+                    telemetry.count(
+                        "repro_parallel_warm_pools_total",
+                        help="parallel_map pools started with a warm-worker initializer",
+                    )
                 broken = False
                 try:
                     with pool:
@@ -349,6 +393,7 @@ def parallel_map(
                     break
         finally:
             _FORK_PAYLOAD = previous
+            _FORK_INITIALIZER = previous_initializer
         missing = [index for index in range(len(items)) if index not in results]
         if missing and telemetry is not None:
             telemetry.count(
@@ -439,6 +484,7 @@ def _sweep_pattern_resilience(
                     "repro_numpy_fallbacks_total",
                     help="vectorized attempts that fell back to the scalar engine",
                     site="pattern",
+                    reason=unsupported.reason,
                 )
             if unsupported.failure_sets is not None:
                 # a consumed one-shot iterator, reconstructed for us
@@ -545,8 +591,11 @@ def sweep_resilience(
     fans independent grid units (destinations / pair chunks) out across
     forked workers; the touring model has a single network-wide pattern
     and always runs serially.  ``state`` injects a prebuilt (usually
-    session-owned) :class:`EngineState` so serial sweeps reuse its
-    caches; forked workers always build their own per chunk.
+    session-owned) :class:`EngineState` so sweeps reuse its caches —
+    including forked workers, which adopt the parent-built warm state
+    (index maps, component caches, packed mask batches) across the fork
+    as copy-on-write pages via :func:`parallel_map`'s initializer seam
+    instead of re-indexing the graph per chunk.
     ``backend="numpy"`` routes every per-unit check through the
     vectorized mask walker (same verdicts; instances it cannot handle
     fall back to the scalar engine).
@@ -639,9 +688,11 @@ def _sweep_destination(
         )
 
     def check_chunk(chunk: Sequence[Node]) -> list[Any]:
-        # one shared state per worker chunk: the component cache
-        # amortizes across the chunk's destinations, like the serial path
-        state = EngineState(graph)
+        # warm shared state: forked workers adopt the parent-built state
+        # (copy-on-write pages via the initializer seam) instead of
+        # re-indexing the graph per chunk; the parent-side serial
+        # fallback pass uses the same state directly
+        state = worker_warm() or warm_state
         verdicts = []
         for destination in chunk:
             if deadline is not None and deadline.expired():
@@ -658,10 +709,13 @@ def _sweep_destination(
     total = 0
     exhaustive = True
     if processes > 1 and len(destinations) > 1:
+        warm_state = shared_state if shared_state is not None else EngineState(graph)
         workers = min(processes, len(destinations))
         size = (len(destinations) + workers - 1) // workers
         chunks = [destinations[i : i + size] for i in range(0, len(destinations), size)]
-        verdict_lists = parallel_map(check_chunk, chunks, processes)
+        verdict_lists = parallel_map(
+            check_chunk, chunks, processes, initializer=lambda: warm_state
+        )
         ordered: Iterable[tuple[Node, Any]] = (
             pair
             for chunk, verdicts in zip(chunks, verdict_lists)
@@ -720,8 +774,8 @@ def _sweep_source_destination(
     def check_chunk(
         chunk: Sequence[tuple[Node, Node]], state: EngineState | None = None
     ) -> list[Any]:
-        if state is None:  # parallel workers index their own copy
-            state = EngineState(graph)
+        if state is None:  # parallel workers adopt the fork-inherited warm state
+            state = worker_warm() or warm_state
         verdicts = []
         for source, destination in chunk:
             if deadline is not None and deadline.expired():
@@ -763,10 +817,13 @@ def _sweep_source_destination(
         return verdicts
 
     if processes > 1 and len(pairs) > 1:
+        warm_state = shared_state if shared_state is not None else EngineState(graph)
         workers = min(processes, len(pairs))
         size = (len(pairs) + workers - 1) // workers
         chunks = [pairs[i : i + size] for i in range(0, len(pairs), size)]
-        verdict_lists = parallel_map(check_chunk, chunks, processes)
+        verdict_lists = parallel_map(
+            check_chunk, chunks, processes, initializer=lambda: warm_state
+        )
         flattened = []
         for chunk, verdicts in zip(chunks, verdict_lists):
             flattened.extend(zip(chunk, verdicts))
@@ -827,6 +884,7 @@ def _sweep_touring(
                     "repro_numpy_fallbacks_total",
                     help="vectorized attempts that fell back to the scalar engine",
                     site="touring",
+                    reason=unsupported.reason,
                 )
             if unsupported.failure_sets is not None:
                 # a one-shot generator was consumed before the fallback:

@@ -5,8 +5,10 @@ failure mask)`` scenario at a time; exhaustive sweeps spend almost all
 their time re-running that loop 2^|E| times per destination.  This
 module batches **many failure masks at once** through numpy array ops:
 
-* a family of failure sets becomes one ``uint64`` mask array
-  (:class:`MaskBatch`, chunked so working sets stay bounded);
+* a family of failure sets becomes one multi-word ``uint64`` bitset
+  array of shape ``(k, ceil(m / 64))`` (:class:`MaskBatch`, chunked so
+  working sets stay bounded) — one word per 64 links, so fat-tree(8)+
+  and large zoo members vectorize instead of falling back;
 * forwarding decisions are flattened into a dense per-chunk table
   indexed by ``offset[state] + compact_local``, where ``compact_local``
   ranks the node's *observed* local failure masks
@@ -82,12 +84,28 @@ def require_numpy() -> None:
 
 
 def vectorizable(network: IndexedNetwork) -> bool:
-    """Can this network's failure sets pack into ``uint64`` masks?"""
-    return np is not None and network.m <= 64
+    """Can this network take the vectorized path at all?
+
+    Masks pack into multi-word bitset arrays (one ``uint64`` word per
+    64 links), so link count is no longer a ceiling — only a missing
+    numpy keeps an instance off the vectorized path up front.
+    """
+    return np is not None
+
+
+def mask_words(count: int) -> int:
+    """``uint64`` words needed for ``count`` bits (at least one)."""
+    return max(1, (count + 63) >> 6)
 
 
 class VectorizedUnsupported(Exception):
     """This instance cannot take the vectorized path.
+
+    ``reason`` is a short machine-readable label for *why* the sweep
+    dropped off the vectorized path — it feeds the ``reason`` label of
+    ``repro_numpy_fallbacks_total`` so ``repro stats`` can say exactly
+    which budget or gate fired (``table_budget``, ``seen_budget``,
+    ``unindexed_node``, ``pattern_error``, ...).
 
     Carries an equivalent failure-set list when the attempt already
     consumed a one-shot iterator (reconstructed from the packed batch
@@ -97,9 +115,14 @@ class VectorizedUnsupported(Exception):
     and stays bit-identical.
     """
 
-    def __init__(self, failure_sets: list[FailureSet] | None = None):
-        super().__init__("instance not vectorizable")
+    def __init__(
+        self,
+        failure_sets: list[FailureSet] | None = None,
+        reason: str = "unsupported",
+    ):
+        super().__init__(f"instance not vectorizable ({reason})")
         self.failure_sets = failure_sets
+        self.reason = reason
 
 
 # ---------------------------------------------------------------------------
@@ -107,16 +130,51 @@ class VectorizedUnsupported(Exception):
 # ---------------------------------------------------------------------------
 
 
+_WORD = 0xFFFFFFFFFFFFFFFF
+
+
+def _pack_words(values: list[int], words: int):
+    """Python-int bitmasks -> a ``(len(values), words)`` uint64 array."""
+    packed = np.empty((len(values), words), dtype=np.uint64)
+    if words == 1:
+        packed[:, 0] = np.array(values, dtype=np.uint64)
+        return packed
+    for j in range(words):
+        shift = 64 * j
+        packed[:, j] = [(value >> shift) & _WORD for value in values]
+    return packed
+
+
+def _combine_words(row) -> int:
+    """One multi-word uint64 row -> the python-int bitmask it packs."""
+    mask = 0
+    for j, word in enumerate(row):
+        mask |= int(word) << (64 * j)
+    return mask
+
+
 class _MaskChunk:
-    """One bounded slice of a mask batch plus its lazily-built matrices."""
+    """One bounded slice of a mask batch plus its lazily-built matrices.
+
+    ``masks`` is a ``(k, W)`` uint64 bitset array with ``W =
+    mask_words(network.m)`` — bit ``b`` of mask row ``r`` lives at
+    ``masks[r, b >> 6] >> (b & 63)``.
+    """
 
     def __init__(self, masks, positions):
-        self.masks = masks  # uint64 (k,)
+        self.masks = masks  # uint64 (k, W), one word per 64 link bits
         self.positions = positions  # int64 (k,), original enumeration order
         self._locals: tuple[list, object] | None = None
         self._labels = None
         self._alive: list | None = None
         self._dist: dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def mask_int(self, row: int) -> int:
+        """Mask row ``row`` as the python-int bitmask the scalar engine uses."""
+        return _combine_words(self.masks[row])
 
     def alive_columns(self, network: IndexedNetwork) -> list:
         """Per link bit: a bool column, True where the link survives
@@ -124,21 +182,32 @@ class _MaskChunk:
         if self._alive is None:
             one = np.uint64(1)
             self._alive = [
-                ((self.masks >> np.uint64(b)) & one) == 0 for b in range(network.m)
+                ((self.masks[:, b >> 6] >> np.uint64(b & 63)) & one) == 0
+                for b in range(network.m)
             ]
         return self._alive
 
     def locals_for(self, network: IndexedNetwork):
-        """Per node: observed local masks (sorted unique) and, as a
+        """Per node: observed local masks (unique python ints, in the
+        dedup order the decision table is laid out in) and, as a
         ``(k, n)`` matrix, each row's rank among them."""
         if self._locals is None:
+            words = self.masks.shape[1]
+            incident = _pack_words(
+                [network.incident_mask[v] for v in range(network.n)], words
+            )
             uniqs = []
-            compact = np.empty((len(self.masks), network.n), dtype=np.int64)
+            compact = np.empty((len(self.positions), network.n), dtype=np.int64)
             for v in range(network.n):
-                local = self.masks & np.uint64(network.incident_mask[v])
-                uniq, inverse = np.unique(local, return_inverse=True)
-                uniqs.append(uniq)
-                compact[:, v] = inverse
+                local = self.masks & incident[v][None, :]
+                if words == 1:
+                    uniq, inverse = np.unique(local[:, 0], return_inverse=True)
+                    uniq_ints = [int(u) for u in uniq]
+                else:
+                    uniq, inverse = np.unique(local, axis=0, return_inverse=True)
+                    uniq_ints = [_combine_words(urow) for urow in uniq]
+                uniqs.append(uniq_ints)
+                compact[:, v] = inverse.reshape(-1)
             self._locals = (uniqs, compact)
         return self._locals
 
@@ -150,7 +219,7 @@ class _MaskChunk:
         per mask, computed for the whole chunk at once.
         """
         if self._labels is None:
-            k = len(self.masks)
+            k = len(self.positions)
             labels = np.broadcast_to(
                 np.arange(network.n, dtype=np.int64), (k, network.n)
             ).copy()
@@ -179,7 +248,7 @@ class _MaskChunk:
         disconnected.  One level-synchronous BFS for the whole chunk."""
         dist = self._dist.get(destination)
         if dist is None:
-            k = len(self.masks)
+            k = len(self.positions)
             dist = np.full((k, network.n), -1, dtype=np.int64)
             dist[:, destination] = 0
             frontier = np.zeros((k, network.n), dtype=bool)
@@ -218,7 +287,7 @@ class MaskBatch:
     def _finish(self, masks: list[int], positions: list[int], total: int) -> "MaskBatch":
         self.total = total
         if masks:
-            mask_array = np.array(masks, dtype=np.uint64)
+            mask_array = _pack_words(masks, mask_words(self.network.m))
             position_array = np.array(positions, dtype=np.int64)
             for lo in range(0, len(masks), CHUNK_MASKS):
                 hi = lo + CHUNK_MASKS
@@ -379,7 +448,7 @@ class _DecisionTable:
             (len(network.neighbor_indices[v]) + 1) * len(uniqs[v]) for v in range(n)
         )
         if size > TABLE_BUDGET:
-            raise VectorizedUnsupported()
+            raise VectorizedUnsupported(reason="table_budget")
         offsets = np.zeros(self.state_space, dtype=np.int64)
         decisions = np.empty(size, dtype=np.int64)
         links = np.full(size, -1, dtype=np.int64) if with_links else None
@@ -389,7 +458,7 @@ class _DecisionTable:
         next_hop = memo.next_hop
         pos = 0
         for v in range(n):
-            uniq_ints = [int(u) for u in uniqs[v]]
+            uniq_ints = uniqs[v]  # already python ints (multi-word safe)
             inports = (-1,) + network.neighbor_indices[v]
             inport_bits = (0,) + network.neighbor_bits[v]
             for inport, bit in zip(inports, inport_bits):
@@ -423,31 +492,53 @@ def reconstruct_failure_sets(batch: MaskBatch) -> list[FailureSet]:
         sets[position] = failures
     network = batch.network
     for chunk in batch.chunks:
-        for mask, position in zip(chunk.masks, chunk.positions):
-            sets[int(position)] = network.failures_of(int(mask))
+        for row, position in enumerate(chunk.positions):
+            sets[int(position)] = network.failures_of(chunk.mask_int(row))
     return sets
 
 
-def _table_for(network, memo, chunk, recover_batch=None, with_links=False) -> _DecisionTable:
+def _recovered_unsupported(recover_batch, reason, state) -> VectorizedUnsupported:
+    """The fallback exception, with the one-shot family reconstructed
+    exactly once: the rebuilt list rides the exception *and* is
+    pre-seeded (with its packed batch) into the state's batch cache, so
+    the scalar retry neither re-consumes the iterator nor re-walks the
+    family through :meth:`MaskBatch.from_failure_sets`."""
+    if recover_batch is None:
+        return VectorizedUnsupported(reason=reason)
+    recovered = reconstruct_failure_sets(recover_batch)
+    if state is not None:
+        _bounded_insert(
+            _state_cache(state), ("sets", id(recovered)), (tuple(recovered), recover_batch)
+        )
+    return VectorizedUnsupported(recovered, reason=reason)
+
+
+def _table_for(
+    network, memo, chunk, recover_batch=None, with_links=False, state=None
+) -> _DecisionTable:
     """Build the chunk's table; pattern misbehavior on never-reached
     states must not change outcomes, so any error falls back scalar.
     ``recover_batch`` marks a batch built from a consumed one-shot
     iterator: its reconstructed family rides the exception so the
-    scalar fallback can re-walk it."""
+    scalar fallback can re-walk it.  When ``state`` is given the
+    reconstructed list is also seeded into the state's batch cache, so
+    a retry through :func:`batch_for` with that list is a cache hit
+    (served the already-packed batch) instead of a second full pack."""
     try:
         table = _DecisionTable(network, memo, chunk, with_links=with_links)
+    except VectorizedUnsupported as unsupported:
+        raise _recovered_unsupported(
+            recover_batch, unsupported.reason, state
+        ) from None
     except Exception:
-        recovered = (
-            reconstruct_failure_sets(recover_batch) if recover_batch is not None else None
-        )
-        raise VectorizedUnsupported(recovered) from None
+        raise _recovered_unsupported(recover_batch, "pattern_error", state) from None
     telemetry = _obs.active()
     if telemetry is not None:
         # one update per chunk — the only instrumentation granularity
         # the vectorized hot path ever pays for
         telemetry.count("repro_numpy_chunks_total", help="mask chunks walked")
         telemetry.count(
-            "repro_numpy_masks_total", len(chunk.masks), help="failure masks walked in chunks"
+            "repro_numpy_masks_total", len(chunk), help="failure masks walked in chunks"
         )
         telemetry.count(
             "repro_numpy_table_entries_total",
@@ -598,10 +689,10 @@ def pattern_sweep_numpy(
 
     network = state.network
     if not vectorizable(network):
-        raise VectorizedUnsupported()
+        raise VectorizedUnsupported(reason="numpy_missing")
     dest_idx = network.index.get(destination)
     if dest_idx is None:
-        raise VectorizedUnsupported()
+        raise VectorizedUnsupported(reason="unindexed_node")
 
     one_shot_batch = None
     if failure_sets is None:
@@ -652,7 +743,7 @@ def pattern_sweep_numpy(
         labels = chunk.labels_for(network)
         eligible = (labels == labels[:, dest_idx][:, None]) & src_ok[None, :]
         counts[chunk.positions] = eligible.sum(axis=1)
-        table = _table_for(network, memo, chunk, one_shot_batch)
+        table = _table_for(network, memo, chunk, one_shot_batch, state=state)
         delivered, rows, sources_idx = _walk_delivered(network, table, dest_idx, eligible)
         failed = ~delivered
         if failed.any():
@@ -665,7 +756,7 @@ def pattern_sweep_numpy(
                 src_idx, partial = _ordered_row_failure(
                     network, component_row, eligible[row], row_flags
                 )
-                fmask = int(chunk.masks[row])
+                fmask = chunk.mask_int(row)
                 failures = network.failures_of(fmask)
                 result = route_indexed(network, memo, src_idx, dest_idx, fmask)
                 counterexample = Counterexample(
@@ -699,22 +790,24 @@ def touring_sweep_numpy(
     Phase 1 advances every ``(start, mask)`` walk ``state_bound + 1``
     steps — any undropped walk is then provably inside its terminal
     cycle.  Phase 2 walks the cycle once more, accumulating the visited
-    nodes as an ``n``-bit mask, and coverage is one vectorized compare
-    against the component bitmask.  Needs ``n <= 64``.
+    nodes as a multi-word ``n``-bit bitset (one uint64 word per 64
+    nodes), and coverage is one vectorized compare against the
+    component bitset.
     """
     from ..resilience import Counterexample, Verdict
 
     network = state.network
-    if not vectorizable(network) or network.n > 64:
-        raise VectorizedUnsupported()
+    if not vectorizable(network):
+        raise VectorizedUnsupported(reason="numpy_missing")
     start_indices = []
     for start in starts:
         index = network.index.get(start)
         if index is None:
-            raise VectorizedUnsupported()  # naive per-start fallback: scalar path
+            # naive per-start fallback: scalar path
+            raise VectorizedUnsupported(reason="unindexed_node")
         start_indices.append(index)
     if not start_indices:
-        raise VectorizedUnsupported()
+        raise VectorizedUnsupported(reason="no_starts")
 
     one_shot_batch = None
     if failure_sets is None:
@@ -743,20 +836,34 @@ def touring_sweep_numpy(
                 break
 
     stride = network.n + 1
-    bits = np.left_shift(np.uint64(1), np.arange(network.n, dtype=np.uint64))
+    # visited-node bitsets: one uint64 word per 64 nodes, so touring
+    # vectorizes past 64 nodes exactly like masks do past 64 links
+    node_words = mask_words(network.n)
+    node_bits = np.zeros((network.n, node_words), dtype=np.uint64)
+    node_range = np.arange(network.n)
+    node_bits[node_range, node_range >> 6] = np.left_shift(
+        np.uint64(1), (node_range & 63).astype(np.uint64)
+    )
     starts_column = np.array(start_indices, dtype=np.int64)
     for chunk in batch.chunks:
         if best is not None and int(chunk.positions[0]) > best[0]:
             break
-        k = len(chunk.masks)
-        table = _table_for(network, memo, chunk, one_shot_batch)
+        k = len(chunk)
+        table = _table_for(network, memo, chunk, one_shot_batch, state=state)
         labels = chunk.labels_for(network)
-        # component bitmask and size per (mask row, start)
-        comp_bits = np.empty((k, n_starts), dtype=np.uint64)
+        # component bitset and size per (mask row, start)
+        comp_bits = np.empty((k, n_starts, node_words), dtype=np.uint64)
         comp_size = np.empty((k, n_starts), dtype=np.int64)
         for offset, start_idx in enumerate(start_indices):
             member = labels == labels[:, start_idx][:, None]
-            comp_bits[:, offset] = (member * bits[None, :]).sum(axis=1, dtype=np.uint64)
+            for j in range(node_words):
+                lo, hi = 64 * j, min(network.n, 64 * (j + 1))
+                segment = np.left_shift(
+                    np.uint64(1), np.arange(hi - lo, dtype=np.uint64)
+                )
+                comp_bits[:, offset, j] = (member[:, lo:hi] * segment[None, :]).sum(
+                    axis=1, dtype=np.uint64
+                )
             comp_size[:, offset] = member.sum(axis=1)
         walks = k * n_starts
         mrow = np.repeat(np.arange(k, dtype=np.int64), n_starts)
@@ -785,14 +892,14 @@ def touring_sweep_numpy(
             mrow = mrow[cont]
             walk = walk[cont]
         final_state[walk] = state_arr
-        # phase 2: lap the cycle once, accumulating visited-node bits
+        # phase 2: lap the cycle once, accumulating visited-node bitsets
         survivors = np.nonzero(~dropped)[0]
-        cycle_bits = np.zeros(walks, dtype=np.uint64)
+        cycle_bits = np.zeros((walks, node_words), dtype=np.uint64)
         if len(survivors):
             entry = final_state[survivors]
             cur_state = entry.copy()
             cur_node = cur_state // stride
-            acc = bits[cur_node]
+            acc = node_bits[cur_node]  # fancy index: a fresh (survivors, W) copy
             mrow2 = survivors // n_starts
             walk2 = np.arange(len(survivors))
             active_entry = entry
@@ -801,7 +908,7 @@ def touring_sweep_numpy(
                 previous = cur_node
                 cur_node = decision
                 cur_state = cur_node * stride + previous + 1
-                acc[walk2] = acc[walk2] | bits[cur_node]
+                acc[walk2] |= node_bits[cur_node]
                 open_walks = cur_state != active_entry
                 if not open_walks.any():
                     break
@@ -811,16 +918,16 @@ def touring_sweep_numpy(
                 walk2 = walk2[open_walks]
                 active_entry = active_entry[open_walks]
             cycle_bits[survivors] = acc
-        comp_bits_flat = comp_bits.reshape(-1)
+        comp_bits_flat = comp_bits.reshape(walks, node_words)
         covered = (comp_size.reshape(-1) <= 1) | (
-            ~dropped & ((cycle_bits & comp_bits_flat) == comp_bits_flat)
+            ~dropped & ((cycle_bits & comp_bits_flat) == comp_bits_flat).all(axis=1)
         )
         if not covered.all():
             first = int(np.argmax(~covered))
             row, offset = divmod(first, n_starts)
             position = int(chunk.positions[row])
             if best is None or position < best[0]:
-                best = (position, offset, network.failures_of(int(chunk.masks[row])))
+                best = (position, offset, network.failures_of(chunk.mask_int(row)))
             break
 
     if best is not None:
@@ -851,10 +958,10 @@ def _walk_traffic(network, table, chunk, destination, starts, volumes, loads, ou
     global ``(sets, links)`` counter; ``out``/``steps_out`` are
     ``(start, sets)`` outcome/step matrices, scatter-written here.
     """
-    k = len(chunk.masks)
+    k = len(chunk)
     n_starts = len(starts)
     if n_starts * k * table.state_space > SEEN_BUDGET:
-        raise VectorizedUnsupported()
+        raise VectorizedUnsupported(reason="seen_budget")
     stride = network.n + 1
     positions = chunk.positions
     walks = n_starts * k
@@ -930,7 +1037,7 @@ def traffic_load_sweep(engine, demands, failure_sets):
     state = engine.state
     network = state.network
     if not vectorizable(network):
-        raise VectorizedUnsupported()
+        raise VectorizedUnsupported(reason="numpy_missing")
     index = network.index
     engine._validate_demands(demands)
     failure_list = list(failure_sets)
@@ -949,13 +1056,13 @@ def traffic_load_sweep(engine, demands, failure_sets):
         out = np.zeros((len(starts), batch.total), dtype=np.int8)
         steps = np.zeros((len(starts), batch.total), dtype=np.int64)
         for chunk in batch.chunks:
-            table = _table_for(network, memo, chunk, with_links=True)
+            table = _table_for(network, memo, chunk, with_links=True, state=state)
             _walk_traffic(network, table, chunk, key[1], starts, volumes, loads, out, steps)
         results[key] = (out, steps, {start: rank for rank, start in enumerate(starts)})
 
     row_of = {}
     for chunk in batch.chunks:
-        for row in range(len(chunk.masks)):
+        for row in range(len(chunk)):
             row_of[int(chunk.positions[row])] = (chunk, row)
     fallback_positions = dict(batch.fallbacks)
     links = network.links
@@ -1011,11 +1118,11 @@ def delivered_flags(state, memo: MemoizedPattern, source: Node, destination: Nod
     """
     network = state.network
     if not vectorizable(network):
-        raise VectorizedUnsupported()
+        raise VectorizedUnsupported(reason="numpy_missing")
     src = network.index.get(source)
     dst = network.index.get(destination)
     if src is None or dst is None:
-        raise VectorizedUnsupported()
+        raise VectorizedUnsupported(reason="unindexed_node")
     batch = batch_for(state, failure_sets)
     flags = [False] * batch.total
     for position, failures in batch.fallbacks:
@@ -1029,8 +1136,8 @@ def delivered_flags(state, memo: MemoizedPattern, source: Node, destination: Nod
                 flags[int(position)] = True
         return flags
     for chunk in batch.chunks:
-        table = _table_for(network, memo, chunk)
-        eligible = np.zeros((len(chunk.masks), network.n), dtype=bool)
+        table = _table_for(network, memo, chunk, state=state)
+        eligible = np.zeros((len(chunk), network.n), dtype=bool)
         eligible[:, src] = True
         delivered, rows, _ = _walk_delivered(network, table, dst, eligible)
         for row, ok in zip(rows, delivered):

@@ -326,9 +326,19 @@ def check_r_tolerance(
                 nonlocal checked
                 try:
                     flags = delivered_flags(state, memo, source, destination, buffer)
-                except VectorizedUnsupported:
+                except VectorizedUnsupported as unsupported:
                     # rare late fallback (e.g. table budget): walk the
                     # already-filtered buffer scalar, no second filter
+                    from repro import obs as _obs
+
+                    telemetry = _obs.active()
+                    if telemetry is not None:
+                        telemetry.count(
+                            "repro_numpy_fallbacks_total",
+                            help="vectorized attempts that fell back to the scalar engine",
+                            site="tolerance",
+                            reason=unsupported.reason,
+                        )
                     flags = None
                 for position, failures in enumerate(buffer):
                     checked += 1

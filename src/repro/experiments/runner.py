@@ -31,13 +31,14 @@ import time
 import traceback
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import networkx as nx
 
 from repro import obs as _obs
 
 from ..runtime.deadline import Deadline
-from ..runtime.faults import GridKill, InjectedFault, fire
+from ..runtime.faults import GridKill, InjectedFault, active_plan, fire
 from ..runtime.journal import CellJournal
 from .registry import (
     SchemeSpec,
@@ -175,6 +176,7 @@ def run_grid(
     deadline: Deadline | None = None,
     resume: str | pathlib.Path | CellJournal | None = None,
     progress=None,
+    processes: int | None = None,
 ) -> GridResult:
     """Evaluate every (topology × scheme × failure model) cell.
 
@@ -203,6 +205,15 @@ def run_grid(
       ``total``, ``errors``, ``replayed``, ``elapsed`` seconds and an
       ``eta`` estimate (``None`` until the first cell lands).  It never
       touches records — purely an observer.
+    * ``processes`` (default: the session's) fans independent compute
+      cells out across forked workers that adopt the parent's warm
+      session state (engine indexes are pre-built per topology, so
+      workers inherit them as copy-on-write pages instead of
+      re-indexing).  Records, journal appends and counters are stitched
+      in grid order in the parent, so the output is identical to a
+      serial run apart from ``runtime_seconds`` wall-clock noise.  An
+      active fault-injection plan forces the serial path: per-cell
+      fault decisions belong to the driver process.
     """
     unknown = set(metrics) - set(METRICS)
     if unknown:
@@ -218,6 +229,25 @@ def run_grid(
     failure_models = list(failure_models) if failure_models is not None else [FailureModel()]
     resolved_schemes = _resolve_schemes(schemes)
     resolved_topologies = _resolve_topologies(topologies)
+    if processes is None:
+        processes = session.processes
+    if processes > 1 and active_plan() is None:
+        result = _parallel_grid(
+            session,
+            resolved_topologies,
+            resolved_schemes,
+            failure_models,
+            metrics,
+            matrix,
+            matrix_seed,
+            journal,
+            deadline,
+            processes,
+            progress,
+        )
+        if store is not None:
+            store.merge(result.records)
+        return result
     result = GridResult()
     needs_matrix = "congestion" in metrics or "stretch" in metrics
     cell_index = 0
@@ -386,6 +416,255 @@ def run_grid(
                     deadline.charge()
     if store is not None:
         store.merge(result.records)
+    return result
+
+
+def _parallel_grid(
+    session: ExperimentSession,
+    resolved_topologies: Sequence[tuple[str, nx.Graph]],
+    resolved_schemes: Sequence[SchemeSpec],
+    failure_models: Sequence[FailureModel],
+    metrics: Sequence[str],
+    matrix: str,
+    matrix_seed: int,
+    journal: CellJournal | None,
+    deadline: Deadline | None,
+    processes: int,
+    progress,
+) -> GridResult:
+    """Warm-worker execution of the grid: plan serially, fan compute
+    cells out across forked workers, stitch records in grid order.
+
+    The planning walk mirrors the serial loop exactly — applicability
+    skips and journal replays are resolved in the parent (they are
+    instant), and only compute cells are dispatched.  Workers adopt the
+    parent's warm session (engine states pre-built per topology) across
+    the fork as copy-on-write pages via ``parallel_map``'s initializer
+    seam, so no worker re-indexes a graph.  Records, journal appends,
+    telemetry counts and heartbeats all happen in the parent, in grid
+    order, so the record list is identical to a serial run's apart from
+    ``runtime_seconds`` wall-clock noise.  A deadline is checked at
+    worker cell entry (an unstarted cell returns ``None``) and charged
+    per stitched cell in the parent (``Budget`` units are driver-side);
+    the result is truncated at the first unfinished cell with
+    ``exhaustive=False`` — completed cells are always whole.
+    """
+    from ..core.engine.sweep import parallel_map, worker_warm
+
+    result = GridResult()
+    telemetry = _obs.active()
+    needs_matrix = "congestion" in metrics or "stretch" in metrics
+    # the ordered cell plan: ("records", [skip records]) for
+    # applicability skips, ("replay", [records]) for journaled cells,
+    # ("compute", task index) for real work
+    actions: list[tuple[str, Any]] = []
+    tasks: list[dict] = []
+    for topology_name, graph in resolved_topologies:
+        grids = {model: model.grid(graph) for model in failure_models}
+        demands = None
+        matrix_name = ""
+        if needs_matrix:
+            from ..traffic.matrices import build_named_matrix
+
+            demands, matrix_name = build_named_matrix(graph, matrix, seed=matrix_seed)
+        if session.use_engine:
+            # pre-warm: build the index maps before the fork so every
+            # worker inherits them instead of rebuilding per cell
+            session.state(graph)
+        for spec in resolved_schemes:
+            if not spec.applicable(graph):
+                reason = f"requires {spec.requires}"
+                result.skipped.append((topology_name, spec.name, reason))
+                if telemetry is not None:
+                    telemetry.count(
+                        "repro_grid_cells_total",
+                        len(failure_models),
+                        help="grid cells by status",
+                        status="skipped",
+                    )
+                actions.append(
+                    (
+                        "records",
+                        [
+                            ExperimentRecord(
+                                experiment="applicability",
+                                topology=topology_name,
+                                scheme=spec.name,
+                                failure_model=model.label,
+                                status="skipped",
+                                note=reason,
+                            )
+                            for model in failure_models
+                        ],
+                    )
+                )
+                continue
+            for index, model in enumerate(failure_models):
+                key = _cell_key(topology_name, spec.name, model, matrix, matrix_seed, metrics)
+                if journal is not None and key in journal:
+                    actions.append(
+                        (
+                            "replay",
+                            [ExperimentRecord.from_dict(entry) for entry in journal.payload(key)],
+                        )
+                    )
+                    continue
+                tasks.append(
+                    dict(
+                        key=key,
+                        topology_name=topology_name,
+                        graph=graph,
+                        spec=spec,
+                        algorithm=spec.instantiate(),
+                        model=model,
+                        grid=grids[model],
+                        demands=demands,
+                        matrix_name=matrix_name,
+                        include_static=index == 0,
+                    )
+                )
+                actions.append(("compute", len(tasks) - 1))
+
+    def compute_cell(task_index: int):
+        # items are plain indices: the task list (graphs, schemes,
+        # demand matrices) rides into the workers through this closure
+        # via fork inheritance, never through pickling
+        task = tasks[task_index]
+        if deadline is not None and deadline.expired():
+            return None  # unstarted cell: the parent truncates here
+        cell_session = worker_warm() or session
+        start = time.perf_counter()
+        with _obs.span(
+            "grid_cell",
+            topology=task["topology_name"],
+            scheme=task["spec"].name,
+            failure_model=task["model"].label,
+        ):
+            try:
+                cell_records = _run_cell(
+                    cell_session,
+                    task["topology_name"],
+                    task["graph"],
+                    task["spec"],
+                    task["algorithm"],
+                    task["model"],
+                    task["grid"],
+                    metrics,
+                    task["demands"],
+                    task["matrix_name"],
+                    include_static=task["include_static"],
+                )
+            except Exception as error:  # noqa: BLE001 - any cell bug becomes a record
+                cell_records = [
+                    ExperimentRecord(
+                        experiment="error",
+                        topology=task["topology_name"],
+                        scheme=task["spec"].name,
+                        failure_model=task["model"].label,
+                        status="error",
+                        note=f"{type(error).__name__}: {error}",
+                        params={
+                            "matrix": task["matrix_name"],
+                            "traceback": traceback.format_exc(),
+                        },
+                        runtime_seconds=time.perf_counter() - start,
+                    )
+                ]
+        return cell_records, time.perf_counter() - start
+
+    def _warm_session():
+        # runs in the worker, post-fork: inner sweeps must stay serial
+        # there (a daemonic pool worker cannot fork again), and one
+        # process per grid cell is the whole parallelism budget anyway.
+        # The attribute write lands on the worker's fork-local copy —
+        # the parent's session keeps its processes setting.
+        session.processes = 1
+        return session
+
+    outputs = (
+        parallel_map(compute_cell, list(range(len(tasks))), processes, initializer=_warm_session)
+        if tasks
+        else []
+    )
+
+    # stitch in grid order: records, journal appends, counters and
+    # heartbeats land exactly where the serial loop would put them
+    cell_index = 0
+    error_cells = 0
+    grid_start = time.perf_counter()
+    total_cells: int | None = None
+    if progress is not None:
+        total_cells = sum(
+            len(failure_models)
+            for _, graph in resolved_topologies
+            for spec in resolved_schemes
+            if spec.applicable(graph)
+        )
+
+    def _heartbeat() -> None:
+        elapsed = time.perf_counter() - grid_start
+        eta = None
+        if cell_index and total_cells is not None:
+            eta = elapsed / cell_index * max(total_cells - cell_index, 0)
+        progress(
+            {
+                "done": cell_index,
+                "total": total_cells,
+                "errors": error_cells,
+                "replayed": result.resumed_cells,
+                "elapsed": elapsed,
+                "eta": eta,
+            }
+        )
+
+    for position, (kind, payload) in enumerate(actions):
+        if kind == "records":
+            result.records.extend(payload)
+            continue
+        if kind == "replay":
+            result.records.extend(payload)
+            result.resumed_cells += 1
+            cell_index += 1
+            if telemetry is not None:
+                telemetry.count(
+                    "repro_grid_cells_total",
+                    help="grid cells by status",
+                    status="replayed",
+                )
+            if progress is not None:
+                _heartbeat()
+            continue
+        output = outputs[payload]
+        if output is None:
+            # the worker saw the deadline before starting this cell
+            result.exhaustive = False
+            break
+        cell_records, elapsed = output
+        cell_failed = any(record.status == "error" for record in cell_records)
+        if cell_failed:
+            error_cells += 1
+        if telemetry is not None:
+            telemetry.count(
+                "repro_grid_cells_total",
+                help="grid cells by status",
+                status="error" if cell_failed else "ok",
+            )
+            telemetry.observe(
+                "repro_grid_cell_seconds",
+                elapsed,
+                help="wall-clock seconds per computed grid cell",
+            )
+        if journal is not None:
+            journal.append(tasks[payload]["key"], [record.to_dict() for record in cell_records])
+        result.records.extend(cell_records)
+        cell_index += 1
+        if progress is not None:
+            _heartbeat()
+        if deadline is not None and not deadline.charge() and position + 1 < len(actions):
+            # budget/deadline spent with cells still unpublished — the
+            # serial loop would have stopped before them too
+            result.exhaustive = False
+            break
     return result
 
 

@@ -430,12 +430,13 @@ class TrafficEngine:
                             help="per-failure-set load reports produced",
                         )
                     return reports
-                except VectorizedUnsupported:
+                except VectorizedUnsupported as unsupported:
                     if telemetry is not None:
                         telemetry.count(
                             "repro_numpy_fallbacks_total",
                             help="vectorized attempts that fell back to the scalar engine",
                             site="traffic",
+                            reason=unsupported.reason,
                         )
             reports = []
             for failures in sets:

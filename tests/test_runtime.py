@@ -289,6 +289,37 @@ class TestParallelMap:
         with pytest.raises(ValueError, match="boom"):
             parallel_map(boom, list(range(5)), 3)
 
+    def test_initializer_warms_every_worker(self):
+        from repro.core.engine.sweep import worker_warm
+
+        marker = {"tag": "warm"}
+
+        def use_warm(x):
+            warm = worker_warm()
+            return (x, None if warm is None else warm["tag"])
+
+        out = parallel_map(use_warm, list(range(6)), 2, initializer=lambda: marker)
+        assert out == [(x, "warm") for x in range(6)]
+
+    def test_worker_warm_stays_none_in_the_parent(self):
+        from repro.core.engine.sweep import worker_warm
+
+        assert worker_warm() is None
+        parallel_map(lambda x: x, [1, 2, 3], 2, initializer=lambda: "warm")
+        assert worker_warm() is None  # the initializer only ran post-fork
+
+    def test_serial_path_skips_the_initializer(self):
+        from repro.core.engine.sweep import worker_warm
+
+        ran = []
+
+        def warm():
+            ran.append(1)
+            return "warm"
+
+        out = parallel_map(lambda x: worker_warm(), [7], 4, initializer=warm)
+        assert out == [None] and not ran  # single item: inline, no fork
+
 
 class TestSweepRecovery:
     """A worker crash mid-sweep never changes the verdict."""
@@ -432,6 +463,65 @@ class TestGridRecovery:
         result = run_grid(session=ExperimentSession(), deadline=Deadline(0.0), **GRID_KWARGS)
         assert result.records == []
         assert not result.exhaustive
+
+
+class TestParallelGrid:
+    """``run_grid(processes>1)``: warm-worker fan-out whose stitched
+    output is byte-identical to a serial run."""
+
+    def test_parallel_records_equal_serial(self, frozen_clock):
+        serial = run_grid(session=ExperimentSession(), **GRID_KWARGS)
+        par = run_grid(session=ExperimentSession(processes=2), **GRID_KWARGS)
+        assert [r.to_dict() for r in par.records] == [r.to_dict() for r in serial.records]
+        assert par.exhaustive and par.skipped == serial.skipped
+
+    def test_parallel_store_is_byte_identical(self, tmp_path, frozen_clock):
+        serial_store = ResultStore(tmp_path / "serial.json")
+        parallel_store = ResultStore(tmp_path / "parallel.json")
+        run_grid(session=ExperimentSession(), store=serial_store, **GRID_KWARGS)
+        run_grid(session=ExperimentSession(processes=2), store=parallel_store, **GRID_KWARGS)
+        assert serial_store.path.read_bytes() == parallel_store.path.read_bytes()
+
+    def test_fault_plan_forces_serial_execution(self):
+        # per-cell fault decisions are driver-side state; an installed
+        # plan must run the grid serially (and still fire)
+        plan = FaultPlan.parse("cell-error:at=0")
+        with plan.installed():
+            result = run_grid(session=ExperimentSession(processes=2), **GRID_KWARGS)
+        assert len(result.errors) == 1
+
+    def test_parallel_replays_a_serial_journal(self, tmp_path, frozen_clock):
+        journal_path = tmp_path / "journal.jsonl"
+        first = run_grid(session=ExperimentSession(), resume=journal_path, **GRID_KWARGS)
+        replay = run_grid(
+            session=ExperimentSession(processes=2), resume=journal_path, **GRID_KWARGS
+        )
+        assert replay.resumed_cells == 2
+        assert [r.to_dict() for r in replay.records] == [r.to_dict() for r in first.records]
+
+    def test_serial_replays_a_parallel_journal(self, tmp_path, frozen_clock):
+        journal_path = tmp_path / "journal.jsonl"
+        first = run_grid(
+            session=ExperimentSession(processes=2), resume=journal_path, **GRID_KWARGS
+        )
+        replay = run_grid(session=ExperimentSession(), resume=journal_path, **GRID_KWARGS)
+        assert replay.resumed_cells == 2
+        assert [r.to_dict() for r in replay.records] == [r.to_dict() for r in first.records]
+
+    def test_budget_truncates_the_stitched_grid(self):
+        result = run_grid(
+            session=ExperimentSession(processes=2), deadline=Budget(1), **GRID_KWARGS
+        )
+        assert not result.exhaustive
+        assert {record.scheme for record in result.records} == {"arborescence"}
+
+    def test_progress_heartbeat_fires_per_cell(self):
+        beats = []
+        run_grid(
+            session=ExperimentSession(processes=2), progress=beats.append, **GRID_KWARGS
+        )
+        assert len(beats) == 2
+        assert beats[-1]["done"] == 2 and beats[-1]["total"] == 2
 
 
 class TestLoadSweepDeadline:

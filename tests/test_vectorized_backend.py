@@ -80,10 +80,12 @@ class TestMaskBatch:
         graph = complete_graph(4)
         state = EngineState(graph)
         batch = MaskBatch.exhaustive(state.network)
-        masks = np.concatenate([chunk.masks for chunk in batch.chunks])
+        masks = [
+            chunk.mask_int(row) for chunk in batch.chunks for row in range(len(chunk))
+        ]
         expected = [state.network.mask_of(f) for f in all_failure_sets(graph)]
         assert batch.total == len(expected) == 2 ** graph.number_of_edges()
-        assert [int(m) for m in masks] == expected
+        assert masks == expected
 
     def test_non_canonical_sets_become_fallbacks(self):
         from repro.core.engine import EngineState
@@ -143,8 +145,8 @@ class TestMaskBatch:
         assert exhaustive
         chunk = batch.chunks[0]
         labels = chunk.labels_for(state.network)
-        for row in range(0, len(chunk.masks), 37):
-            expected = state.tracker.labels(int(chunk.masks[row]))
+        for row in range(0, len(chunk), 37):
+            expected = state.tracker.labels(chunk.mask_int(row))
             assert tuple(int(x) for x in labels[row]) == expected
 
 
@@ -164,15 +166,23 @@ class TestVectorizedPathIsTaken:
         )
         assert calls  # the numpy backend did not silently fall back
 
-    def test_wide_graph_falls_back_to_scalar_engine(self):
-        # > 64 links cannot pack into uint64 masks; verdicts must still
-        # equal the reference (via the scalar-engine fallback)
+    def test_wide_graph_takes_the_multiword_vectorized_path(self, monkeypatch):
+        # > 64 links spill into multi-word masks — no scalar fallback
+        calls = []
+        original = vectorized._walk_delivered
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(vectorized, "_walk_delivered", spy)
         graph = nx.gnp_random_graph(13, 0.9, seed=3)
         assert graph.number_of_edges() > 64
         destinations = sorted(graph.nodes)[:1]
         fast = check_perfect_resilience_destination(
             graph, GreedyLowestNeighbor(), destinations=destinations, session=numpy_session()
         )
+        assert calls  # the wide instance actually vectorized
         slow = check_perfect_resilience_destination(
             graph, GreedyLowestNeighbor(), destinations=destinations, session=naive_session()
         )
@@ -298,6 +308,168 @@ class TestTrafficLoadSweep:
         vec = TrafficEngine(graph, scheme("greedy").instantiate(), backend="numpy")
         with pytest.raises(ValueError, match="demand endpoint"):
             vec.load_sweep([Demand("ghost", 0, 1)], [frozenset()])
+
+
+class TestMaskWidthBoundaries:
+    """m = 63/64/65/128/129: every word-count boundary of the multi-word
+    packing, bit-identical to the scalar engine — verdicts,
+    counterexample order, and scenario counts all equal."""
+
+    @staticmethod
+    def boundary_sets(graph):
+        from repro.graphs.edges import edge, edge_sort_key
+
+        links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
+        sets = [frozenset()] + [frozenset({link}) for link in links]
+        half = len(links) // 2
+        sets += [frozenset({links[i], links[i + half]}) for i in range(10)]
+        return sets
+
+    @pytest.mark.parametrize("m", [63, 64, 65, 128, 129])
+    def test_destination_pattern_parity(self, m):
+        graph = cycle_graph(m)
+        assert graph.number_of_edges() == m
+        pattern = RandomCyclicDestinationOnly(seed=m).build(graph, 0)
+        sets = self.boundary_sets(graph)
+        fast = check_pattern_resilience(
+            graph, pattern, 0, failure_sets=sets, session=numpy_session()
+        )
+        slow = check_pattern_resilience(
+            graph, pattern, 0, failure_sets=sets, session=ExperimentSession(backend="engine")
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    @pytest.mark.parametrize("n", [65, 129])
+    def test_touring_parity_past_64_nodes(self, n):
+        # node bitsets also go multi-word: component coverage of the
+        # two-phase touring walk must survive the word boundary
+        graph = cycle_graph(n)
+        sets = self.boundary_sets(graph)[: n + 6]
+        fast = check_perfect_touring(
+            graph, RandomPortCycles(seed=n), failure_sets=sets, session=numpy_session()
+        )
+        slow = check_perfect_touring(
+            graph,
+            RandomPortCycles(seed=n),
+            failure_sets=sets,
+            session=ExperimentSession(backend="engine"),
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+
+class TestFatTreeMultiWord:
+    """fat-tree(8) (n=80, m=256): the ISSUE's flagship instance must ride
+    the vectorized path end to end — zero fallback increments."""
+
+    def test_resilience_zero_fallbacks_and_parity(self):
+        from repro import obs
+
+        graph = resolve_topology("fattree(8)")
+        assert graph.number_of_edges() == 256
+        destination = sorted(graph.nodes, key=repr)[0]
+        telemetry = obs.Telemetry()
+        with obs.installed(telemetry):
+            fast = check_perfect_resilience_destination(
+                graph,
+                GreedyLowestNeighbor(),
+                destinations=[destination],
+                session=numpy_session(),
+            )
+        assert "repro_numpy_fallbacks_total" not in telemetry.registry.families()
+        assert telemetry.registry.value("repro_numpy_chunks_total") > 0
+        slow = check_perfect_resilience_destination(
+            graph,
+            GreedyLowestNeighbor(),
+            destinations=[destination],
+            session=ExperimentSession(backend="engine"),
+        )
+        assert verdict_tuple(fast) == verdict_tuple(slow)
+
+    def test_load_sweep_parity_zero_fallbacks(self):
+        from repro import obs
+        from repro.traffic import sample_failure_grid
+
+        graph = resolve_topology("fattree(8)")
+        algorithm = scheme("greedy").instantiate()
+        grid = sample_failure_grid(graph, [0, 1, 2], 4, seed=0)
+        sets = [failures for size in sorted(grid) for failures in grid[size]]
+        demands = permutation(graph, seed=3)
+        scalar = TrafficEngine(graph, algorithm)
+        vec = TrafficEngine(graph, algorithm, backend="numpy")
+        telemetry = obs.Telemetry()
+        with obs.installed(telemetry):
+            batched = vec.load_sweep(demands, sets)
+        assert "repro_numpy_fallbacks_total" not in telemetry.registry.families()
+        for failures, report in zip(sets, batched):
+            assert report_tuple(report) == report_tuple(scalar.load(demands, failures))
+
+
+class TestFallbackAccounting:
+    def test_fallback_counter_carries_the_reason(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setattr(vectorized, "TABLE_BUDGET", 0)
+        graph = cycle_graph(5)
+        telemetry = obs.Telemetry()
+        with obs.installed(telemetry):
+            check_perfect_resilience_destination(
+                graph, GreedyLowestNeighbor(), destinations=[0], session=numpy_session()
+            )
+        assert (
+            telemetry.registry.value(
+                "repro_numpy_fallbacks_total", site="pattern", reason="table_budget"
+            )
+            == 1
+        )
+
+    def test_recovered_iterator_is_packed_exactly_once(self, monkeypatch):
+        # satellite: a consumed one-shot iterator is reconstructed once
+        # and its packed batch pre-seeded into the state cache, so a
+        # retry with the recovered list never re-walks batch packing
+        from repro.core.engine import EngineState
+
+        monkeypatch.setattr(vectorized, "TABLE_BUDGET", 0)
+        calls = []
+        original = MaskBatch.from_failure_sets.__func__
+
+        def spy(cls, network, failure_sets):
+            calls.append(1)
+            return original(cls, network, failure_sets)
+
+        monkeypatch.setattr(MaskBatch, "from_failure_sets", classmethod(spy))
+        graph = cycle_graph(5)
+        pattern = GreedyLowestNeighbor().build(graph, 0)
+        state = EngineState(graph)
+        family = list(all_failure_sets(graph, max_failures=2))
+        generator = (failures for failures in family)
+        with pytest.raises(VectorizedUnsupported) as info:
+            vectorized.pattern_sweep_numpy(state, pattern, 0, failure_sets=generator)
+        assert info.value.reason == "table_budget"
+        recovered = info.value.failure_sets
+        assert recovered == family
+        assert len(calls) == 1
+        with pytest.raises(VectorizedUnsupported):
+            vectorized.pattern_sweep_numpy(state, pattern, 0, failure_sets=recovered)
+        assert len(calls) == 1  # cache hit: no second pack
+
+    def test_r_tolerance_fallback_reason(self, monkeypatch):
+        from repro import obs
+        from repro.core.algorithms.naive import RandomCyclicPermutations
+        from repro.core.resilience import check_r_tolerance
+
+        monkeypatch.setattr(vectorized, "TABLE_BUDGET", 0)
+        graph = cycle_graph(5)
+        telemetry = obs.Telemetry()
+        with obs.installed(telemetry):
+            check_r_tolerance(
+                graph, RandomCyclicPermutations(seed=1), 0, 2, r=1, session=numpy_session()
+            )
+        assert (
+            telemetry.registry.value(
+                "repro_numpy_fallbacks_total", site="tolerance", reason="table_budget"
+            )
+            > 0
+        )
 
 
 class TestGridParity:
