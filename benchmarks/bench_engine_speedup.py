@@ -21,7 +21,12 @@ Two workloads, both straight from the paper's experimental core:
   ``processes=2`` warm forked workers.  Byte-identity of the stitched
   records (wall clock normalised out) is asserted on every machine;
   the scaling ratio is only recorded where ``cpu_count > 1``, because
-  on a single core the fork fan-out pays overhead for no parallelism.
+  on a single core the fork fan-out pays overhead for no parallelism;
+* **sampled** — ``repro.failures`` Monte-Carlo estimation vs exhaustive
+  enumeration of the same delivery probability (arborescence on
+  grid(3,3) under iid failures).  The 95% Wilson CI must bracket the
+  enumerated truth — the tracked speedup is only honest if the cheap
+  answer is also a correct one.
 
 Results are printed, written to ``benchmarks/results/`` like every other
 benchmark, and additionally dumped machine-readable to
@@ -62,6 +67,8 @@ NUMPY_MIN_SPEEDUP = 1.0
 MULTIWORD_MIN_SPEEDUP = 1.5
 #: telemetry-on must cost at most 3% over telemetry-off on the gadget
 TELEMETRY_MAX_OVERHEAD = 1.03
+#: Monte-Carlo estimation must beat exhaustive enumeration of the same truth
+SAMPLED_MIN_SPEEDUP = 2.0
 #: how many eligible zoo topologies to verify (bounds naive runtime)
 ZOO_TOPOLOGY_CAP = 4
 
@@ -323,6 +330,62 @@ def bench_parallel_grid(processes: int = 2) -> dict:
     return results
 
 
+def bench_sampled(samples: int = 400) -> dict:
+    """Sampled estimation vs exhaustive enumeration of the same truth.
+
+    The workload ``repro.failures`` exists for: arborescence routing on
+    grid(3,3) under iid link failures (p = 0.15) sits mid-range
+    (P[delivered] ~ 0.66), so the exact probability takes a full
+    2^12-subset weighted enumeration while the Monte-Carlo estimator
+    reaches a Wilson-bounded answer from ``samples`` draws.  Honesty is
+    part of the workload: the estimate's 95% CI must bracket the
+    enumerated truth, otherwise the speedup measures a wrong answer.
+    """
+    import itertools
+
+    from repro.experiments.registry import resolve_topology
+    from repro.failures import IIDModel, MaskEvaluator, estimate_resilience
+    from repro.failures.models import canonical_links
+
+    graph = resolve_topology("grid(3,3)")
+    algorithm = scheme("arborescence").instantiate()
+    model = IIDModel(p=0.15, samples=samples, seed=0)
+    links = canonical_links(graph)
+
+    evaluator = MaskEvaluator(graph, algorithm, session=ExperimentSession())
+    start = time.perf_counter()
+    truth = 0.0
+    for size in range(len(links) + 1):
+        weight = model.p**size * (1.0 - model.p) ** (len(links) - size)
+        for combo in itertools.combinations(links, size):
+            ok, _ = evaluator.delivered(frozenset(combo))
+            if ok:
+                truth += weight
+    exhaustive_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    estimate = estimate_resilience(graph, algorithm, model, session=ExperimentSession())
+    sampled_seconds = time.perf_counter() - start
+    assert estimate.exhaustive and estimate.samples == samples
+    assert (
+        estimate.ci_low <= truth <= estimate.ci_high
+    ), f"CI [{estimate.ci_low}, {estimate.ci_high}] misses enumerated truth {truth}"
+    return {
+        "graph": "grid(3,3)",
+        "model": model.label,
+        "subsets_enumerated": 2 ** len(links),
+        "samples": estimate.samples,
+        "truth": truth,
+        "estimate": estimate.estimate,
+        "ci_low": estimate.ci_low,
+        "ci_high": estimate.ci_high,
+        "ci_brackets_truth": True,
+        "exhaustive_seconds": exhaustive_seconds,
+        "sampled_seconds": sampled_seconds,
+        "speedup": exhaustive_seconds / sampled_seconds,
+    }
+
+
 def bench_store() -> ResultStore:
     """The shared cross-PR performance record (both benches merge here)."""
     return ResultStore(BENCH_JSON)
@@ -336,7 +399,7 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
     # workloads are the deadline's units here: once the budget is spent,
     # every remaining workload is skipped whole, never truncated
     partial = False
-    zoo = multiword = parallel_grid = None
+    zoo = multiword = parallel_grid = sampled = None
     if deadline is not None and deadline.expired():
         partial = True
     else:
@@ -353,6 +416,11 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
             partial = True
         else:
             parallel_grid = bench_parallel_grid()
+    if not partial:
+        if deadline is not None and deadline.expired():
+            partial = True
+        else:
+            sampled = bench_sampled(samples=120 if quick else 400)
     results = {
         "benchmark": "engine_speedup",
         "cpu_count": os.cpu_count(),
@@ -361,11 +429,13 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
             "numpy_min_speedup": NUMPY_MIN_SPEEDUP,
             "multiword_min_speedup": MULTIWORD_MIN_SPEEDUP,
             "telemetry_max_overhead": TELEMETRY_MAX_OVERHEAD,
+            "sampled_min_speedup": SAMPLED_MIN_SPEEDUP,
         },
         "gadget": gadget,
         "zoo": zoo,
         "multiword": multiword,
         "parallel_grid": parallel_grid,
+        "sampled": sampled,
     }
     if partial:
         results["partial"] = True
@@ -452,6 +522,30 @@ def run_benchmark(quick: bool = False, deadline_seconds: float | None = None) ->
                     )
                 ]
             )
+        if sampled is not None:
+            store.merge(
+                [
+                    ExperimentRecord(
+                        experiment="bench_sampled_estimate",
+                        topology=sampled["graph"],
+                        scheme="arborescence",
+                        failure_model=sampled["model"],
+                        metrics={
+                            "speedup": sampled["speedup"],
+                            "exhaustive_seconds": sampled["exhaustive_seconds"],
+                            "sampled_seconds": sampled["sampled_seconds"],
+                            "truth": sampled["truth"],
+                            "estimate": sampled["estimate"],
+                            "ci_low": sampled["ci_low"],
+                            "ci_high": sampled["ci_high"],
+                            "ci_brackets_truth": sampled["ci_brackets_truth"],
+                            "samples": sampled["samples"],
+                        },
+                        runtime_seconds=sampled["exhaustive_seconds"]
+                        + sampled["sampled_seconds"],
+                    )
+                ]
+            )
         if parallel_grid is not None:
             grid_metrics = {
                 "byte_identical": parallel_grid["byte_identical"],
@@ -518,6 +612,16 @@ def format_report(results: dict) -> str:
             f"{multiword['numpy_vs_scalar_speedup']:.1f}x "
             f"(bar: >= {MULTIWORD_MIN_SPEEDUP:.1f}x)\n"
         )
+    sampled = results.get("sampled")
+    if sampled is not None:
+        numpy_line += (
+            f"sampled estimate on {sampled['graph']} ({sampled['model']}): "
+            f"{sampled['estimate']:.3f} [{sampled['ci_low']:.3f}, "
+            f"{sampled['ci_high']:.3f}] brackets enumerated truth "
+            f"{sampled['truth']:.3f}; {sampled['sampled_seconds']:.3f} s vs "
+            f"{sampled['exhaustive_seconds']:.3f} s exhaustive, "
+            f"{sampled['speedup']:.1f}x (bar: >= {SAMPLED_MIN_SPEEDUP:.1f}x)\n"
+        )
     parallel_grid = results.get("parallel_grid")
     if parallel_grid is not None:
         scaling = (
@@ -558,6 +662,9 @@ def test_engine_speedup(report):
         ), results["multiword"]
     if results.get("parallel_grid") is not None:
         assert results["parallel_grid"]["byte_identical"], results["parallel_grid"]
+    if results.get("sampled") is not None:
+        assert results["sampled"]["ci_brackets_truth"], results["sampled"]
+        assert results["sampled"]["speedup"] >= SAMPLED_MIN_SPEEDUP, results["sampled"]
 
 
 if __name__ == "__main__":

@@ -200,11 +200,24 @@ def _cmd_traffic(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.failure_model:
+        from .failures import parse_failure_model, spec_grammar
+
+        try:
+            model = parse_failure_model(args.failure_model)
+        except ValueError as error:
+            print(f"invalid --failure-model: {error}", file=sys.stderr)
+            print(f"spec grammar: {spec_grammar()}", file=sys.stderr)
+            return 2
+    else:
+        model = None
     session = _build_session(args.backend)
     if session is None:
         return 2
     if args.algorithm == "all":
         try:
+            # a --failure-model pins the grid explicitly; otherwise the
+            # historical sizes/samples/seed sampler runs inside
             result = traffic.compare_congestion(
                 graph,
                 demands,
@@ -214,6 +227,7 @@ def _cmd_traffic(args) -> int:
                 graph_name=args.graph,
                 matrix_name=matrix_name,
                 session=session,
+                failure_grid=model.grid(graph) if model is not None else None,
             )
         except ValueError as error:  # bad sizes/samples for this topology
             print(f"cannot sweep: {error}", file=sys.stderr)
@@ -224,9 +238,12 @@ def _cmd_traffic(args) -> int:
     else:
         algorithm = scheme(args.algorithm).instantiate()
         try:
-            grid = traffic.sample_failure_grid(
-                graph, sizes or traffic.default_sizes(graph), args.samples, args.seed
-            )
+            if model is not None:
+                grid = model.grid(graph)
+            else:
+                grid = traffic.sample_failure_grid(
+                    graph, sizes or traffic.default_sizes(graph), args.samples, args.seed
+                )
         except ValueError as error:
             print(f"cannot sweep: {error}", file=sys.stderr)
             return 2
@@ -235,7 +252,7 @@ def _cmd_traffic(args) -> int:
             algorithm,
             demands,
             grid,
-            samples=args.samples,
+            samples=getattr(model, "samples", args.samples),
             graph_name=args.graph,
             matrix_name=matrix_name,
         )
@@ -360,9 +377,21 @@ def _cmd_experiments(args) -> int:
     metrics_spec = (
         "resilience,congestion,stretch,table_space" if dump_metrics else args.metrics
     )
+    if args.failure_model:
+        from .failures import parse_failure_model, spec_grammar
+
+        try:
+            spec_model = parse_failure_model(args.failure_model)
+        except ValueError as error:
+            print(f"invalid --failure-model: {error}", file=sys.stderr)
+            print(f"spec grammar: {spec_grammar()}", file=sys.stderr)
+            return 2
+    else:
+        spec_model = None
     if args.quick:
         # CI smoke: a tiny fixed 2-topology x 3-scheme grid, every
-        # metric, permutation matrix, seed 0 — nothing overridable
+        # metric, permutation matrix, seed 0 — only the failure model
+        # is overridable (so CI can smoke the sampled estimator path)
         from .experiments import METRICS
 
         overridden = [
@@ -385,7 +414,7 @@ def _cmd_experiments(args) -> int:
             )
         topologies = ["ring", "grid"]
         schemes = ["arborescence", "distance2", "greedy"]
-        model = FailureModel(sizes=(0, 1), samples=2, seed=0)
+        model = spec_model or FailureModel(sizes=(0, 1), samples=2, seed=0)
         metrics = list(METRICS)
         matrix = "permutation"
         seed = 0
@@ -399,7 +428,7 @@ def _cmd_experiments(args) -> int:
         except ValueError:
             print(f"invalid --sizes {args.sizes!r}", file=sys.stderr)
             return 2
-        model = FailureModel(sizes=sizes, samples=args.samples, seed=args.seed)
+        model = spec_model or FailureModel(sizes=sizes, samples=args.samples, seed=args.seed)
         metrics = [token for token in metrics_spec.split(",") if token]
         matrix = args.matrix
         seed = args.seed
@@ -569,6 +598,10 @@ def _cmd_query(args) -> int:
             params["failure_sets"] = _json_failure_sets(args.failures)
             if args.destination is not None and args.op == "verdict":
                 params["destination"] = _maybe_int(args.destination)
+        elif args.failure_model:
+            # the raw spec string travels; the service parses it with
+            # the same grammar the CLI uses (one error surface)
+            params["model"] = args.failure_model
         else:
             sizes = (
                 [int(token) for token in args.sizes.split(",")] if args.sizes else None
@@ -584,12 +617,13 @@ def _cmd_query(args) -> int:
         params = {
             "topologies": _split_names(args.topology),
             "schemes": _split_names(args.scheme) if args.scheme else None,
-            "sizes": sizes,
-            "samples": args.samples,
-            "seed": args.seed,
             "matrix": args.matrix,
             "matrix_seed": args.seed,
         }
+        if args.failure_model:
+            params["model"] = args.failure_model
+        else:
+            params.update({"sizes": sizes, "samples": args.samples, "seed": args.seed})
     client = QueryClient(
         host=args.host, port=args.port, timeout=args.timeout, retries=args.retries
     )
@@ -616,11 +650,20 @@ def _cmd_query(args) -> int:
     elif args.op == "verdict":
         verdict = result["verdict"]
         state = "resilient" if verdict["resilient"] else "NOT resilient"
-        print(
-            f"{args.scheme} on {args.topology}: {state} "
-            f"({verdict['scenarios_checked']} scenarios, "
-            f"exhaustive={verdict['exhaustive']}){flags}"
-        )
+        if verdict.get("sampled"):
+            print(
+                f"{args.scheme} on {args.topology}: {state} — "
+                f"estimate {verdict['estimate']:.4f} "
+                f"[{verdict['ci_low']:.4f}, {verdict['ci_high']:.4f}] 95% CI "
+                f"({verdict['samples']}/{verdict['planned_samples']} samples, "
+                f"exhaustive={verdict['exhaustive']}){flags}"
+            )
+        else:
+            print(
+                f"{args.scheme} on {args.topology}: {state} "
+                f"({verdict['scenarios_checked']} scenarios, "
+                f"exhaustive={verdict['exhaustive']}){flags}"
+            )
         if verdict["counterexample"]:
             print(f"  counterexample: {verdict['counterexample']}")
     elif args.op == "load":
@@ -715,6 +758,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=10, help="failure sets per size")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--failure-model",
+        default=None,
+        metavar="SPEC",
+        help="failure-model spec, e.g. 'iid:p=0.01,samples=500,seed=0' (families: random, exhaustive, iid, srlg, regional); overrides --sizes/--samples/--seed",
+    )
+    p.add_argument(
         "--backend",
         choices=["engine", "numpy"],
         default="engine",
@@ -754,6 +803,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default=None, help="failure-set sizes, e.g. 0,1,2,4")
     p.add_argument("--samples", type=int, default=5, help="failure sets per size")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--failure-model",
+        default=None,
+        metavar="SPEC",
+        help="failure-model spec, e.g. 'iid:p=0.01,samples=500,seed=0' "
+        "(families: random, exhaustive, iid, srlg, regional); sampled "
+        "models stream estimates with 95%% CI bounds; honored even "
+        "under --quick",
+    )
     p.add_argument(
         "--backend",
         choices=["engine", "naive", "numpy"],
@@ -911,6 +969,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default=None, help="failure-model sizes, e.g. 1,2")
     p.add_argument("--samples", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--failure-model",
+        default=None,
+        metavar="SPEC",
+        help="failure-model spec, e.g. 'iid:p=0.01,samples=500,seed=0' (families: random, exhaustive, iid, srlg, regional); overrides --sizes/--samples/--seed",
+    )
     p.add_argument("--matrix", default="permutation")
     p.add_argument("--json", action="store_true", help="print the raw reply envelope")
     p.set_defaults(func=_cmd_query)

@@ -9,14 +9,19 @@ and hand-threaded ``EngineState``), grids run through
 :class:`~repro.experiments.results.ExperimentRecord` rows that merge
 into a :class:`~repro.experiments.results.ResultStore`.
 
+Failure models live in :mod:`repro.failures`; ``failure_models``
+accepts model instances or spec strings, and the historical
+``FailureModel`` name is an alias of
+:class:`repro.failures.RandomGridModel` (identical labels and grids).
+
 Quickstart::
 
-    from repro.experiments import FailureModel, run_grid, ResultStore
+    from repro.experiments import run_grid, ResultStore
 
     result = run_grid(
         topologies=["ring", "fattree"],
         schemes=["arborescence", "distance2", "greedy"],
-        failure_models=[FailureModel(sizes=(0, 1, 2), samples=5, seed=0)],
+        failure_models=["random:sizes=0/1/2,samples=5,seed=0"],
         store=ResultStore("results.json"),
     )
     print(result.table())

@@ -332,6 +332,16 @@ def records_table(records: list[ExperimentRecord]) -> str:
     for record in records:
         if record.status != "ok":
             summary = f"{record.status}: {record.note}" if record.note else record.status
+        elif "estimate" in record.metrics:
+            # a sampled-model record: point estimate, CI, sample count
+            metrics = record.metrics
+            summary = (
+                f"estimate={metrics['estimate']:.3f} "
+                f"[{metrics['ci_low']:.3f}, {metrics['ci_high']:.3f}] "
+                f"n={metrics['samples']}/{metrics['planned_samples']}"
+            )
+            if not metrics.get("exhaustive", True):
+                summary += " (cut)"
         else:
             shown = list(record.metrics.items())[:3]
             summary = "  ".join(

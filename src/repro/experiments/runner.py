@@ -37,6 +37,8 @@ import networkx as nx
 
 from repro import obs as _obs
 
+from ..failures import RandomGridModel, parse_failure_model
+from ..failures.models import FailureModel as BaseFailureModel
 from ..runtime.deadline import Deadline
 from ..runtime.faults import GridKill, InjectedFault, active_plan, fire
 from ..runtime.journal import CellJournal
@@ -52,30 +54,10 @@ from .session import ExperimentSession, resolve_session
 
 METRICS = ("resilience", "congestion", "stretch", "table_space")
 
-
-@dataclass(frozen=True)
-class FailureModel:
-    """A seeded random failure grid: ``samples`` link sets per size.
-
-    ``sizes=None`` uses each topology's default ladder (0, 1, 2, 4, ...
-    up to half the links).  The grid is deterministic in ``seed`` and
-    shared across every scheme of the same ``run_grid`` call.
-    """
-
-    sizes: tuple[int, ...] | None = None
-    samples: int = 10
-    seed: int = 0
-
-    @property
-    def label(self) -> str:
-        sizes = "auto" if self.sizes is None else "/".join(map(str, self.sizes))
-        return f"random(sizes={sizes},samples={self.samples},seed={self.seed})"
-
-    def grid(self, graph: nx.Graph) -> dict[int, list[frozenset]]:
-        from ..traffic.congestion import default_sizes, sample_failure_grid
-
-        sizes = list(self.sizes) if self.sizes is not None else default_sizes(graph)
-        return sample_failure_grid(graph, sizes, self.samples, self.seed)
+#: backwards-compat alias: the historical ``repro.experiments.FailureModel``
+#: (a seeded random failure grid) is :class:`repro.failures.RandomGridModel`
+#: now — identical fields, labels and grids, pinned by differential tests
+FailureModel = RandomGridModel
 
 
 @dataclass
@@ -137,12 +119,25 @@ def _resolve_schemes(schemes: Iterable | None) -> list[SchemeSpec]:
     return resolved
 
 
+def _resolve_failure_models(models: Sequence | None) -> list[BaseFailureModel]:
+    """Models, spec strings, or ``None`` (the default random grid)."""
+    if models is None:
+        return [RandomGridModel()]
+    resolved: list[BaseFailureModel] = []
+    for item in models:
+        if isinstance(item, str):
+            resolved.append(parse_failure_model(item))
+        elif isinstance(item, BaseFailureModel):
+            resolved.append(item)
+        else:
+            raise TypeError(f"not a failure model or spec string: {item!r}")
+    return resolved
 
 
 def _cell_key(
     topology_name: str,
     scheme_name: str,
-    model: FailureModel,
+    model: BaseFailureModel,
     matrix: str,
     matrix_seed: int,
     metrics: Sequence[str],
@@ -167,7 +162,7 @@ def _cell_key(
 def run_grid(
     topologies: Iterable,
     schemes: Iterable | None = None,
-    failure_models: Sequence[FailureModel] | None = None,
+    failure_models: Sequence | None = None,
     metrics: Sequence[str] = METRICS,
     matrix: str = "permutation",
     matrix_seed: int = 0,
@@ -183,7 +178,14 @@ def run_grid(
     ``topologies`` and ``schemes`` are registry names (topologies also
     accept ``"name(args)"`` size notation, prebuilt graphs, or specs);
     ``schemes=None`` runs every registered scheme, skipping those whose
-    applicability predicate rejects a topology.  Pass ``store`` to merge
+    applicability predicate rejects a topology.  ``failure_models``
+    accepts :class:`repro.failures.FailureModel` instances or spec
+    strings (``"iid:p=0.01,samples=500,seed=0"`` — see
+    :func:`repro.failures.parse_failure_model`); grid models sweep their
+    deterministic grids exactly as before, while sampled models stream
+    through :mod:`repro.failures.estimate` and emit estimate/CI records
+    (one deadline/budget unit charged per sample, on top of the one
+    charged per cell).  Pass ``store`` to merge
     the records into a persistent :class:`ResultStore` on the way out.
 
     Robustness seams:
@@ -226,7 +228,7 @@ def run_grid(
         journal = resume
     else:
         journal = CellJournal(resume)
-    failure_models = list(failure_models) if failure_models is not None else [FailureModel()]
+    failure_models = _resolve_failure_models(failure_models)
     resolved_schemes = _resolve_schemes(schemes)
     resolved_topologies = _resolve_topologies(topologies)
     if processes is None:
@@ -287,8 +289,11 @@ def run_grid(
             break
         # one seeded grid per (topology, failure model) and one demand
         # matrix per topology, shared by every scheme — identical
-        # scenarios across competitors, no per-cell rebuilds
-        grids = {model: model.grid(graph) for model in failure_models}
+        # scenarios across competitors, no per-cell rebuilds.  Sampled
+        # models have no grid: their cells stream via the estimator.
+        grids = {
+            model: None if model.sampled else model.grid(graph) for model in failure_models
+        }
         demands = None
         matrix_name = ""
         if needs_matrix:
@@ -371,6 +376,7 @@ def run_grid(
                             demands,
                             matrix_name,
                             include_static=index == 0,
+                            deadline=deadline,
                         )
                     except Exception as error:  # noqa: BLE001 - any cell bug becomes a record
                         cell_records = [
@@ -423,7 +429,7 @@ def _parallel_grid(
     session: ExperimentSession,
     resolved_topologies: Sequence[tuple[str, nx.Graph]],
     resolved_schemes: Sequence[SchemeSpec],
-    failure_models: Sequence[FailureModel],
+    failure_models: Sequence[BaseFailureModel],
     metrics: Sequence[str],
     matrix: str,
     matrix_seed: int,
@@ -460,7 +466,9 @@ def _parallel_grid(
     actions: list[tuple[str, Any]] = []
     tasks: list[dict] = []
     for topology_name, graph in resolved_topologies:
-        grids = {model: model.grid(graph) for model in failure_models}
+        grids = {
+            model: None if model.sampled else model.grid(graph) for model in failure_models
+        }
         demands = None
         matrix_name = ""
         if needs_matrix:
@@ -553,6 +561,10 @@ def _parallel_grid(
                     task["demands"],
                     task["matrix_name"],
                     include_static=task["include_static"],
+                    # wall-clock deadlines are fork-consistent; Budget
+                    # units charged by a worker's sampler stay in the
+                    # worker (unit budgets bound driver-side loops)
+                    deadline=deadline,
                 )
             except Exception as error:  # noqa: BLE001 - any cell bug becomes a record
                 cell_records = [
@@ -674,17 +686,23 @@ def _run_cell(
     graph: nx.Graph,
     spec: SchemeSpec,
     algorithm,
-    model: FailureModel,
-    grid: dict,
+    model: BaseFailureModel,
+    grid: dict | None,
     metrics: Sequence[str],
     demands,
     matrix_name: str,
     include_static: bool = True,
+    deadline: Deadline | None = None,
 ) -> list[ExperimentRecord]:
     records: list[ExperimentRecord] = []
     base = dict(topology=topology_name, scheme=spec.name, failure_model=model.label)
 
-    if "resilience" in metrics:
+    if model.sampled:
+        _sampled_cell(
+            records, session, graph, spec, algorithm, model, metrics,
+            demands, matrix_name, base, deadline,
+        )
+    if "resilience" in metrics and not model.sampled:
         start = time.perf_counter()
         verdict = _check_resilience(session, graph, algorithm, grid)
         records.append(
@@ -702,7 +720,7 @@ def _run_cell(
             )
         )
 
-    needs_curve = "congestion" in metrics or "stretch" in metrics
+    needs_curve = ("congestion" in metrics or "stretch" in metrics) and not model.sampled
     if needs_curve:
         start = time.perf_counter()
         curve, error = _congestion_curve(
@@ -748,7 +766,7 @@ def _run_cell(
                             "delivered_fraction_at_max_failures": last.delivered_fraction,
                         },
                         series=series,
-                        params={"matrix": curve.matrix, "samples": model.samples},
+                        params={"matrix": curve.matrix, "samples": getattr(model, "samples", 0)},
                         runtime_seconds=elapsed,
                         **base,
                     )
@@ -803,6 +821,92 @@ def _run_cell(
     return records
 
 
+def _sampled_cell(
+    records: list[ExperimentRecord],
+    session: ExperimentSession,
+    graph: nx.Graph,
+    spec: SchemeSpec,
+    algorithm,
+    model: BaseFailureModel,
+    metrics: Sequence[str],
+    demands,
+    matrix_name: str,
+    base: dict,
+    deadline: Deadline | None,
+) -> None:
+    """The estimator path for sampled failure models.
+
+    Same record identities as the grid path (``resilience`` /
+    ``congestion`` / ``stretch`` under the model's label), but the
+    metrics carry point estimates with Wilson CI bounds and the series
+    holds running refinement checkpoints.  A deadline/budget cut leaves
+    ``exhaustive=False`` on whatever samples completed.
+    """
+    from ..failures.estimate import estimate_congestion, estimate_resilience
+
+    if "resilience" in metrics:
+        start = time.perf_counter()
+        estimate = estimate_resilience(
+            graph, algorithm, model, session=session, deadline=deadline
+        )
+        records.append(
+            ExperimentRecord(
+                experiment="resilience",
+                metrics=estimate.metrics(),
+                series=list(estimate.series),
+                params={"model": spec.arity},
+                runtime_seconds=time.perf_counter() - start,
+                note=estimate.note,
+                **base,
+            )
+        )
+    if "congestion" in metrics or "stretch" in metrics:
+        start = time.perf_counter()
+        estimate, error = estimate_congestion(
+            graph, algorithm, demands, model, session=session, deadline=deadline
+        )
+        elapsed = time.perf_counter() - start
+        if estimate is None:
+            for experiment in ("congestion", "stretch"):
+                if experiment in metrics:
+                    records.append(
+                        ExperimentRecord(
+                            experiment=experiment,
+                            status="skipped",
+                            note=error or "pattern construction failed",
+                            params={"matrix": matrix_name},
+                            runtime_seconds=elapsed,
+                            **base,
+                        )
+                    )
+            return
+        if "congestion" in metrics:
+            records.append(
+                ExperimentRecord(
+                    experiment="congestion",
+                    metrics=estimate.metrics(),
+                    series=list(estimate.series),
+                    params={"matrix": matrix_name, "samples": model.samples},
+                    runtime_seconds=elapsed,
+                    **base,
+                )
+            )
+        if "stretch" in metrics:
+            records.append(
+                ExperimentRecord(
+                    experiment="stretch",
+                    metrics=estimate.stretch_metrics(),
+                    series=[
+                        {"samples": point["samples"], "mean_stretch": point["mean_stretch"]}
+                        for point in estimate.series
+                    ],
+                    params={"matrix": matrix_name},
+                    runtime_seconds=0.0 if "congestion" in metrics else elapsed,
+                    **base,
+                )
+            )
+
+
 def _check_resilience(session: ExperimentSession, graph: nx.Graph, algorithm, grid):
     """Grid-scenario resilience for one scheme, per routing model."""
     from ..core.model import (
@@ -835,7 +939,7 @@ def _congestion_curve(
     graph: nx.Graph,
     algorithm,
     grid,
-    model: FailureModel,
+    model: BaseFailureModel,
     topology_name: str,
     demands,
     matrix_name: str,
@@ -864,7 +968,7 @@ def _congestion_curve(
             algorithm=algorithm.name,
             graph=topology_name,
             matrix=matrix_name,
-            samples_per_size=model.samples,
+            samples_per_size=getattr(model, "samples", 0),
         )
         for size in sorted(grid):
             reports = [per_packet_loads(graph, algorithm, demands, f) for f in grid[size]]
@@ -877,7 +981,7 @@ def _congestion_curve(
         algorithm,
         demands,
         grid,
-        samples=model.samples,
+        samples=getattr(model, "samples", 0),
         graph_name=topology_name,
         matrix_name=matrix_name,
     )

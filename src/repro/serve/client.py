@@ -191,6 +191,7 @@ class QueryClient:
         sizes: list | None = None,
         samples: int = 10,
         seed: int = 0,
+        model: str | None = None,
         budget_seconds: float | None = None,
     ) -> dict:
         params: dict = {"topology": topology, "scheme": scheme}
@@ -198,6 +199,8 @@ class QueryClient:
             params["failure_sets"] = failure_sets
             if destination is not None:
                 params["destination"] = destination
+        elif model is not None:
+            params["model"] = model
         else:
             params.update({"sizes": sizes, "samples": samples, "seed": seed})
         return self.request("verdict", params, budget_seconds=budget_seconds)
@@ -212,6 +215,7 @@ class QueryClient:
         sizes: list | None = None,
         samples: int = 10,
         seed: int = 0,
+        model: str | None = None,
         budget_seconds: float | None = None,
     ) -> dict:
         params: dict = {
@@ -222,6 +226,8 @@ class QueryClient:
         }
         if failure_sets is not None:
             params["failure_sets"] = failure_sets
+        elif model is not None:
+            params["model"] = model
         else:
             params.update({"sizes": sizes, "samples": samples, "seed": seed})
         return self.request("load", params, budget_seconds=budget_seconds)
@@ -234,6 +240,7 @@ class QueryClient:
         sizes: list | None = None,
         samples: int = 10,
         seed: int = 0,
+        model: str | None = None,
         matrix: str = "permutation",
         matrix_seed: int = 0,
         budget_seconds: float | None = None,
@@ -241,12 +248,13 @@ class QueryClient:
         params: dict = {
             "topologies": topologies,
             "schemes": schemes,
-            "sizes": sizes,
-            "samples": samples,
-            "seed": seed,
             "matrix": matrix,
             "matrix_seed": matrix_seed,
         }
+        if model is not None:
+            params["model"] = model
+        else:
+            params.update({"sizes": sizes, "samples": samples, "seed": seed})
         if metrics is not None:
             params["metrics"] = metrics
         return self.request("grid", params, budget_seconds=budget_seconds)

@@ -50,8 +50,10 @@ from ..core.model import DestinationAlgorithm
 from ..core.resilience import EXHAUSTIVE_LINK_LIMIT, Counterexample, Verdict
 from ..experiments.registry import SchemeNotApplicable, scheme as scheme_by_name
 from ..experiments.results import ExperimentRecord, ResultStore
-from ..experiments.runner import METRICS, FailureModel, run_grid
+from ..experiments.runner import METRICS, run_grid
 from ..experiments.session import ExperimentSession
+from ..failures import estimate_resilience, model_from_params
+from ..failures.models import FailureModel
 from ..graphs.connectivity import component_of
 from ..graphs.edges import sorted_nodes
 from ..runtime.deadline import Deadline
@@ -86,16 +88,17 @@ def _require(params: dict, name: str) -> object:
 
 
 def _failure_model(params: dict) -> FailureModel:
-    sizes = params.get("sizes")
-    if sizes is not None:
-        if not isinstance(sizes, list) or not all(isinstance(s, int) for s in sizes):
-            raise QueryError(f"sizes must be a list of integers, got {sizes!r}")
-        sizes = tuple(sizes)
-    samples = params.get("samples", 10)
-    seed = params.get("seed", 0)
-    if not isinstance(samples, int) or not isinstance(seed, int):
-        raise QueryError("samples and seed must be integers")
-    return FailureModel(sizes=sizes, samples=samples, seed=seed)
+    """Resolve the request's failure model via the shared spec grammar.
+
+    ``params["model"]`` (a ``"iid:p=0.01,samples=500,seed=0"`` spec
+    string) or the legacy ``sizes``/``samples``/``seed`` keys — one
+    parser, :func:`repro.failures.model_from_params`, so the service
+    cannot drift from the CLI or ``run_grid``.
+    """
+    try:
+        return model_from_params(params)
+    except ValueError as error:
+        raise QueryError(str(error)) from None
 
 
 def _explicit_label(masks, destination) -> str:
@@ -305,7 +308,11 @@ class QueryService:
         With a failure-model spec this is exactly ``run_grid``'s
         resilience cell (same grid, same checker path, same record
         shape); with an explicit ``failure_sets`` list it is exactly
-        ``sweep_resilience`` over those masks.
+        ``sweep_resilience`` over those masks.  A *sampled* model
+        (``"iid:p=0.02,samples=500"``) answers with a point estimate
+        and Wilson CI bounds via :func:`repro.failures.
+        estimate_resilience`; a deadline-cut estimate is ``partial``
+        (and never cached).
         """
         topology = str(_require(params, "topology"))
         spec = self._scheme(str(_require(params, "scheme")))
@@ -348,6 +355,25 @@ class QueryService:
         else:
             model = _failure_model(params)
             label = model.label
+            if model.sampled:
+                # Monte-Carlo models stream through the estimator and
+                # answer with a point estimate plus Wilson CI bounds —
+                # the exact shape run_grid's sampled cells record
+                estimate = estimate_resilience(
+                    graph, algorithm, model, session=self.session, deadline=deadline
+                )
+                record = ExperimentRecord(
+                    experiment="resilience",
+                    topology=topology,
+                    scheme=spec.name,
+                    failure_model=label,
+                    metrics=estimate.metrics(),
+                    series=list(estimate.series),
+                    params={"model": spec.arity},
+                    runtime_seconds=time.perf_counter() - start,
+                    note=estimate.note,
+                )
+                return record, not estimate.exhaustive
             grid_sets = model.grid(graph)
             failure_sets = [failures for size in sorted(grid_sets) for failures in grid_sets[size]]
             # the exact seam run_grid's resilience metric uses (the
@@ -563,6 +589,22 @@ class QueryService:
         compute produce the same answer shape.
         """
         if op == "verdict":
+            if "estimate" in record.metrics:
+                # a sampled model's answer: estimate + CI, not a sweep
+                return {
+                    "verdict": {
+                        "resilient": record.metrics["resilient"],
+                        "estimate": record.metrics["estimate"],
+                        "ci_low": record.metrics["ci_low"],
+                        "ci_high": record.metrics["ci_high"],
+                        "samples": record.metrics["samples"],
+                        "planned_samples": record.metrics["planned_samples"],
+                        "exhaustive": record.metrics["exhaustive"],
+                        "sampled": True,
+                        "counterexample": record.note or None,
+                    },
+                    "record": record.to_dict(),
+                }
             return {
                 "verdict": {
                     "resilient": record.metrics["resilient"],

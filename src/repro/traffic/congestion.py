@@ -23,12 +23,16 @@ Three drivers:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 import networkx as nx
 
 from ..core.engine.sweep import EngineState
+
+# the grid sampler moved to repro.failures (it is RandomGridModel's
+# internals now); re-exported here because every congestion surface —
+# and years of call sites — import it from this module
+from ..failures.models import default_sizes, sample_failure_grid  # noqa: F401
 from ..graphs.connectivity import surviving_graph
 from ..graphs.edges import FailureSet, edge, edge_sort_key
 from .load import LoadReport, RoutingAlgorithm, TrafficEngine
@@ -65,53 +69,6 @@ class CongestionCurve:
             if point.failures == size:
                 return point
         raise KeyError(f"no point at |F| = {size}")
-
-
-def sample_failure_grid(
-    graph: nx.Graph,
-    sizes: list[int],
-    samples: int,
-    seed: int = 0,
-) -> dict[int, list[FailureSet]]:
-    """A deterministic failure-set grid: ``samples`` sets per size.
-
-    Shared across algorithms by :func:`compare_congestion` so that every
-    competitor faces identical scenarios.  Size 0 contributes the single
-    empty set; other sizes draw uniform link subsets without replacement
-    within a sample.
-    """
-    if samples < 1:
-        raise ValueError(f"samples must be >= 1, got {samples}")
-    links = sorted((edge(u, v) for u, v in graph.edges), key=edge_sort_key)
-    rng = random.Random(seed)
-    grid: dict[int, list[FailureSet]] = {}
-    for size in sizes:
-        if size < 0 or size > len(links):
-            raise ValueError(f"failure size {size} out of range [0, {len(links)}]")
-        if size == 0:
-            grid[size] = [frozenset()]
-            continue
-        seen: set[FailureSet] = set()
-        sets: list[FailureSet] = []
-        for _ in range(samples):
-            candidate = frozenset(rng.sample(links, size))
-            if candidate in seen:
-                continue  # duplicates add no information on tiny graphs
-            seen.add(candidate)
-            sets.append(candidate)
-        grid[size] = sets
-    return grid
-
-
-def default_sizes(graph: nx.Graph) -> list[int]:
-    """A sensible size ladder: 0, 1, 2, 4, ... up to half the links."""
-    limit = max(1, graph.number_of_edges() // 2)
-    sizes = [0]
-    step = 1
-    while step <= limit:
-        sizes.append(step)
-        step *= 2
-    return sizes
 
 
 def congestion_vs_failures(
@@ -332,13 +289,17 @@ def compare_congestion(
     graph_name: str = "",
     matrix_name: str = "",
     session=None,
+    failure_grid: dict[int, list[FailureSet]] | None = None,
 ) -> ComparisonResult:
     """Congestion curves for several algorithms on one shared scenario grid.
 
     Algorithms whose preconditions the topology violates (bipartite-only
     distance-3, outerplanar-only touring, ...) are skipped and reported
     rather than crashing the sweep; every surviving competitor sees the
-    exact same failure sets.  The default ``algorithms`` line-up comes
+    exact same failure sets.  Pass ``failure_grid`` (e.g. a
+    :class:`repro.failures.FailureModel`'s grid) to pin the scenarios
+    explicitly — ``sizes``/``samples``/``seed`` then only label the
+    curve.  The default ``algorithms`` line-up comes
     from the scheme registry; engine state comes from ``session``
     (default: the shared session).  The loads always come from the
     batched router (differentially equal to per-packet simulation); for
@@ -350,9 +311,12 @@ def compare_congestion(
 
     if algorithms is None:
         algorithms = default_competitors()
-    if sizes is None:
-        sizes = default_sizes(graph)
-    grid = sample_failure_grid(graph, sizes, samples, seed)
+    if failure_grid is not None:
+        grid = failure_grid  # a FailureModel's grid, pinned by the caller
+    else:
+        if sizes is None:
+            sizes = default_sizes(graph)
+        grid = sample_failure_grid(graph, sizes, samples, seed)
     resolved = resolve_session(session)
     state = resolved.state(graph)
     backend = "numpy" if resolved.backend == "numpy" else "engine"
